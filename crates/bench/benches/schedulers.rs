@@ -1,0 +1,34 @@
+//! End-to-end scheduler benchmarks: simulation speed for each scheduling
+//! policy on a small TPC-C pool, and core-count scaling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use strex::config::SchedulerKind;
+use strex::driver::{run, SimConfig};
+use strex_oltp::workload::{Workload, WorkloadKind};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let workload = Workload::preset_small(WorkloadKind::TpccW1, 12, 7);
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for kind in SchedulerKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(run(&workload, &SimConfig::new(4, kind))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_scaling(c: &mut Criterion) {
+    let workload = Workload::preset_small(WorkloadKind::TpccW1, 12, 7);
+    let mut group = c.benchmark_group("strex_cores");
+    group.sample_size(10);
+    for cores in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
+            b.iter(|| black_box(run(&workload, &SimConfig::new(cores, SchedulerKind::Strex))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_core_scaling);
+criterion_main!(benches);

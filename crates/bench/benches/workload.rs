@@ -1,0 +1,59 @@
+//! Benchmarks of the workload substrate: database population, transaction
+//! trace generation, and the B+tree engine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use strex_oltp::engine::{Arena, BTree, RecordingSink};
+use strex_oltp::tpcc::{TpccScale, TpccTxnKind, TpccWorkloadBuilder};
+
+fn bench_btree(c: &mut Criterion) {
+    c.bench_function("btree_search_10k", |b| {
+        let mut arena = Arena::new();
+        let mut tree = BTree::new(&mut arena, "bench");
+        let mut sink = RecordingSink::new();
+        for k in 0..10_000u64 {
+            tree.insert((k * 7919) % 10_000, k, &mut arena, &mut sink);
+            sink.accesses.clear();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 31) % 10_000;
+            let mut s = RecordingSink::new();
+            black_box(tree.search(i, &mut s))
+        });
+    });
+    c.bench_function("btree_insert", |b| {
+        let mut arena = Arena::new();
+        let mut tree = BTree::new(&mut arena, "bench");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut s = RecordingSink::new();
+            tree.insert(i, i, &mut arena, &mut s);
+            black_box(s.len())
+        });
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_trace");
+    group.sample_size(20);
+    for kind in [TpccTxnKind::Payment, TpccTxnKind::NewOrder] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut builder = TpccWorkloadBuilder::new(TpccScale::mini(), 1);
+            b.iter(|| black_box(builder.one(kind)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("populate");
+    group.sample_size(10);
+    group.bench_function("tpcc_mini", |b| {
+        b.iter(|| black_box(strex_oltp::tpcc::TpccDb::populate(TpccScale::mini())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_trace_generation, bench_population);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates every table and figure of the STREX paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|config|all] [--quick]
+//! ```
+//!
+//! `fig5`/`fig6` share one run matrix, as do `fig7`/`fig8`. With `--quick`
+//! the pools and databases shrink so the whole suite finishes in well under
+//! a minute (used by CI); shapes are preserved, magnitudes are noisier.
+
+use std::env;
+use std::process::ExitCode;
+
+use strex_bench::experiments::{
+    self, ablation, config_dump, fig1, fig2, fig4, fig5_fig6, fig7_fig8, fig9,
+    future_work, table3, table4, Effort,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| -> bool {
+        targets.is_empty()
+            || targets.contains(&"all")
+            || targets.contains(&name)
+            || (name == "fig5" && targets.contains(&"fig6"))
+            || (name == "fig7" && targets.contains(&"fig8"))
+    };
+    let known = [
+        "all", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3",
+        "table4", "config", "ablation", "future",
+    ];
+    for t in &targets {
+        if !known.contains(t) {
+            eprintln!("unknown target `{t}`; known: {known:?} [--quick]");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "STREX reproduction — seed {} — {:?} effort\n",
+        experiments::SEED, effort
+    );
+    if want("config") {
+        println!("{}", config_dump());
+    }
+    if want("fig1") {
+        println!("{}", fig1());
+    }
+    if want("fig2") {
+        println!("{}", fig2(effort).0);
+    }
+    if want("fig4") {
+        println!("{}", fig4(effort).0);
+    }
+    if want("fig5") || want("fig6") {
+        println!("{}", fig5_fig6(effort).0);
+    }
+    if want("fig7") || want("fig8") {
+        println!("{}", fig7_fig8(effort).0);
+    }
+    if want("fig9") {
+        println!("{}", fig9(effort).0);
+    }
+    if want("table3") {
+        println!("{}", table3(effort).0);
+    }
+    if want("table4") {
+        println!("{}", table4());
+    }
+    if want("ablation") {
+        println!("{}", ablation(effort).0);
+    }
+    if want("future") {
+        println!("{}", future_work(effort).0);
+    }
+    ExitCode::SUCCESS
+}

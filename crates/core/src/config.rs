@@ -1,0 +1,136 @@
+//! Scheduler configuration (Sections 4.3 and 5.1 of the paper).
+
+/// STREX parameters.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct StrexParams {
+    /// Maximum transactions per team (Section 5.1: ten unless noted;
+    /// Figure 7/8 sweep 2..=20).
+    pub team_size: usize,
+    /// Architectural-state size in cache blocks saved/restored through the
+    /// L2 on a context switch (Section 4.4.2).
+    pub ctx_state_blocks: u64,
+    /// Window of transactions team formation may examine (Section 4.3: the
+    /// OLTP system provides up to 30 transactions at any time).
+    pub formation_window: usize,
+    /// Minimum instruction-block fetches a thread executes per quantum
+    /// before the victim monitor may switch it (Section 4.4.2: "an
+    /// implementation may choose to enforce a minimum number of
+    /// instructions or cycles that a transaction ought to execute before a
+    /// context switch is allowed"). Lets diverging followers force-fill
+    /// their private path instead of starving behind the lead.
+    pub min_quantum_fetches: u32,
+}
+
+impl Default for StrexParams {
+    fn default() -> Self {
+        StrexParams {
+            team_size: 10,
+            ctx_state_blocks: 4,
+            formation_window: 30,
+            min_quantum_fetches: 96,
+        }
+    }
+}
+
+/// SLICC parameters (modeled after the structures in Table 4).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SliccParams {
+    /// Missed-tag queue length (Table 4: 60 bits ≈ 5 tags).
+    pub mtq_len: usize,
+    /// Miss shift-vector length in fetches (Table 4: 100 bits).
+    pub window: usize,
+    /// Misses within the window that signal a segment change.
+    pub miss_burst: usize,
+    /// L1-I fills a thread performs on one core before it spills to a
+    /// fresh core (the thread has roughly filled the local cache with its
+    /// current segment and should pipeline the next one elsewhere).
+    pub fill_cap: usize,
+    /// Missed tags a remote signature must cover to attract a migration.
+    pub coverage_threshold: usize,
+    /// SLICC teams hold up to `2 * n_cores` threads (Section 5.1).
+    pub team_factor: usize,
+    /// Minimum fetches a thread executes on a core between migrations
+    /// (prevents ping-ponging while a segment is being established).
+    pub min_residency: usize,
+    /// Hits a thread must score on its current core before a miss burst is
+    /// treated as a *segment transition* worth following to another cache.
+    /// A thread missing since it landed is building a segment, not leaving
+    /// one; following coverage then would convoy every same-code thread
+    /// onto one core (and breaks small-footprint workloads, which must be
+    /// unaffected by SLICC).
+    pub min_hits_before_follow: usize,
+}
+
+impl Default for SliccParams {
+    fn default() -> Self {
+        SliccParams {
+            mtq_len: 5,
+            window: 100,
+            miss_burst: 40,
+            coverage_threshold: 4,
+            fill_cap: 416,
+            team_factor: 2,
+            min_residency: 192,
+            min_hits_before_follow: 128,
+        }
+    }
+}
+
+/// Which scheduler drives the simulation.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum SchedulerKind {
+    /// Conventional run-to-completion assignment (the paper's baseline).
+    #[default]
+    Baseline,
+    /// STREX stratified execution.
+    Strex,
+    /// SLICC thread migration.
+    Slicc,
+    /// The Section 5.5 hybrid: profiles footprints, then picks SLICC when
+    /// the aggregate L1-I fits them, STREX otherwise.
+    Hybrid,
+}
+
+impl SchedulerKind {
+    /// All kinds, in Figure 6 comparison order.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Baseline,
+        SchedulerKind::Strex,
+        SchedulerKind::Slicc,
+        SchedulerKind::Hybrid,
+    ];
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchedulerKind::Baseline => "Base",
+            SchedulerKind::Strex => "STREX",
+            SchedulerKind::Slicc => "SLICC",
+            SchedulerKind::Hybrid => "STREX+SLICC",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let s = StrexParams::default();
+        assert_eq!(s.team_size, 10);
+        assert_eq!(s.formation_window, 30);
+        let l = SliccParams::default();
+        assert_eq!(l.mtq_len, 5);
+        assert_eq!(l.window, 100);
+        assert_eq!(l.team_factor, 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SchedulerKind::Baseline.to_string(), "Base");
+        assert_eq!(SchedulerKind::Hybrid.to_string(), "STREX+SLICC");
+    }
+}

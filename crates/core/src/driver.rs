@@ -1,0 +1,310 @@
+//! The simulation driver: replays transaction traces through the memory
+//! hierarchy under a scheduling policy.
+//!
+//! Timing model (documented substitution, DESIGN.md §2): in-order cores
+//! retiring one instruction per cycle, plus the memory stall cycles charged
+//! by the hierarchy. Cores advance independently and are processed in
+//! global cycle order through a priority queue, with shared-resource timing
+//! (L2 slices, DRAM banks) keyed by each request's arrival cycle. The same
+//! 1-IPC model underlies the paper's own motivation analysis (Section 2.2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use strex_oltp::trace::MemRef;
+use strex_oltp::workload::Workload;
+use strex_sim::config::SystemConfig;
+use strex_sim::hierarchy::MemorySystem;
+use strex_sim::ids::{CoreId, Cycle, ThreadId};
+
+use crate::config::{SchedulerKind, SliccParams, StrexParams};
+use crate::report::Report;
+use crate::sched::{
+    BaselineSched, Decision, HybridSched, Scheduler, SliccSched, StrexSched,
+};
+use crate::thread::TxnThread;
+
+/// Events executed per core before re-entering the global cycle queue.
+/// Coarse interleaving keeps heap traffic low; 64 events ≈ a few hundred
+/// cycles, far finer than any scheduling time constant.
+const BATCH_EVENTS: usize = 64;
+
+/// Cycles an idle core waits before polling for newly runnable work.
+const IDLE_POLL: Cycle = 200;
+
+/// Full simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Hardware configuration (Table 2).
+    pub system: SystemConfig,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// STREX parameters.
+    pub strex: StrexParams,
+    /// SLICC parameters.
+    pub slicc: SliccParams,
+}
+
+impl SimConfig {
+    /// Baseline scheduling on `n_cores` Table 2 cores.
+    pub fn new(n_cores: usize, scheduler: SchedulerKind) -> Self {
+        SimConfig {
+            system: SystemConfig::with_cores(n_cores),
+            scheduler,
+            strex: StrexParams::default(),
+            slicc: SliccParams::default(),
+        }
+    }
+
+    /// Overrides the STREX team size (Figures 7 and 8).
+    pub fn with_team_size(mut self, team_size: usize) -> Self {
+        self.strex.team_size = team_size;
+        self
+    }
+}
+
+/// One core's execution state.
+#[derive(Clone, Debug, Default)]
+struct Core {
+    current: Option<ThreadId>,
+    cycle: Cycle,
+}
+
+/// Runs `workload` under `config` and returns the measured [`Report`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use strex::driver::{run, SimConfig};
+/// use strex::config::SchedulerKind;
+/// use strex_oltp::workload::{Workload, WorkloadKind};
+///
+/// let w = Workload::preset_small(WorkloadKind::TpccW1, 8, 1);
+/// let report = run(&w, &SimConfig::new(4, SchedulerKind::Strex));
+/// println!("I-MPKI: {:.1}", report.i_mpki());
+/// ```
+pub fn run(workload: &Workload, config: &SimConfig) -> Report {
+    let mut scheduler: Box<dyn Scheduler> = match config.scheduler {
+        SchedulerKind::Baseline => Box::new(BaselineSched::new()),
+        SchedulerKind::Strex => Box::new(StrexSched::new(config.strex)),
+        SchedulerKind::Slicc => Box::new(SliccSched::new(config.slicc)),
+        SchedulerKind::Hybrid => Box::new(HybridSched::new(
+            config.strex,
+            config.slicc,
+            config.system.l1i_geometry.size_bytes(),
+        )),
+    };
+    run_with(workload, config, scheduler.as_mut())
+}
+
+/// Runs with a caller-provided scheduler (ablations, custom policies).
+pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Scheduler) -> Report {
+    let traces = workload.txns();
+    let n_cores = config.system.n_cores;
+    let mut mem = MemorySystem::new(config.system);
+    let mut threads: Vec<TxnThread> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TxnThread::new(ThreadId::new(i as u32), i, t.txn_type(), 0))
+        .collect();
+    scheduler.init(&threads, traces, n_cores);
+
+    let mut cores = vec![Core::default(); n_cores];
+    let mut completed = 0usize;
+    // Min-heap of (next cycle, core index).
+    let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> =
+        (0..n_cores).map(|c| Reverse((0, c))).collect();
+
+    while completed < threads.len() {
+        let Reverse((now, c)) = heap.pop().expect("cores outlive pending work");
+        let core_id = CoreId::new(c as u16);
+        cores[c].cycle = cores[c].cycle.max(now);
+
+        if cores[c].current.is_none() {
+            match scheduler.next_thread(core_id, cores[c].cycle) {
+                Some(tid) => {
+                    cores[c].current = Some(tid);
+                    // Restore the incoming context from the L2.
+                    cores[c].cycle +=
+                        mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                    scheduler.on_sched_in(core_id, tid);
+                }
+                None => {
+                    // No runnable work: poll again later if work may appear.
+                    if scheduler.has_pending_work() || completed < threads.len() {
+                        heap.push(Reverse((cores[c].cycle + IDLE_POLL, c)));
+                    }
+                    continue;
+                }
+            }
+        }
+
+        let tid = cores[c].current.expect("assigned above");
+        let trace = &traces[threads[tid.as_usize()].trace_idx()];
+        let mut budget = BATCH_EVENTS;
+        let mut reinsert_at: Option<Cycle> = None;
+
+        while budget > 0 {
+            budget -= 1;
+            let cursor = threads[tid.as_usize()].cursor();
+            match cursor.peek(trace) {
+                None => {
+                    threads[tid.as_usize()].mark_completed(cores[c].cycle);
+                    completed += 1;
+                    scheduler.on_done(core_id, tid, cores[c].cycle);
+                    cores[c].current = None;
+                    reinsert_at = Some(cores[c].cycle);
+                    break;
+                }
+                Some(MemRef::IFetch { block, instrs }) => {
+                    // Victim monitor: a thread stops *before* a fill that
+                    // would destroy the team's current-phase segment; the
+                    // abandoned fetch re-executes when it is next scheduled.
+                    if scheduler.pre_fetch(core_id, tid, block, &mem) == Decision::Switch {
+                        cores[c].cycle +=
+                            mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                        scheduler.on_switch(core_id, tid);
+                        cores[c].current = None;
+                        reinsert_at = Some(cores[c].cycle);
+                        break;
+                    }
+                    let tag = scheduler.phase_tag(core_id);
+                    let fetch = mem.fetch_inst(core_id, block, tag, cores[c].cycle);
+                    mem.add_instructions(core_id, instrs as u64);
+                    cores[c].cycle += instrs as u64 + fetch.stall;
+                    threads[tid.as_usize()].cursor_mut().advance();
+                    match scheduler.on_fetch(core_id, tid, block, &fetch, &mem) {
+                        Decision::Continue => {}
+                        Decision::Switch => {
+                            // Save the outgoing context to the L2.
+                            cores[c].cycle +=
+                                mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                            scheduler.on_switch(core_id, tid);
+                            cores[c].current = None;
+                            reinsert_at = Some(cores[c].cycle);
+                            break;
+                        }
+                        Decision::Migrate(dst) => {
+                            cores[c].cycle +=
+                                mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                            scheduler.on_migrate(tid, dst);
+                            cores[c].current = None;
+                            reinsert_at = Some(cores[c].cycle);
+                            // Wake the destination core if it went idle.
+                            heap.push(Reverse((cores[c].cycle, dst.as_usize())));
+                            break;
+                        }
+                    }
+                }
+                Some(MemRef::Load { addr }) => {
+                    let access = mem.access_data(core_id, addr, false, cores[c].cycle);
+                    cores[c].cycle += access.stall;
+                    threads[tid.as_usize()].cursor_mut().advance();
+                }
+                Some(MemRef::Store { addr }) => {
+                    // Stores retire through the store buffer; the miss is
+                    // tracked (and occupies the hierarchy) but does not
+                    // stall the core.
+                    let _ = mem.access_data(core_id, addr, true, cores[c].cycle);
+                    threads[tid.as_usize()].cursor_mut().advance();
+                }
+            }
+        }
+        if completed < threads.len() {
+            heap.push(Reverse((reinsert_at.unwrap_or(cores[c].cycle), c)));
+        }
+    }
+
+    let makespan = threads
+        .iter()
+        .filter_map(TxnThread::completed)
+        .max()
+        .unwrap_or(0);
+    let latencies: Vec<Cycle> = threads.iter().filter_map(TxnThread::latency).collect();
+    let mut stats = mem.stats().clone();
+    stats.shared = mem.shared_stats();
+
+    Report {
+        scheduler: scheduler.name(),
+        workload: workload.name().to_string(),
+        n_cores,
+        makespan,
+        transactions: threads.len(),
+        latencies,
+        stats,
+        context_switches: scheduler.context_switches(),
+        migrations: scheduler.migrations(),
+        hybrid_choice: scheduler.hybrid_choice(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strex_oltp::workload::WorkloadKind;
+
+    fn small_workload() -> Workload {
+        Workload::preset_small(WorkloadKind::TpccW1, 6, 11)
+    }
+
+    #[test]
+    fn baseline_completes_all_transactions() {
+        let w = small_workload();
+        let r = run(&w, &SimConfig::new(2, SchedulerKind::Baseline));
+        assert_eq!(r.transactions, 6);
+        assert_eq!(r.latencies.len(), 6);
+        assert!(r.makespan > 0);
+        assert!(r.stats.instructions() > 0);
+    }
+
+    #[test]
+    fn all_schedulers_complete() {
+        let w = small_workload();
+        for kind in SchedulerKind::ALL {
+            let r = run(&w, &SimConfig::new(2, kind));
+            assert_eq!(r.transactions, 6, "{kind}");
+            assert_eq!(
+                r.stats.instructions(),
+                w.total_instructions(),
+                "{kind}: every instruction must retire exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn more_cores_do_not_slow_the_baseline() {
+        let w = Workload::preset_small(WorkloadKind::TpccW1, 8, 3);
+        let two = run(&w, &SimConfig::new(2, SchedulerKind::Baseline));
+        let eight = run(&w, &SimConfig::new(8, SchedulerKind::Baseline));
+        assert!(
+            eight.makespan < two.makespan,
+            "8-core {} vs 2-core {}",
+            eight.makespan,
+            two.makespan
+        );
+    }
+
+    #[test]
+    fn strex_reduces_instruction_misses_on_same_type_pool() {
+        use strex_oltp::tpcc::TpccTxnKind;
+        let w = Workload::tpcc_same_type(TpccTxnKind::Payment, 1, 8, 5);
+        let base = run(&w, &SimConfig::new(2, SchedulerKind::Baseline));
+        let strex = run(&w, &SimConfig::new(2, SchedulerKind::Strex));
+        assert!(
+            strex.i_mpki() < base.i_mpki(),
+            "STREX {} vs base {}",
+            strex.i_mpki(),
+            base.i_mpki()
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let w = small_workload();
+        let cfg = SimConfig::new(2, SchedulerKind::Strex);
+        let a = run(&w, &cfg);
+        let b = run(&w, &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.latencies, b.latencies);
+    }
+}

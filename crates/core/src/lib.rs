@@ -1,0 +1,55 @@
+//! # strex
+//!
+//! Reproduction of **STREX** (Atta, Tözün, Tong, Ailamaki, Moshovos —
+//! ISCA 2013): *Boosting Instruction Cache Reuse in OLTP Workloads Through
+//! Stratified Transaction Execution*.
+//!
+//! OLTP transactions have instruction footprints far larger than an L1
+//! instruction cache, so conventional run-to-completion scheduling thrashes
+//! the L1-I continuously. STREX exploits the heavy code overlap between
+//! *same-type* transactions: it groups them into **teams**, runs a team on
+//! one core, and context-switches threads whenever they would evict a cache
+//! block the team is still using (detected with per-block **phase tags**).
+//! A *lead* transaction pays the misses for each cache-sized code segment;
+//! the rest of the team hits.
+//!
+//! This crate implements the paper's four scheduling policies over the
+//! `strex-sim` memory hierarchy and the `strex-oltp` workload model:
+//!
+//! * [`sched::BaselineSched`] — conventional run-to-completion;
+//! * [`sched::StrexSched`] — stratified execution (Section 4);
+//! * [`sched::SliccSched`] — the SLICC thread-migration comparison point;
+//! * [`sched::HybridSched`] — the Section 5.5 FPTable-based selector.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use strex::config::SchedulerKind;
+//! use strex::driver::{run, SimConfig};
+//! use strex_oltp::workload::{Workload, WorkloadKind};
+//!
+//! let workload = Workload::preset_small(WorkloadKind::TpccW1, 16, 42);
+//! let base = run(&workload, &SimConfig::new(4, SchedulerKind::Baseline));
+//! let strex = run(&workload, &SimConfig::new(4, SchedulerKind::Strex));
+//! println!(
+//!     "I-MPKI {:.1} -> {:.1}, speedup {:.2}x",
+//!     base.i_mpki(),
+//!     strex.i_mpki(),
+//!     strex.relative_throughput(&base),
+//! );
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod driver;
+pub mod report;
+pub mod sched;
+pub mod team;
+pub mod thread;
+
+pub use config::{SchedulerKind, SliccParams, StrexParams};
+pub use driver::{run, SimConfig};
+pub use report::Report;
+pub use sched::{FpTable, Scheduler};
+pub use team::{form_teams, Team};
+pub use thread::TxnThread;

@@ -1,0 +1,193 @@
+//! Simulation results: the metrics the paper's figures report.
+
+use strex_sim::ids::Cycle;
+use strex_sim::stats::SystemStats;
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Scheduler name used.
+    pub scheduler: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Cores simulated.
+    pub n_cores: usize,
+    /// Cycles to execute the whole pool (makespan).
+    pub makespan: Cycle,
+    /// Transactions completed.
+    pub transactions: usize,
+    /// Per-transaction latencies (queue entry to completion), in cycles.
+    pub latencies: Vec<Cycle>,
+    /// Memory-hierarchy statistics at completion.
+    pub stats: SystemStats,
+    /// Context switches (STREX) performed.
+    pub context_switches: u64,
+    /// Migrations (SLICC) performed.
+    pub migrations: u64,
+    /// Which scheduler a hybrid selected ("STREX"/"SLICC"), if applicable.
+    pub hybrid_choice: Option<&'static str>,
+}
+
+impl Report {
+    /// Throughput as defined in Section 5.1: the inverse of the cycles
+    /// required to execute all transactions.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            1.0 / self.makespan as f64
+        }
+    }
+
+    /// Cycle by which `frac` of the transactions had completed.
+    ///
+    /// The paper measures a 1.2 B-instruction window of a *continuously
+    /// supplied* system; a finite pool instead has a cool-down tail during
+    /// which cores idle (batch schedulers idle more, since their last unit
+    /// of work is a whole team). Steady-state throughput comparisons use
+    /// the 90th-percentile completion time to exclude that artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `(0, 1]`.
+    pub fn completion_time(&self, frac: f64) -> Cycle {
+        assert!(frac > 0.0 && frac <= 1.0, "fraction out of range");
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 * frac).ceil() as usize).clamp(1, sorted.len());
+        sorted[idx - 1]
+    }
+
+    /// Steady-state throughput: completed transactions per cycle at the
+    /// 90th-percentile completion point.
+    pub fn steady_throughput(&self) -> f64 {
+        let t = self.completion_time(0.9);
+        if t == 0 {
+            0.0
+        } else {
+            self.transactions as f64 * 0.9 / t as f64
+        }
+    }
+
+    /// Throughput relative to a reference report (Figure 6 normalizes to
+    /// the 2-core baseline), using steady-state throughput.
+    pub fn relative_throughput(&self, reference: &Report) -> f64 {
+        let r = reference.steady_throughput();
+        if r == 0.0 {
+            0.0
+        } else {
+            self.steady_throughput() / r
+        }
+    }
+
+    /// System-wide instruction MPKI.
+    pub fn i_mpki(&self) -> f64 {
+        self.stats.i_mpki()
+    }
+
+    /// System-wide data MPKI.
+    pub fn d_mpki(&self) -> f64 {
+        self.stats.d_mpki()
+    }
+
+    /// Mean transaction latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+        }
+    }
+
+    /// Latency histogram over fixed-width bins of `bin_cycles`, returning
+    /// `(bin upper edge, fraction)` pairs — Figure 7's distribution.
+    pub fn latency_histogram(&self, bin_cycles: u64, n_bins: usize) -> Vec<(u64, f64)> {
+        let mut counts = vec![0usize; n_bins + 1];
+        for &l in &self.latencies {
+            let bin = ((l / bin_cycles.max(1)) as usize).min(n_bins);
+            counts[bin] += 1;
+        }
+        let total = self.latencies.len().max(1) as f64;
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| ((i as u64 + 1) * bin_cycles, c as f64 / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(makespan: Cycle, latencies: Vec<Cycle>) -> Report {
+        Report {
+            scheduler: "test",
+            workload: "w".to_string(),
+            n_cores: 2,
+            makespan,
+            transactions: latencies.len(),
+            latencies,
+            stats: SystemStats::new(2),
+            context_switches: 0,
+            migrations: 0,
+            hybrid_choice: None,
+        }
+    }
+
+    #[test]
+    fn throughput_is_inverse_makespan() {
+        let r = report(1000, vec![500, 900]);
+        assert!((r.throughput() - 1e-3).abs() < 1e-12);
+        assert_eq!(report(0, vec![]).throughput(), 0.0);
+    }
+
+    #[test]
+    fn relative_throughput_ratios() {
+        // Same transaction count; the faster system's p90 completion is half.
+        let base = report(2000, vec![500, 1000, 2000]);
+        let faster = report(1000, vec![250, 500, 1000]);
+        assert!((faster.relative_throughput(&base) - 2.0).abs() < 1e-12);
+        assert!((base.relative_throughput(&base) - 1.0).abs() < 1e-12);
+        // No completions -> zero throughput, no division by zero.
+        let empty = report(0, vec![]);
+        assert_eq!(empty.steady_throughput(), 0.0);
+        assert_eq!(base.relative_throughput(&empty), 0.0);
+    }
+
+    #[test]
+    fn completion_time_percentiles() {
+        let r = report(100, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(r.completion_time(0.9), 90);
+        assert_eq!(r.completion_time(0.5), 50);
+        assert_eq!(r.completion_time(1.0), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn completion_time_validates_fraction() {
+        let _ = report(1, vec![1]).completion_time(0.0);
+    }
+
+    #[test]
+    fn mean_latency() {
+        let r = report(100, vec![10, 20, 30]);
+        assert!((r.mean_latency() - 20.0).abs() < 1e-12);
+        assert_eq!(report(100, vec![]).mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let r = report(100, vec![5, 15, 15, 250]);
+        let h = r.latency_histogram(10, 3);
+        assert_eq!(h.len(), 4);
+        assert!((h[0].1 - 0.25).abs() < 1e-12, "one in first bin");
+        assert!((h[1].1 - 0.5).abs() < 1e-12, "two in second bin");
+        assert!((h[3].1 - 0.25).abs() < 1e-12, "overflow bin");
+        let total: f64 = h.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

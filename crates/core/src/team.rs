@@ -1,0 +1,167 @@
+//! Team formation (Section 4.3): grouping same-type transactions.
+//!
+//! STREX groups similar transactions into teams by examining a window of
+//! waiting transactions (up to 30). Teams are assigned in the arrival order
+//! of their oldest member; transactions that cannot be grouped ("strays")
+//! are scheduled individually once they become the oldest. The paper
+//! identifies similarity via the header-instruction address; the trace
+//! generator exposes the equivalent [`TxnTypeId`] directly.
+
+use strex_sim::ids::{ThreadId, TxnTypeId};
+
+/// A team of same-type transactions scheduled onto one core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Team {
+    /// Member threads in arrival order; the first is the initial lead.
+    pub members: Vec<ThreadId>,
+    /// The shared transaction type.
+    pub txn_type: TxnTypeId,
+}
+
+impl Team {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` for an empty team (never produced by formation).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Groups `arrivals` (in arrival order) into teams.
+///
+/// The algorithm mirrors the hardware team-formation unit: repeatedly take
+/// the oldest unassigned transaction, collect up to `team_size - 1` more of
+/// the same type from the next `window` unassigned transactions, and emit
+/// them as a team. A transaction with no same-type peers in the window
+/// becomes a single-member (stray) team.
+///
+/// # Examples
+///
+/// ```
+/// use strex::team::form_teams;
+/// use strex_sim::ids::{ThreadId, TxnTypeId};
+///
+/// let arrivals: Vec<(ThreadId, TxnTypeId)> = (0..6)
+///     .map(|i| (ThreadId::new(i), TxnTypeId::new((i % 2) as u16)))
+///     .collect();
+/// let teams = form_teams(&arrivals, 10, 30);
+/// assert_eq!(teams.len(), 2);
+/// assert_eq!(teams[0].len(), 3);
+/// ```
+pub fn form_teams(
+    arrivals: &[(ThreadId, TxnTypeId)],
+    team_size: usize,
+    window: usize,
+) -> Vec<Team> {
+    assert!(team_size > 0, "team size must be positive");
+    let mut assigned = vec![false; arrivals.len()];
+    let mut teams = Vec::new();
+    for i in 0..arrivals.len() {
+        if assigned[i] {
+            continue;
+        }
+        let (lead, txn_type) = arrivals[i];
+        assigned[i] = true;
+        let mut members = vec![lead];
+        // Scan the window of the next unassigned transactions.
+        let mut seen = 0;
+        for (j, &(tid, ty)) in arrivals.iter().enumerate().skip(i + 1) {
+            if assigned[j] {
+                continue;
+            }
+            seen += 1;
+            if seen > window {
+                break;
+            }
+            if ty == txn_type && members.len() < team_size {
+                members.push(tid);
+                assigned[j] = true;
+            }
+        }
+        teams.push(Team { members, txn_type });
+    }
+    teams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals(types: &[u16]) -> Vec<(ThreadId, TxnTypeId)> {
+        types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (ThreadId::new(i as u32), TxnTypeId::new(t)))
+            .collect()
+    }
+
+    #[test]
+    fn groups_same_type() {
+        let teams = form_teams(&arrivals(&[0, 0, 0, 1, 1]), 10, 30);
+        assert_eq!(teams.len(), 2);
+        assert_eq!(teams[0].len(), 3);
+        assert_eq!(teams[1].len(), 2);
+        assert_eq!(teams[0].txn_type, TxnTypeId::new(0));
+    }
+
+    #[test]
+    fn respects_team_size_cap() {
+        let teams = form_teams(&arrivals(&[0; 25]), 10, 30);
+        assert_eq!(teams.len(), 3);
+        assert_eq!(teams[0].len(), 10);
+        assert_eq!(teams[1].len(), 10);
+        assert_eq!(teams[2].len(), 5);
+    }
+
+    #[test]
+    fn stray_becomes_singleton_team() {
+        let teams = form_teams(&arrivals(&[0, 1, 0, 0]), 10, 30);
+        let stray = teams.iter().find(|t| t.txn_type == TxnTypeId::new(1)).unwrap();
+        assert_eq!(stray.len(), 1);
+    }
+
+    #[test]
+    fn window_limits_lookahead() {
+        // Type 0 at positions 0 and 4, window of 2: cannot group them.
+        let teams = form_teams(&arrivals(&[0, 1, 1, 1, 0]), 10, 2);
+        let zeros: Vec<_> = teams
+            .iter()
+            .filter(|t| t.txn_type == TxnTypeId::new(0))
+            .collect();
+        assert_eq!(zeros.len(), 2, "window too small to merge the 0s");
+    }
+
+    #[test]
+    fn arrival_order_preserved() {
+        let teams = form_teams(&arrivals(&[2, 0, 2, 0]), 10, 30);
+        assert_eq!(teams[0].txn_type, TxnTypeId::new(2));
+        assert_eq!(teams[0].members, vec![ThreadId::new(0), ThreadId::new(2)]);
+        assert_eq!(teams[1].members, vec![ThreadId::new(1), ThreadId::new(3)]);
+    }
+
+    #[test]
+    fn every_thread_lands_in_exactly_one_team() {
+        let input = arrivals(&[0, 1, 2, 0, 1, 2, 0, 1, 2, 3]);
+        let teams = form_teams(&input, 2, 5);
+        let mut all: Vec<u32> = teams
+            .iter()
+            .flat_map(|t| t.members.iter().map(|m| m.value()))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "team size must be positive")]
+    fn zero_team_size_panics() {
+        let _ = form_teams(&[], 0, 30);
+    }
+
+    #[test]
+    fn empty_input_no_teams() {
+        assert!(form_teams(&[], 10, 30).is_empty());
+    }
+}

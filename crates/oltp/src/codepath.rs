@@ -1,0 +1,340 @@
+//! Trace building: walking code regions and interleaving data accesses.
+//!
+//! [`TraceBuilder`] assembles a transaction's [`MemRef`] stream. Executing
+//! an action means *walking* its code region — emitting instruction-block
+//! fetches mostly sequentially, with data-dependent skips (divergence
+//! between instances of the same type) and short back-jumps (intra-action
+//! loops) — while the data accesses reported by engine operations are
+//! drained into the stream a few per code block, the rate at which a core
+//! actually issues memory operations.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use strex_sim::addr::{Addr, AddrRange, BLOCK_SIZE};
+use strex_sim::ids::TxnTypeId;
+
+use crate::engine::sink::DataSink;
+use crate::trace::{MemRef, TxnTrace};
+
+/// Tuning knobs for code walking.
+#[derive(Copy, Clone, Debug)]
+pub struct WalkConfig {
+    /// Probability an instance skips a block (data-dependent branch).
+    pub skip_prob: f64,
+    /// Probability of a short backward jump (intra-action loop retouch).
+    pub backjump_prob: f64,
+    /// Maximum distance, in blocks, of a backward jump.
+    pub backjump_span: u64,
+    /// Data accesses drained per instruction block fetched.
+    pub data_per_block: usize,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            skip_prob: 0.08,
+            backjump_prob: 0.12,
+            backjump_span: 12,
+            data_per_block: 3,
+        }
+    }
+}
+
+/// Builds one transaction's reference trace.
+///
+/// Engine operations report data accesses through the [`DataSink`] impl;
+/// the builder queues them and interleaves them with subsequent instruction
+/// fetches. Per-thread stack traffic (register spills, call frames) is
+/// injected automatically so transactions have a private hot working set,
+/// as real ones do.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use strex_oltp::codepath::{TraceBuilder, WalkConfig};
+/// use strex_sim::addr::{Addr, AddrRange};
+/// use strex_sim::ids::TxnTypeId;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let stack = AddrRange::new(Addr::new(0xF000_0000), 4096);
+/// let mut tb = TraceBuilder::new(stack, WalkConfig::default());
+/// let code = AddrRange::new(Addr::new(0x0100_0000), 8 * 1024);
+/// tb.walk(code, &mut rng);
+/// let trace = tb.finish(TxnTypeId::new(0), "demo");
+/// assert!(trace.instr_total() > 0);
+/// ```
+#[derive(Debug)]
+pub struct TraceBuilder {
+    refs: Vec<MemRef>,
+    pending: std::collections::VecDeque<(Addr, bool)>,
+    stack: AddrRange,
+    stack_cursor: u64,
+    workspace_cursor: u64,
+    cfg: WalkConfig,
+    blocks_since_stack: u32,
+}
+
+impl TraceBuilder {
+    /// Creates a builder whose thread-private stack lives in `stack`.
+    pub fn new(stack: AddrRange, cfg: WalkConfig) -> Self {
+        TraceBuilder {
+            refs: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            stack,
+            stack_cursor: 0,
+            workspace_cursor: 0,
+            cfg,
+            blocks_since_stack: 0,
+        }
+    }
+
+    /// Queues `blocks` streaming writes into the transaction's private
+    /// result/workspace area (record assembly, sort runs, response
+    /// buffers). The area is touched front to back like freshly allocated
+    /// buffers — cold-miss traffic every scheduler pays alike; blocks are
+    /// never revisited, so no scheduler can be charged for "losing" them.
+    pub fn workspace_burst(&mut self, blocks: u64) {
+        // The workspace occupies the thread's stack allocation above the
+        // first 4 KB of call frames.
+        let base = (self.stack.len() / 4).max(crate::trace::WORKSPACE_STRIDE);
+        let span = self.stack.len() - base;
+        for _ in 0..blocks {
+            let off = base + self.workspace_cursor.min(span - crate::trace::WORKSPACE_STRIDE);
+            self.workspace_cursor += crate::trace::WORKSPACE_STRIDE;
+            self.pending.push_back((self.stack.start().offset(off), true));
+        }
+    }
+
+    /// The walk configuration.
+    pub fn config(&self) -> WalkConfig {
+        self.cfg
+    }
+
+    /// Emits the fetch of one code block and drains queued data accesses.
+    fn fetch_block(&mut self, block_index_in_code: u64, region: AddrRange) {
+        let block = region
+            .start()
+            .offset(block_index_in_code * BLOCK_SIZE)
+            .block();
+        // ~12-16 instructions per 64 B x86 block, deterministic jitter.
+        let instrs = 12 + (block.index() % 5) as u8;
+        self.refs.push(MemRef::IFetch { block, instrs });
+
+        for _ in 0..self.cfg.data_per_block {
+            match self.pending.pop_front() {
+                Some((addr, true)) => self.refs.push(MemRef::Store { addr }),
+                Some((addr, false)) => self.refs.push(MemRef::Load { addr }),
+                None => break,
+            }
+        }
+        // Periodic private stack traffic (call frames, spills). The hot
+        // frames cycle within a small window of the stack region so the
+        // per-thread hot set stays a few cache blocks, as real stacks do.
+        self.blocks_since_stack += 1;
+        if self.blocks_since_stack >= 4 {
+            self.blocks_since_stack = 0;
+            let hot = 128.min(self.stack.len());
+            let a = self.stack.start().offset(self.stack_cursor % hot);
+            self.stack_cursor = self.stack_cursor.wrapping_add(40);
+            self.refs.push(MemRef::Store { addr: a });
+        }
+    }
+
+    /// Walks an entire code region: the basic action-execution primitive.
+    pub fn walk(&mut self, region: AddrRange, rng: &mut StdRng) {
+        self.walk_span(region, 0.0, 1.0, rng);
+    }
+
+    /// Walks the `[from, to)` fraction of a region (partial glue segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are out of order or outside `[0, 1]`.
+    pub fn walk_span(&mut self, region: AddrRange, from: f64, to: f64, rng: &mut StdRng) {
+        assert!((0.0..=1.0).contains(&from) && from <= to && to <= 1.0);
+        let n_blocks = region.len() / BLOCK_SIZE;
+        let start = (n_blocks as f64 * from) as u64;
+        let end = (n_blocks as f64 * to) as u64;
+        let mut i = start;
+        while i < end {
+            if rng.gen_bool(self.cfg.skip_prob) {
+                // Not-taken path: this instance skips the block.
+                i += 1;
+                continue;
+            }
+            self.fetch_block(i, region);
+            if i > start + self.cfg.backjump_span && rng.gen_bool(self.cfg.backjump_prob) {
+                // Short loop: retouch a recent block, then continue.
+                let span = 1 + rng.gen_range(0..self.cfg.backjump_span);
+                self.fetch_block(i - span, region);
+            }
+            i += 1;
+        }
+    }
+
+    /// Drains any queued engine data accesses even without code to walk.
+    pub fn drain_pending(&mut self) {
+        while let Some((addr, is_write)) = self.pending.pop_front() {
+            self.refs.push(if is_write {
+                MemRef::Store { addr }
+            } else {
+                MemRef::Load { addr }
+            });
+        }
+    }
+
+    /// Number of events built so far.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// `true` if no events were built.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Completes the trace.
+    pub fn finish(mut self, txn_type: TxnTypeId, name: &'static str) -> TxnTrace {
+        self.drain_pending();
+        TxnTrace::new(txn_type, name, self.refs)
+    }
+}
+
+impl DataSink for TraceBuilder {
+    fn load(&mut self, addr: Addr) {
+        self.pending.push_back((addr, false));
+    }
+
+    fn store(&mut self, addr: Addr) {
+        self.pending.push_back((addr, true));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn stack() -> AddrRange {
+        AddrRange::new(Addr::new(0xF000_0000), 4096)
+    }
+
+    fn region(kb: u64) -> AddrRange {
+        AddrRange::new(Addr::new(0x0100_0000), kb * 1024)
+    }
+
+    #[test]
+    fn walk_covers_most_of_region() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tb = TraceBuilder::new(stack(), WalkConfig::default());
+        tb.walk(region(32), &mut rng);
+        let t = tb.finish(TxnTypeId::new(0), "t");
+        let blocks = t.unique_code_blocks() as f64;
+        let total = (32 * 1024 / BLOCK_SIZE as u64) as f64;
+        let coverage = blocks / total;
+        assert!(
+            (0.85..=0.98).contains(&coverage),
+            "coverage {coverage} outside divergence band"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge_slightly() {
+        let build = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tb = TraceBuilder::new(stack(), WalkConfig::default());
+            tb.walk(region(16), &mut rng);
+            tb.finish(TxnTypeId::new(0), "t")
+        };
+        let a = build(1);
+        let b = build(2);
+        let set_a: std::collections::HashSet<_> = a
+            .refs()
+            .iter()
+            .filter_map(|r| r.fetch_block())
+            .collect();
+        let set_b: std::collections::HashSet<_> = b
+            .refs()
+            .iter()
+            .filter_map(|r| r.fetch_block())
+            .collect();
+        let inter = set_a.intersection(&set_b).count() as f64;
+        let union = set_a.union(&set_b).count() as f64;
+        let jaccard = inter / union;
+        assert!(jaccard > 0.80, "same-type instances must overlap: {jaccard}");
+        assert!(jaccard < 1.0, "instances must not be identical");
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut tb = TraceBuilder::new(stack(), WalkConfig::default());
+            tb.walk(region(8), &mut rng);
+            tb.finish(TxnTypeId::new(0), "t")
+        };
+        assert_eq!(build().refs(), build().refs());
+    }
+
+    #[test]
+    fn engine_data_is_interleaved() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tb = TraceBuilder::new(stack(), WalkConfig::default());
+        tb.load(Addr::new(0x9000_0000));
+        tb.store(Addr::new(0x9000_0040));
+        tb.walk(region(1), &mut rng);
+        let t = tb.finish(TxnTypeId::new(0), "t");
+        let has_load = t.refs().iter().any(|r| {
+            matches!(r, MemRef::Load { addr } if addr.value() == 0x9000_0000)
+        });
+        let has_store = t.refs().iter().any(|r| {
+            matches!(r, MemRef::Store { addr } if addr.value() == 0x9000_0040)
+        });
+        assert!(has_load && has_store);
+        // Data appears after the first fetch, not before.
+        assert!(t.refs()[0].fetch_block().is_some());
+    }
+
+    #[test]
+    fn pending_drained_at_finish() {
+        let tb_events = {
+            let mut tb = TraceBuilder::new(stack(), WalkConfig::default());
+            tb.load(Addr::new(1));
+            tb.finish(TxnTypeId::new(0), "t")
+        };
+        assert_eq!(tb_events.len(), 1, "queued data must not be lost");
+    }
+
+    #[test]
+    fn walk_span_touches_subrange_only() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tb = TraceBuilder::new(stack(), WalkConfig::default());
+        let r = region(32);
+        tb.walk_span(r, 0.5, 1.0, &mut rng);
+        let t = tb.finish(TxnTypeId::new(0), "t");
+        let first_half_end = r.start().offset(16 * 1024).block().index();
+        let min_block = t
+            .refs()
+            .iter()
+            .filter_map(|x| x.fetch_block())
+            .map(|b| b.index())
+            .min()
+            .unwrap();
+        assert!(min_block >= first_half_end - WalkConfig::default().backjump_span);
+    }
+
+    #[test]
+    fn stack_traffic_is_private_and_periodic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut tb = TraceBuilder::new(stack(), WalkConfig::default());
+        tb.walk(region(8), &mut rng);
+        let t = tb.finish(TxnTypeId::new(0), "t");
+        let stack_stores = t
+            .refs()
+            .iter()
+            .filter(|r| matches!(r, MemRef::Store { addr } if stack().contains(*addr)))
+            .count();
+        assert!(stack_stores > 10, "stack traffic missing: {stack_stores}");
+    }
+}

@@ -1,0 +1,30 @@
+//! The storage-manager model: the Shore-MT-equivalent substrate.
+//!
+//! The paper runs TPC-C and TPC-E on the Shore-MT storage manager. This
+//! module is the reproduction's stand-in: B+tree indexes, slotted heap
+//! tables, a lock manager, a write-ahead log and buffer-pool metadata, all
+//! living at stable addresses in a synthetic physical address space. Engine
+//! operations report the bytes they touch to a [`sink::DataSink`], and the
+//! workload generators interleave those accesses with the instruction
+//! fetches of the code regions "executing" them.
+//!
+//! What matters for the reproduction is that the *access patterns* are
+//! structural, not synthetic: every probe of an index really walks from the
+//! shared root; every insert really dirties the shared tail page; every
+//! commit really appends at the shared log tail.
+
+pub mod arena;
+pub mod btree;
+pub mod buffer;
+pub mod heap;
+pub mod lock;
+pub mod sink;
+pub mod wal;
+
+pub use arena::Arena;
+pub use btree::BTree;
+pub use buffer::BufferPool;
+pub use heap::HeapTable;
+pub use lock::{LockManager, LockMode};
+pub use sink::{DataSink, RecordingSink};
+pub use wal::Wal;

@@ -1,0 +1,139 @@
+//! Instruction-footprint measurement (Table 3, Figure 1 tags).
+//!
+//! The hybrid mechanism of Section 5.5 profiles the per-type instruction
+//! footprint into an FPTable, in L1-I-size units. This module computes the
+//! same quantity offline from traces (the online profiling path lives in
+//! the `strex` crate's hybrid scheduler and must agree with these numbers).
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::trace::TxnTrace;
+
+/// Per-type average footprint over a set of instances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FootprintReport {
+    /// `(type name, average unique code bytes, footprint units)` per type.
+    pub entries: Vec<FootprintEntry>,
+    /// L1-I bytes used as the unit.
+    pub l1i_bytes: u64,
+}
+
+/// One type's footprint measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FootprintEntry {
+    /// Transaction type name.
+    pub name: &'static str,
+    /// Average unique code bytes per instance.
+    pub avg_bytes: u64,
+    /// Average footprint in L1-I units, rounded to nearest like the paper's
+    /// FPTable ("rounded off to L1-I cache size units").
+    pub units: u64,
+    /// Instances measured.
+    pub instances: usize,
+}
+
+/// Measures average per-type footprints across `txns`.
+///
+/// # Examples
+///
+/// ```
+/// use strex_oltp::footprint::measure;
+/// use strex_oltp::tpcc::{TpccScale, TpccTxnKind, TpccWorkloadBuilder};
+///
+/// let mut b = TpccWorkloadBuilder::new(TpccScale::mini(), 1);
+/// let txns = b.same_type(TpccTxnKind::Payment, 2);
+/// let report = measure(&txns, 32 * 1024);
+/// assert_eq!(report.entries.len(), 1);
+/// assert_eq!(report.entries[0].name, "Payment");
+/// ```
+pub fn measure(txns: &[TxnTrace], l1i_bytes: u64) -> FootprintReport {
+    let mut by_type: BTreeMap<&'static str, (u64, usize)> = BTreeMap::new();
+    for t in txns {
+        let bytes = t.unique_code_blocks() as u64 * strex_sim::addr::BLOCK_SIZE;
+        let e = by_type.entry(t.type_name()).or_insert((0, 0));
+        e.0 += bytes;
+        e.1 += 1;
+    }
+    let entries = by_type
+        .into_iter()
+        .map(|(name, (total, n))| {
+            let avg = total / n as u64;
+            FootprintEntry {
+                name,
+                avg_bytes: avg,
+                units: ((avg as f64 / l1i_bytes as f64).round() as u64).max(1),
+                instances: n,
+            }
+        })
+        .collect();
+    FootprintReport {
+        entries,
+        l1i_bytes,
+    }
+}
+
+/// Jaccard overlap of the unique code blocks of two traces — the quantity
+/// behind the Section 2.2 observations.
+pub fn code_overlap(a: &TxnTrace, b: &TxnTrace) -> f64 {
+    let sa: HashSet<u64> = a
+        .refs()
+        .iter()
+        .filter_map(|r| r.fetch_block().map(|blk| blk.index()))
+        .collect();
+    let sb: HashSet<u64> = b
+        .refs()
+        .iter()
+        .filter_map(|r| r.fetch_block().map(|blk| blk.index()))
+        .collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::{TpccScale, TpccTxnKind, TpccWorkloadBuilder};
+
+    #[test]
+    fn measure_groups_by_type() {
+        let mut b = TpccWorkloadBuilder::new(TpccScale::mini(), 1);
+        let mut txns = b.same_type(TpccTxnKind::Payment, 2);
+        txns.extend(b.same_type(TpccTxnKind::StockLevel, 3));
+        let r = measure(&txns, 32 * 1024);
+        assert_eq!(r.entries.len(), 2);
+        let payment = r.entries.iter().find(|e| e.name == "Payment").unwrap();
+        assert_eq!(payment.instances, 2);
+        assert!(payment.units >= 1);
+    }
+
+    #[test]
+    fn same_type_overlap_exceeds_cross_type() {
+        let mut b = TpccWorkloadBuilder::new(TpccScale::mini(), 2);
+        let p1 = b.one(TpccTxnKind::Payment);
+        let p2 = b.one(TpccTxnKind::Payment);
+        let sl = b.one(TpccTxnKind::StockLevel);
+        assert!(code_overlap(&p1, &p2) > code_overlap(&p1, &sl));
+    }
+
+    #[test]
+    fn heavier_types_report_more_units() {
+        let mut b = TpccWorkloadBuilder::new(TpccScale::mini(), 3);
+        let mut txns = b.same_type(TpccTxnKind::NewOrder, 2);
+        txns.extend(b.same_type(TpccTxnKind::StockLevel, 2));
+        let r = measure(&txns, 32 * 1024);
+        let units = |n: &str| r.entries.iter().find(|e| e.name == n).unwrap().units;
+        assert!(units("NewOrder") > units("StockLevel"));
+    }
+
+    #[test]
+    fn empty_traces_full_overlap() {
+        use strex_sim::ids::TxnTypeId;
+        let a = TxnTrace::new(TxnTypeId::new(0), "a", Vec::new());
+        let b = TxnTrace::new(TxnTypeId::new(0), "b", Vec::new());
+        assert_eq!(code_overlap(&a, &b), 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic code address-space layout.
+//!
+//! Section 2.1 of the paper describes OLTP transactions as sequences of
+//! *actions* (index lookup `R`, update `U`, insert `I`, index scan `IT`,
+//! plus glue logic), each with an instruction-cache footprint far larger
+//! than the function call itself: parser, plan fragments, locking, logging
+//! and buffer-manager code all execute per action. This module carves the
+//! instruction address space into:
+//!
+//! * **shared library regions** — the storage-manager code (B+tree search /
+//!   insert / scan, lock manager, log manager, buffer manager, transaction
+//!   management, and a kernel/runtime slab) executed by *every* transaction
+//!   type, producing the inter-type overlap of Section 2.1;
+//! * **per-action regions** — code unique to one action of one transaction
+//!   type (statement-specific plan/glue), producing the bulk of the
+//!   per-type footprint.
+//!
+//! Per-action region sizes are derived from the per-type footprint targets
+//! of Table 3 (in 32 KB L1-I units), since Figure 1's per-action tags are
+//! the only finer-grained data in the paper and the totals are what the
+//! FPTable mechanism consumes. The derivation accounts for the shared
+//! library and for path divergence (an instance skips ~8 % of a region's
+//! blocks on data-dependent branches).
+
+use strex_sim::addr::{Addr, AddrRange};
+
+/// Base of the code address space (distinct from the data arena).
+pub const CODE_BASE: u64 = 0x0100_0000;
+
+/// L1-I capacity used as the footprint unit everywhere (Table 3).
+pub const L1I_UNIT: u64 = 32 * 1024;
+
+/// Fraction of a region an instance actually touches (branch divergence).
+pub const COVERAGE: f64 = 0.92;
+
+/// The shared storage-manager code regions.
+#[derive(Copy, Clone, Debug)]
+pub struct LibRegions {
+    /// B+tree descent code (search path).
+    pub btree_search: AddrRange,
+    /// B+tree insert and split code.
+    pub btree_insert: AddrRange,
+    /// B+tree range-scan code.
+    pub btree_scan: AddrRange,
+    /// Lock-manager code.
+    pub lock: AddrRange,
+    /// Log-manager (WAL append) code.
+    pub wal: AddrRange,
+    /// Buffer-manager (pin/unpin) code.
+    pub buffer: AddrRange,
+    /// Transaction begin/commit code.
+    pub txn_mgmt: AddrRange,
+    /// Kernel/runtime slab (syscalls, allocator, libc) touched throughout.
+    pub kernel: AddrRange,
+}
+
+impl LibRegions {
+    /// Total library bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.btree_search.len()
+            + self.btree_insert.len()
+            + self.btree_scan.len()
+            + self.lock.len()
+            + self.wal.len()
+            + self.buffer.len()
+            + self.txn_mgmt.len()
+            + self.kernel.len()
+    }
+
+    /// All regions, for footprint accounting.
+    pub fn all(&self) -> [AddrRange; 8] {
+        [
+            self.btree_search,
+            self.btree_insert,
+            self.btree_scan,
+            self.lock,
+            self.wal,
+            self.buffer,
+            self.txn_mgmt,
+            self.kernel,
+        ]
+    }
+}
+
+/// Allocates code regions sequentially.
+///
+/// # Examples
+///
+/// ```
+/// use strex_oltp::layout::CodeLayout;
+///
+/// let mut layout = CodeLayout::new();
+/// let action = layout.alloc_action(36 * 1024);
+/// assert_eq!(action.len(), 36 * 1024);
+/// assert!(layout.lib().total_bytes() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CodeLayout {
+    cursor: u64,
+    lib: LibRegions,
+}
+
+impl Default for CodeLayout {
+    fn default() -> Self {
+        CodeLayout::new()
+    }
+}
+
+impl CodeLayout {
+    /// Creates the layout, placing the shared library first.
+    pub fn new() -> Self {
+        let mut cursor = CODE_BASE;
+        let mut take = |bytes: u64| {
+            let r = AddrRange::new(Addr::new(cursor), bytes);
+            cursor += bytes;
+            r
+        };
+        let lib = LibRegions {
+            btree_search: take(12 * 1024),
+            btree_insert: take(8 * 1024),
+            btree_scan: take(6 * 1024),
+            lock: take(8 * 1024),
+            wal: take(6 * 1024),
+            buffer: take(8 * 1024),
+            txn_mgmt: take(12 * 1024),
+            kernel: take(16 * 1024),
+        };
+        CodeLayout { cursor, lib }
+    }
+
+    /// The shared library regions.
+    pub fn lib(&self) -> &LibRegions {
+        &self.lib
+    }
+
+    /// Allocates a per-action code region of `bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn alloc_action(&mut self, bytes: u64) -> AddrRange {
+        assert!(bytes > 0, "zero-sized code region");
+        let r = AddrRange::new(Addr::new(self.cursor), bytes);
+        self.cursor += bytes;
+        r
+    }
+
+    /// Bytes of code allocated so far (library + actions).
+    pub fn total_bytes(&self) -> u64 {
+        self.cursor - CODE_BASE
+    }
+
+    /// Splits a per-type unique-code budget across `n_actions` actions.
+    ///
+    /// Given a Table 3 footprint target in L1-I units, the per-action region
+    /// size is what remains after the library share, inflated by the
+    /// divergence coverage factor so that *touched* blocks (not allocated
+    /// blocks) hit the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is too small to cover the shared library.
+    pub fn action_bytes_for_target(&self, target_units: u64, n_actions: usize) -> u64 {
+        let target = target_units * L1I_UNIT;
+        let lib_touched = (self.lib.total_bytes() as f64 * COVERAGE) as u64;
+        assert!(
+            target > lib_touched,
+            "footprint target smaller than the shared library"
+        );
+        let unique_needed = ((target - lib_touched) as f64 / COVERAGE) as u64;
+        (unique_needed / n_actions as u64).max(4 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lib_regions_are_disjoint_and_ordered() {
+        let l = CodeLayout::new();
+        let all = l.lib().all();
+        for w in all.windows(2) {
+            assert_eq!(w[0].end().value(), w[1].start().value());
+        }
+        assert_eq!(l.lib().total_bytes(), 76 * 1024);
+    }
+
+    #[test]
+    fn actions_allocated_after_lib() {
+        let mut l = CodeLayout::new();
+        let a = l.alloc_action(1024);
+        assert!(a.start().value() >= l.lib().kernel.end().value());
+        let b = l.alloc_action(2048);
+        assert_eq!(b.start().value(), a.end().value());
+        assert_eq!(l.total_bytes(), 76 * 1024 + 3072);
+    }
+
+    #[test]
+    fn target_sizing_reaches_table3_totals() {
+        let l = CodeLayout::new();
+        // New Order: 14 units over 10 actions.
+        let per_action = l.action_bytes_for_target(14, 10);
+        let touched = (10 * per_action) as f64 * COVERAGE
+            + l.lib().total_bytes() as f64 * COVERAGE;
+        let units = touched / L1I_UNIT as f64;
+        assert!(
+            (units - 14.0).abs() < 1.0,
+            "calibrated footprint {units} units, want 14"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the shared library")]
+    fn tiny_target_panics() {
+        let l = CodeLayout::new();
+        let _ = l.action_bytes_for_target(2, 4);
+    }
+
+    #[test]
+    fn code_and_data_spaces_disjoint() {
+        let mut l = CodeLayout::new();
+        for _ in 0..100 {
+            l.alloc_action(64 * 1024);
+        }
+        assert!(
+            CODE_BASE + l.total_bytes() < crate::engine::arena::DATA_BASE,
+            "code grew into the data arena"
+        );
+    }
+}

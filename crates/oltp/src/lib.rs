@@ -1,0 +1,49 @@
+//! # strex-oltp
+//!
+//! OLTP **workload model and trace generator** — the software substrate of
+//! the STREX (ISCA 2013) reproduction, standing in for Shore-MT running
+//! TPC-C and TPC-E (Table 1 of the paper).
+//!
+//! The crate has three layers:
+//!
+//! 1. **Storage engine** ([`engine`]): B+tree indexes, slotted heap tables,
+//!    a lock manager, a write-ahead log and buffer-pool metadata over a
+//!    synthetic physical address space. Operations report every byte they
+//!    touch, so data-sharing patterns (index roots, lock words, log tail)
+//!    are structural, not synthetic.
+//! 2. **Code model** ([`layout`], [`codepath`]): transactions execute over
+//!    a synthetic code address space — shared storage-manager library
+//!    regions plus per-action regions sized to the paper's Table 3
+//!    footprints — with data-dependent divergence between instances.
+//! 3. **Workloads** ([`tpcc`], [`tpce`], [`mapreduce`], [`workload`]): the
+//!    paper's four workloads, generating [`trace::TxnTrace`]s that the
+//!    schedulers in the `strex` crate replay.
+//!
+//! Analyses used directly by the paper's figures live in [`footprint`]
+//! (Table 3) and [`overlap`] (Figure 2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use strex_oltp::workload::{Workload, WorkloadKind};
+//!
+//! let w = Workload::preset_small(WorkloadKind::TpccW1, 3, 42);
+//! assert_eq!(w.len(), 3);
+//! for txn in w.txns() {
+//!     println!("{}: {} instructions", txn.type_name(), txn.instr_total());
+//! }
+//! ```
+
+pub mod codepath;
+pub mod engine;
+pub mod footprint;
+pub mod layout;
+pub mod mapreduce;
+pub mod overlap;
+pub mod tpcc;
+pub mod tpce;
+pub mod trace;
+pub mod workload;
+
+pub use trace::{MemRef, TraceCursor, TxnTrace};
+pub use workload::{Workload, WorkloadKind};

@@ -1,0 +1,222 @@
+//! MapReduce control workload (Table 1: Hadoop/Mahout over Wikipedia).
+//!
+//! In the paper, MapReduce's role is a robustness check: its instruction
+//! footprint *fits in the L1-I*, so a correct STREX must leave it untouched
+//! (misses within 1 % of baseline, identical throughput — Sections 5.2 and
+//! 5.3). The model reproduces the operative property: each of many worker
+//! tasks loops over a small (< 32 KB) shared code region while streaming
+//! through a large private data buffer with a small shared dictionary.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strex_sim::addr::{Addr, AddrRange};
+use strex_sim::ids::TxnTypeId;
+
+use crate::codepath::{TraceBuilder, WalkConfig};
+use crate::layout::CodeLayout;
+use crate::trace::TxnTrace;
+#[cfg(test)]
+use crate::trace::MemRef;
+
+/// Private input-buffer bytes per task.
+const TASK_BUFFER: u64 = 256 * 1024;
+/// Shared dictionary bytes (hot lookup structure).
+const DICTIONARY: u64 = 16 * 1024;
+/// Map/reduce loop code bytes — comfortably inside a 32 KB L1-I.
+const TASK_CODE: u64 = 20 * 1024;
+/// Base of the task data area.
+const DATA_BASE: u64 = 0xC000_0000;
+
+/// Task flavor (map tasks read input; reduce tasks also write output).
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum TaskKind {
+    /// A map task.
+    Map,
+    /// A reduce task.
+    Reduce,
+}
+
+impl TaskKind {
+    /// Stable type id.
+    pub fn type_id(self) -> TxnTypeId {
+        TxnTypeId::new(match self {
+            TaskKind::Map => 0,
+            TaskKind::Reduce => 1,
+        })
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::Map => "Map",
+            TaskKind::Reduce => "Reduce",
+        }
+    }
+}
+
+/// Generates MapReduce task traces.
+///
+/// # Examples
+///
+/// ```
+/// use strex_oltp::mapreduce::MapReduceBuilder;
+///
+/// let mut b = MapReduceBuilder::new(5);
+/// let tasks = b.tasks(4);
+/// assert_eq!(tasks.len(), 4);
+/// assert!(tasks[0].unique_code_blocks() * 64 < 32 * 1024, "fits in L1-I");
+/// ```
+#[derive(Debug)]
+pub struct MapReduceBuilder {
+    code_map: AddrRange,
+    code_reduce: AddrRange,
+    dictionary: AddrRange,
+    seed: u64,
+    next_ordinal: u64,
+}
+
+impl MapReduceBuilder {
+    /// Creates the builder; all randomness flows from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut layout = CodeLayout::new();
+        MapReduceBuilder {
+            code_map: layout.alloc_action(TASK_CODE),
+            code_reduce: layout.alloc_action(TASK_CODE),
+            dictionary: AddrRange::new(Addr::new(DATA_BASE), DICTIONARY),
+            seed,
+            next_ordinal: 0,
+        }
+    }
+
+    /// Builds one task of `kind`.
+    pub fn task(&mut self, kind: TaskKind) -> TxnTrace {
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ordinal.wrapping_mul(0x5851_F42D));
+        let stack = AddrRange::new(
+            Addr::new(0xFC00_0000 + ordinal * 8 * 1024),
+            8 * 1024,
+        );
+        // Tight loops, almost no divergence: analytics kernels are regular.
+        let walk = WalkConfig {
+            skip_prob: 0.01,
+            backjump_prob: 0.0,
+            backjump_span: 4,
+            data_per_block: 3,
+        };
+        let mut tb = TraceBuilder::new(stack, walk);
+        let code = match kind {
+            TaskKind::Map => self.code_map,
+            TaskKind::Reduce => self.code_reduce,
+        };
+        let buffer = AddrRange::new(
+            Addr::new(DATA_BASE + DICTIONARY + ordinal * TASK_BUFFER),
+            TASK_BUFFER,
+        );
+        // The task loops over its kernel, streaming through the buffer.
+        let iterations = 12;
+        let mut offset = 0u64;
+        for _ in 0..iterations {
+            // Queue streaming input reads + a dictionary probe.
+            for _ in 0..24 {
+                use crate::engine::sink::DataSink;
+                tb.load(buffer.start().offset(offset % TASK_BUFFER));
+                offset += 64;
+                if rng.gen_bool(0.3) {
+                    let slot = rng.gen_range(0..DICTIONARY / 64) * 64;
+                    tb.load(self.dictionary.start().offset(slot));
+                }
+                if kind == TaskKind::Reduce && rng.gen_bool(0.2) {
+                    tb.store(buffer.start().offset(offset % TASK_BUFFER));
+                }
+            }
+            tb.walk(code, &mut rng);
+        }
+        tb.finish(kind.type_id(), kind.name())
+    }
+
+    /// Builds `n` tasks alternating map and reduce (the paper uses 300
+    /// single-task threads).
+    pub fn tasks(&mut self, n: usize) -> Vec<TxnTrace> {
+        (0..n)
+            .map(|i| {
+                self.task(if i % 4 == 3 {
+                    TaskKind::Reduce
+                } else {
+                    TaskKind::Map
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_fits_in_l1i() {
+        let mut b = MapReduceBuilder::new(1);
+        let t = b.task(TaskKind::Map);
+        let bytes = t.unique_code_blocks() as u64 * 64;
+        assert!(bytes < 32 * 1024, "footprint {bytes} must fit in L1-I");
+        assert!(bytes > 8 * 1024, "but be non-trivial: {bytes}");
+    }
+
+    #[test]
+    fn code_is_reused_across_iterations() {
+        let mut b = MapReduceBuilder::new(2);
+        let t = b.task(TaskKind::Map);
+        let fetches = t
+            .refs()
+            .iter()
+            .filter(|r| r.fetch_block().is_some())
+            .count();
+        assert!(
+            fetches > 4 * t.unique_code_blocks(),
+            "loops must refetch the kernel"
+        );
+    }
+
+    #[test]
+    fn reduce_tasks_write_output() {
+        let mut b = MapReduceBuilder::new(3);
+        let t = b.task(TaskKind::Reduce);
+        let stores = t
+            .refs()
+            .iter()
+            .filter(|r| matches!(r, MemRef::Store { addr } if addr.value() >= DATA_BASE && addr.value() < 0xF000_0000))
+            .count();
+        assert!(stores > 0, "reduce must write its buffer");
+    }
+
+    #[test]
+    fn tasks_have_private_buffers() {
+        let mut b = MapReduceBuilder::new(4);
+        let t0 = b.task(TaskKind::Map);
+        let t1 = b.task(TaskKind::Map);
+        let bufs = |t: &TxnTrace| -> std::collections::HashSet<u64> {
+            t.refs()
+                .iter()
+                .filter_map(|r| match r {
+                    MemRef::Load { addr }
+                        if addr.value() >= DATA_BASE + DICTIONARY
+                            && addr.value() < 0xF000_0000 =>
+                    {
+                        Some(addr.value())
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        assert!(bufs(&t0).is_disjoint(&bufs(&t1)), "buffers must be private");
+    }
+
+    #[test]
+    fn mixed_task_list() {
+        let mut b = MapReduceBuilder::new(5);
+        let ts = b.tasks(8);
+        let reduces = ts.iter().filter(|t| t.type_name() == "Reduce").count();
+        assert_eq!(reduces, 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Temporal-overlap analysis (Figure 2 of the paper).
+//!
+//! The experiment: 16 randomly chosen same-type transactions run
+//! concurrently on 16 cores, each with a 32 KB L1-I, at one instruction per
+//! cycle. Every 100 instructions per core, the unique instruction blocks
+//! touched in the interval are checked against all 16 L1-I caches; the
+//! metric is how many caches hold each block (ranges 1, < 5, < 10, ≥ 10).
+//! Measurement stops when at least half the threads finish.
+
+use std::collections::HashSet;
+
+use strex_sim::addr::BlockAddr;
+use strex_sim::cache::{CacheGeometry, SetAssocCache};
+use strex_sim::replacement::ReplacementKind;
+
+use crate::trace::{MemRef, TraceCursor, TxnTrace};
+
+/// One sampling interval's overlap histogram, as fractions of the blocks
+/// touched in the interval.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct OverlapSample {
+    /// Cumulative instructions per core at the sample point.
+    pub k_instructions: f64,
+    /// Fraction of touched blocks resident in exactly one cache.
+    pub one: f64,
+    /// Fraction resident in 2..=4 caches.
+    pub lt5: f64,
+    /// Fraction resident in 5..=9 caches.
+    pub lt10: f64,
+    /// Fraction resident in 10 or more caches.
+    pub ge10: f64,
+}
+
+impl OverlapSample {
+    /// Fraction resident in at least five caches (the paper's headline
+    /// "more than 70 % ... appear in at least five other cores").
+    pub fn ge5(&self) -> f64 {
+        self.lt10 + self.ge10
+    }
+}
+
+/// Configuration of the overlap experiment.
+#[derive(Copy, Clone, Debug)]
+pub struct OverlapConfig {
+    /// L1-I bytes per core (paper: 32 KB).
+    pub l1i_bytes: u64,
+    /// L1-I associativity.
+    pub l1i_assoc: usize,
+    /// Instructions per core per sampling interval (paper: 100).
+    pub interval_instrs: u64,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        OverlapConfig {
+            l1i_bytes: 32 * 1024,
+            l1i_assoc: 8,
+            interval_instrs: 100,
+        }
+    }
+}
+
+/// Runs the Figure 2 analysis over `txns`, one per simulated core.
+///
+/// Returns one sample per interval until at least half the threads have
+/// completed.
+///
+/// # Panics
+///
+/// Panics if `txns` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use strex_oltp::overlap::{analyze, OverlapConfig};
+/// use strex_oltp::tpcc::{TpccScale, TpccTxnKind, TpccWorkloadBuilder};
+///
+/// let mut b = TpccWorkloadBuilder::new(TpccScale::mini(), 1);
+/// let txns = b.same_type(TpccTxnKind::Payment, 4);
+/// let samples = analyze(&txns, OverlapConfig::default());
+/// assert!(!samples.is_empty());
+/// ```
+pub fn analyze(txns: &[TxnTrace], cfg: OverlapConfig) -> Vec<OverlapSample> {
+    assert!(!txns.is_empty(), "need at least one transaction");
+    let n = txns.len();
+    let geom = CacheGeometry::new(cfg.l1i_bytes, cfg.l1i_assoc);
+    let mut caches: Vec<SetAssocCache> = (0..n)
+        .map(|_| SetAssocCache::new(geom, ReplacementKind::Lru))
+        .collect();
+    let mut cursors = vec![TraceCursor::new(); n];
+    let mut touched: Vec<HashSet<BlockAddr>> = vec![HashSet::new(); n];
+    let mut samples = Vec::new();
+    let mut interval = 0u64;
+
+    loop {
+        // Advance each live thread by one interval of instructions.
+        let mut live = 0;
+        for i in 0..n {
+            let mut executed = 0u64;
+            while executed < cfg.interval_instrs {
+                match cursors[i].peek(&txns[i]) {
+                    Some(MemRef::IFetch { block, instrs }) => {
+                        caches[i].access(block, 0);
+                        touched[i].insert(block);
+                        executed += instrs as u64;
+                        cursors[i].advance();
+                    }
+                    Some(_) => cursors[i].advance(),
+                    None => break,
+                }
+            }
+            if !cursors[i].done(&txns[i]) {
+                live += 1;
+            }
+        }
+        interval += 1;
+
+        // Histogram of holder counts over the interval's touched blocks.
+        let mut counts = [0usize; 4];
+        let mut total = 0usize;
+        for tset in &touched {
+            for &b in tset.iter() {
+                let holders = caches.iter().filter(|c| c.contains(b)).count();
+                total += 1;
+                match holders {
+                    0..=1 => counts[0] += 1,
+                    2..=4 => counts[1] += 1,
+                    5..=9 => counts[2] += 1,
+                    _ => counts[3] += 1,
+                }
+            }
+        }
+        if total > 0 {
+            let f = |c: usize| c as f64 / total as f64;
+            samples.push(OverlapSample {
+                k_instructions: (interval * cfg.interval_instrs) as f64 / 1000.0,
+                one: f(counts[0]),
+                lt5: f(counts[1]),
+                lt10: f(counts[2]),
+                ge10: f(counts[3]),
+            });
+        }
+        for t in &mut touched {
+            t.clear();
+        }
+        // Stop when at least half the threads completed (paper's rule).
+        if live * 2 <= n {
+            break;
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::{TpccScale, TpccTxnKind, TpccWorkloadBuilder};
+
+    fn same_type_txns(n: usize) -> Vec<TxnTrace> {
+        let mut b = TpccWorkloadBuilder::new(TpccScale::mini(), 7);
+        b.same_type(TpccTxnKind::Payment, n)
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let txns = same_type_txns(4);
+        let samples = analyze(&txns, OverlapConfig::default());
+        for s in &samples {
+            let sum = s.one + s.lt5 + s.lt10 + s.ge10;
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        }
+    }
+
+    #[test]
+    fn same_type_threads_share_most_blocks() {
+        let txns = same_type_txns(8);
+        let samples = analyze(&txns, OverlapConfig::default());
+        // Mid-run samples should show heavy sharing (the paper reports the
+        // 16-thread case; with 8 threads "2..=4" plus higher buckets still
+        // dominate over singletons).
+        let mid = &samples[samples.len() / 2];
+        assert!(
+            mid.one < 0.5,
+            "singleton fraction too high: {}",
+            mid.one
+        );
+    }
+
+    #[test]
+    fn sixteen_threads_reach_ge5_majority() {
+        let txns = same_type_txns(16);
+        let samples = analyze(&txns, OverlapConfig::default());
+        // Average ge5 share over the run: the paper's headline is > 70 %.
+        let avg: f64 =
+            samples.iter().map(OverlapSample::ge5).sum::<f64>() / samples.len() as f64;
+        assert!(avg > 0.5, "≥5-sharer fraction too low: {avg}");
+    }
+
+    #[test]
+    fn samples_have_increasing_timestamps() {
+        let txns = same_type_txns(4);
+        let samples = analyze(&txns, OverlapConfig::default());
+        for w in samples.windows(2) {
+            assert!(w[1].k_instructions > w[0].k_instructions);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transaction")]
+    fn empty_pool_panics() {
+        let _ = analyze(&[], OverlapConfig::default());
+    }
+}

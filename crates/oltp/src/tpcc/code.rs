@@ -1,0 +1,188 @@
+//! Per-transaction-type code regions for TPC-C.
+//!
+//! Each transaction type owns one code region per action of its Figure 1
+//! flow graph; region sizes are derived from the Table 3 footprint targets
+//! (Delivery 12, New Order 14, Order-Status 11, Payment 14, Stock-Level 11
+//! L1-I units) via [`CodeLayout::action_bytes_for_target`].
+
+use strex_sim::addr::AddrRange;
+use strex_sim::ids::TxnTypeId;
+
+use crate::layout::{CodeLayout, LibRegions};
+
+/// The five TPC-C transaction types.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum TpccTxnKind {
+    /// New Order (~45 % of the mix).
+    NewOrder,
+    /// Payment (~43 %).
+    Payment,
+    /// Order Status (~4 %).
+    OrderStatus,
+    /// Delivery (~4 %).
+    Delivery,
+    /// Stock Level (~4 %).
+    StockLevel,
+}
+
+impl TpccTxnKind {
+    /// All types, in Figure 4 / Table 3 order.
+    pub const ALL: [TpccTxnKind; 5] = [
+        TpccTxnKind::Delivery,
+        TpccTxnKind::NewOrder,
+        TpccTxnKind::OrderStatus,
+        TpccTxnKind::Payment,
+        TpccTxnKind::StockLevel,
+    ];
+
+    /// Stable type id used by team formation.
+    pub fn type_id(self) -> TxnTypeId {
+        TxnTypeId::new(match self {
+            TpccTxnKind::NewOrder => 0,
+            TpccTxnKind::Payment => 1,
+            TpccTxnKind::OrderStatus => 2,
+            TpccTxnKind::Delivery => 3,
+            TpccTxnKind::StockLevel => 4,
+        })
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TpccTxnKind::NewOrder => "NewOrder",
+            TpccTxnKind::Payment => "Payment",
+            TpccTxnKind::OrderStatus => "OrderStatus",
+            TpccTxnKind::Delivery => "Delivery",
+            TpccTxnKind::StockLevel => "StockLevel",
+        }
+    }
+
+    /// Table 3 instruction-footprint target in L1-I units.
+    pub fn footprint_units(self) -> u64 {
+        match self {
+            TpccTxnKind::Delivery => 12,
+            TpccTxnKind::NewOrder => 14,
+            TpccTxnKind::OrderStatus => 11,
+            TpccTxnKind::Payment => 14,
+            TpccTxnKind::StockLevel => 11,
+        }
+    }
+
+    /// Number of distinct action code regions in the flow graph.
+    pub fn n_actions(self) -> usize {
+        match self {
+            TpccTxnKind::NewOrder => 11,
+            TpccTxnKind::Payment => 8,
+            TpccTxnKind::OrderStatus => 5,
+            TpccTxnKind::Delivery => 6,
+            TpccTxnKind::StockLevel => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for TpccTxnKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Code regions for all five TPC-C transaction types.
+#[derive(Clone, Debug)]
+pub struct TpccCode {
+    layout: CodeLayout,
+    actions: [Vec<AddrRange>; 5],
+}
+
+impl Default for TpccCode {
+    fn default() -> Self {
+        TpccCode::new()
+    }
+}
+
+impl TpccCode {
+    /// Lays out library + per-action regions.
+    pub fn new() -> Self {
+        let mut layout = CodeLayout::new();
+        let mut actions: [Vec<AddrRange>; 5] = Default::default();
+        for kind in TpccTxnKind::ALL {
+            let bytes =
+                layout.action_bytes_for_target(kind.footprint_units(), kind.n_actions());
+            let regions = (0..kind.n_actions())
+                .map(|_| layout.alloc_action(bytes))
+                .collect();
+            actions[kind.type_id().as_usize()] = regions;
+        }
+        TpccCode { layout, actions }
+    }
+
+    /// The shared library regions.
+    pub fn lib(&self) -> &LibRegions {
+        self.layout.lib()
+    }
+
+    /// The action regions of one transaction type, in flow order.
+    pub fn actions(&self, kind: TpccTxnKind) -> &[AddrRange] {
+        &self.actions[kind.type_id().as_usize()]
+    }
+
+    /// Total code bytes laid out.
+    pub fn total_bytes(&self) -> u64 {
+        self.layout.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_type_has_its_actions() {
+        let code = TpccCode::new();
+        for kind in TpccTxnKind::ALL {
+            assert_eq!(code.actions(kind).len(), kind.n_actions(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let code = TpccCode::new();
+        let mut ranges: Vec<_> = TpccTxnKind::ALL
+            .iter()
+            .flat_map(|&k| code.actions(k).iter().copied())
+            .chain(code.lib().all())
+            .collect();
+        ranges.sort_by_key(|r| r.start().value());
+        for w in ranges.windows(2) {
+            assert!(
+                w[0].end().value() <= w[1].start().value(),
+                "overlap between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_targets_get_more_code() {
+        let code = TpccCode::new();
+        let total = |k: TpccTxnKind| -> u64 {
+            code.actions(k).iter().map(|r| r.len()).sum()
+        };
+        assert!(total(TpccTxnKind::NewOrder) > total(TpccTxnKind::StockLevel));
+        assert!(total(TpccTxnKind::Payment) > total(TpccTxnKind::OrderStatus));
+    }
+
+    #[test]
+    fn type_ids_are_distinct() {
+        let mut ids: Vec<_> = TpccTxnKind::ALL.iter().map(|k| k.type_id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(TpccTxnKind::NewOrder.to_string(), "NewOrder");
+        assert_eq!(TpccTxnKind::StockLevel.name(), "StockLevel");
+    }
+}

@@ -1,0 +1,366 @@
+//! TPC-C database: schema, indexes and population.
+//!
+//! The nine TPC-C tables with primary-key B+trees (plus the customer
+//! last-name secondary index that the 60 %-by-name Payment/Order-Status
+//! variants probe). Cardinalities are scaled down from the specification
+//! (3000 customers/district, 100 k items) to keep trace generation fast;
+//! the *ratios* and hot/cold structure (10 districts per warehouse, one
+//! next-order-id per district, NURand skew on items and customers) are
+//! preserved, which is what drives the sharing patterns the paper measures.
+
+use strex_sim::addr::Addr;
+
+use crate::engine::{Arena, BTree, BufferPool, DataSink, HeapTable, LockManager, Wal};
+
+/// Scaled-down cardinalities.
+#[derive(Copy, Clone, Debug)]
+pub struct TpccScale {
+    /// Number of warehouses (1 for TPC-C-1, 10 for TPC-C-10).
+    pub warehouses: u64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u64,
+    /// Items in the catalog (spec: 100 000).
+    pub items: u64,
+    /// Initial orders per district.
+    pub initial_orders_per_district: u64,
+}
+
+impl TpccScale {
+    /// Standard scaled-down configuration for `warehouses` warehouses.
+    pub fn new(warehouses: u64) -> Self {
+        TpccScale {
+            warehouses,
+            customers_per_district: 300,
+            items: 10_000,
+            initial_orders_per_district: 100,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn mini() -> Self {
+        TpccScale {
+            warehouses: 1,
+            customers_per_district: 30,
+            items: 200,
+            initial_orders_per_district: 10,
+        }
+    }
+
+    /// Districts are always 10 per warehouse (spec).
+    pub fn districts_per_warehouse(&self) -> u64 {
+        10
+    }
+}
+
+/// Table identifiers used for lock-manager addressing.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+#[repr(u64)]
+pub enum Table {
+    /// WAREHOUSE
+    Warehouse = 0,
+    /// DISTRICT
+    District = 1,
+    /// CUSTOMER
+    Customer = 2,
+    /// ITEM
+    Item = 3,
+    /// STOCK
+    Stock = 4,
+    /// ORDERS
+    Orders = 5,
+    /// NEW_ORDER
+    NewOrder = 6,
+    /// ORDER_LINE
+    OrderLine = 7,
+    /// HISTORY
+    History = 8,
+}
+
+/// Number of TPC-C tables.
+pub const N_TABLES: u64 = 9;
+
+/// One table: heap storage plus its primary index.
+#[derive(Clone, Debug)]
+pub struct IndexedTable {
+    /// Tuple storage.
+    pub heap: HeapTable,
+    /// Primary-key index (key -> tuple address).
+    pub index: BTree,
+}
+
+impl IndexedTable {
+    fn new(arena: &mut Arena, name: &'static str, tuple_bytes: u64) -> Self {
+        IndexedTable {
+            heap: HeapTable::new(name, tuple_bytes),
+            index: BTree::new(arena, name),
+        }
+    }
+
+    /// Inserts a tuple and indexes it under `key`; returns the tuple address.
+    pub fn insert(&mut self, key: u64, arena: &mut Arena, sink: &mut dyn DataSink) -> Addr {
+        let addr = self.heap.insert(arena, sink);
+        self.index.insert(key, addr.value(), arena, sink);
+        addr
+    }
+
+    /// Looks `key` up in the index and reads the tuple.
+    pub fn lookup(&self, key: u64, sink: &mut dyn DataSink) -> Option<Addr> {
+        let addr = self.index.search(key, sink).map(Addr::new)?;
+        self.heap.read(addr, sink);
+        Some(addr)
+    }
+
+    /// Looks `key` up and rewrites the tuple in place.
+    pub fn lookup_update(&mut self, key: u64, sink: &mut dyn DataSink) -> bool {
+        match self.index.search(key, sink).map(Addr::new) {
+            Some(addr) => {
+                self.heap.update(addr, sink);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The populated TPC-C database.
+#[derive(Clone, Debug)]
+pub struct TpccDb {
+    /// Address arena backing every structure.
+    pub arena: Arena,
+    /// Lock manager shared by all tables.
+    pub locks: LockManager,
+    /// Write-ahead log.
+    pub wal: Wal,
+    /// Buffer-pool metadata.
+    pub buffer: BufferPool,
+    /// WAREHOUSE table.
+    pub warehouse: IndexedTable,
+    /// DISTRICT table.
+    pub district: IndexedTable,
+    /// CUSTOMER table (primary index by id).
+    pub customer: IndexedTable,
+    /// CUSTOMER secondary index by last name (hash -> customer key).
+    pub customer_by_name: BTree,
+    /// ITEM table.
+    pub item: IndexedTable,
+    /// STOCK table.
+    pub stock: IndexedTable,
+    /// ORDERS table.
+    pub orders: IndexedTable,
+    /// NEW_ORDER table.
+    pub new_order: IndexedTable,
+    /// ORDER_LINE table.
+    pub order_line: IndexedTable,
+    /// HISTORY table (no index: append-only).
+    pub history: HeapTable,
+    /// Next order id per district (the spec's D_NEXT_O_ID).
+    pub next_o_id: Vec<u64>,
+    scale: TpccScale,
+}
+
+impl TpccDb {
+    /// Key-encoding helpers. Districts: 10 per warehouse.
+    pub fn district_key(w: u64, d: u64) -> u64 {
+        w * 16 + d
+    }
+
+    /// Customer composite key.
+    pub fn customer_key(w: u64, d: u64, c: u64) -> u64 {
+        Self::district_key(w, d) * 4096 + c
+    }
+
+    /// Stock composite key.
+    pub fn stock_key(w: u64, i: u64) -> u64 {
+        w * 1_048_576 + i
+    }
+
+    /// Orders composite key.
+    pub fn order_key(w: u64, d: u64, o: u64) -> u64 {
+        Self::district_key(w, d) * 16_777_216 + o
+    }
+
+    /// Order-line composite key.
+    pub fn order_line_key(order_key: u64, line: u64) -> u64 {
+        order_key * 16 + line
+    }
+
+    /// Last-name index key: `name_hash` buckets of up to 64 customers.
+    pub fn name_key(name_hash: u64, seq: u64) -> u64 {
+        name_hash * 64 + seq
+    }
+
+    /// Builds and populates a database at `scale`.
+    pub fn populate(scale: TpccScale) -> Self {
+        let mut arena = Arena::new();
+        let locks = LockManager::new(&mut arena, N_TABLES);
+        let wal = Wal::new(&mut arena, 256 * 1024);
+        let buffer = BufferPool::new(&mut arena);
+
+        let mut db = TpccDb {
+            warehouse: IndexedTable::new(&mut arena, "warehouse", 96),
+            district: IndexedTable::new(&mut arena, "district", 96),
+            customer: IndexedTable::new(&mut arena, "customer", 256),
+            customer_by_name: BTree::new(&mut arena, "customer-by-name"),
+            item: IndexedTable::new(&mut arena, "item", 96),
+            stock: IndexedTable::new(&mut arena, "stock", 128),
+            orders: IndexedTable::new(&mut arena, "orders", 64),
+            new_order: IndexedTable::new(&mut arena, "new-order", 64),
+            order_line: IndexedTable::new(&mut arena, "order-line", 64),
+            history: HeapTable::new("history", 64),
+            next_o_id: Vec::new(),
+            locks,
+            wal,
+            buffer,
+            arena,
+            scale,
+        };
+        db.load();
+        db
+    }
+
+    /// The scale this database was populated at.
+    pub fn scale(&self) -> TpccScale {
+        self.scale
+    }
+
+    fn load(&mut self) {
+        // Population accesses are not traced; discard them.
+        let mut sink = crate::engine::sink::RecordingSink::new();
+        let s = self.scale;
+        for i in 0..s.items {
+            self.item.insert(i, &mut self.arena, &mut sink);
+            sink.accesses.clear();
+        }
+        for w in 0..s.warehouses {
+            self.warehouse.insert(w, &mut self.arena, &mut sink);
+            for i in 0..s.items {
+                self.stock
+                    .insert(Self::stock_key(w, i), &mut self.arena, &mut sink);
+                sink.accesses.clear();
+            }
+            for d in 0..s.districts_per_warehouse() {
+                self.district
+                    .insert(Self::district_key(w, d), &mut self.arena, &mut sink);
+                for c in 0..s.customers_per_district {
+                    let key = Self::customer_key(w, d, c);
+                    self.customer.insert(key, &mut self.arena, &mut sink);
+                    // Distribute customers over last-name buckets of ~3.
+                    let name_hash = key % (s.customers_per_district / 3).max(1)
+                        + Self::district_key(w, d) * 1024;
+                    self.customer_by_name.insert(
+                        Self::name_key(name_hash, c % 64),
+                        key,
+                        &mut self.arena,
+                        &mut sink,
+                    );
+                    sink.accesses.clear();
+                }
+                for o in 0..s.initial_orders_per_district {
+                    let okey = Self::order_key(w, d, o);
+                    self.orders.insert(okey, &mut self.arena, &mut sink);
+                    for l in 0..5 {
+                        self.order_line.insert(
+                            Self::order_line_key(okey, l),
+                            &mut self.arena,
+                            &mut sink,
+                        );
+                    }
+                    sink.accesses.clear();
+                }
+                self.next_o_id.push(s.initial_orders_per_district);
+            }
+        }
+    }
+
+    /// Index of a district in `next_o_id`.
+    pub fn district_index(&self, w: u64, d: u64) -> usize {
+        (w * self.scale.districts_per_warehouse() + d) as usize
+    }
+
+    /// Claims and returns the next order id for `(w, d)` — the spec's
+    /// D_NEXT_O_ID increment that makes district rows write-hot.
+    pub fn claim_o_id(&mut self, w: u64, d: u64) -> u64 {
+        let idx = self.district_index(w, d);
+        let id = self.next_o_id[idx];
+        self.next_o_id[idx] += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RecordingSink;
+
+    #[test]
+    fn mini_population_counts() {
+        let db = TpccDb::populate(TpccScale::mini());
+        let s = TpccScale::mini();
+        assert_eq!(db.item.heap.len(), s.items);
+        assert_eq!(db.warehouse.heap.len(), 1);
+        assert_eq!(db.district.heap.len(), 10);
+        assert_eq!(db.customer.heap.len(), 10 * s.customers_per_district);
+        assert_eq!(db.stock.heap.len(), s.items);
+        assert_eq!(
+            db.orders.heap.len(),
+            10 * s.initial_orders_per_district
+        );
+    }
+
+    #[test]
+    fn lookup_populated_rows() {
+        let db = TpccDb::populate(TpccScale::mini());
+        let mut sink = RecordingSink::new();
+        assert!(db.warehouse.lookup(0, &mut sink).is_some());
+        assert!(db
+            .customer
+            .lookup(TpccDb::customer_key(0, 3, 7), &mut sink)
+            .is_some());
+        assert!(db
+            .stock
+            .lookup(TpccDb::stock_key(0, 42), &mut sink)
+            .is_some());
+        assert!(db.warehouse.lookup(99, &mut sink).is_none());
+    }
+
+    #[test]
+    fn key_encodings_disjoint() {
+        // Customer keys for adjacent districts must not collide.
+        let a = TpccDb::customer_key(0, 0, 4095);
+        let b = TpccDb::customer_key(0, 1, 0);
+        assert!(a < b);
+        let o1 = TpccDb::order_key(0, 0, 100);
+        let o2 = TpccDb::order_key(0, 1, 0);
+        assert!(o1 < o2);
+    }
+
+    #[test]
+    fn o_id_claims_increment() {
+        let mut db = TpccDb::populate(TpccScale::mini());
+        let first = db.claim_o_id(0, 0);
+        let second = db.claim_o_id(0, 0);
+        assert_eq!(second, first + 1);
+        assert_eq!(first, TpccScale::mini().initial_orders_per_district);
+    }
+
+    #[test]
+    fn name_index_scan_finds_customers() {
+        let db = TpccDb::populate(TpccScale::mini());
+        let mut sink = RecordingSink::new();
+        let s = TpccScale::mini();
+        let name_hash = TpccDb::customer_key(0, 0, 5) % (s.customers_per_district / 3).max(1);
+        let hits = db
+            .customer_by_name
+            .scan_from(TpccDb::name_key(name_hash, 0), 4, &mut sink);
+        assert!(!hits.is_empty(), "name bucket must contain customers");
+    }
+
+    #[test]
+    fn two_warehouse_scale_doubles_stock() {
+        let mut s = TpccScale::mini();
+        s.warehouses = 2;
+        let db = TpccDb::populate(s);
+        assert_eq!(db.stock.heap.len(), 2 * s.items);
+        assert_eq!(db.next_o_id.len(), 20);
+    }
+}

@@ -1,0 +1,498 @@
+//! The five TPC-C transaction builders (Figure 1 flow graphs).
+//!
+//! Each builder executes the real flow against the shared [`TpccDb`] —
+//! probing indexes, updating tuples, appending to the log — while walking
+//! the transaction's action code regions, producing a complete
+//! [`TxnTrace`]. Inputs (warehouse, district, customer, items, OL_CNT, the
+//! by-name/by-id choice) are drawn per instance from a seeded RNG following
+//! the specification's distributions, which is what makes same-type
+//! instances *similar but not identical* (Section 2.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strex_sim::addr::{Addr, AddrRange};
+
+use crate::codepath::{TraceBuilder, WalkConfig};
+use crate::engine::LockMode;
+use crate::trace::TxnTrace;
+
+use super::code::{TpccCode, TpccTxnKind};
+use super::db::{Table, TpccDb};
+
+/// Base of the per-thread stack area.
+const STACK_BASE: u64 = 0xF800_0000;
+/// Stack bytes per transaction thread.
+const STACK_BYTES: u64 = 16 * 1024;
+
+/// Per-instance transaction inputs are derived from this seed plus the
+/// instance ordinal.
+pub struct TpccGen<'a> {
+    db: &'a mut TpccDb,
+    code: &'a TpccCode,
+    walk: WalkConfig,
+}
+
+impl<'a> TpccGen<'a> {
+    /// Creates a generator over a populated database.
+    pub fn new(db: &'a mut TpccDb, code: &'a TpccCode) -> Self {
+        TpccGen {
+            db,
+            code,
+            walk: WalkConfig::default(),
+        }
+    }
+
+    /// Overrides the walk configuration (divergence tuning).
+    pub fn with_walk(mut self, walk: WalkConfig) -> Self {
+        self.walk = walk;
+        self
+    }
+
+    fn stack_for(thread_ordinal: u64) -> AddrRange {
+        AddrRange::new(
+            Addr::new(STACK_BASE + thread_ordinal * STACK_BYTES),
+            STACK_BYTES,
+        )
+    }
+
+    /// Builds one transaction of `kind` for thread ordinal `ordinal`,
+    /// seeding its input distribution from `seed`.
+    pub fn build(&mut self, kind: TpccTxnKind, ordinal: u64, seed: u64) -> TxnTrace {
+        let mut rng = StdRng::seed_from_u64(seed ^ (ordinal.wrapping_mul(0x9E37_79B9)));
+        let tb = TraceBuilder::new(Self::stack_for(ordinal), self.walk);
+        let mut cx = Cx {
+            db: self.db,
+            code: self.code,
+            tb,
+            rng: &mut rng,
+            op_seq: 0,
+            held_locks: Vec::new(),
+        };
+        match kind {
+            TpccTxnKind::NewOrder => cx.new_order(),
+            TpccTxnKind::Payment => cx.payment(),
+            TpccTxnKind::OrderStatus => cx.order_status(),
+            TpccTxnKind::Delivery => cx.delivery(),
+            TpccTxnKind::StockLevel => cx.stock_level(),
+        }
+        cx.tb.finish(kind.type_id(), kind.name())
+    }
+}
+
+/// NURand non-uniform distribution from the TPC-C specification.
+fn nurand(rng: &mut StdRng, a: u64, x: u64, y: u64) -> u64 {
+    const C: u64 = 42;
+    (((rng.gen_range(0..=a) | rng.gen_range(x..=y)) + C) % (y - x + 1)) + x
+}
+
+/// Execution context for one transaction build.
+struct Cx<'a, 'b> {
+    db: &'a mut TpccDb,
+    code: &'a TpccCode,
+    tb: TraceBuilder,
+    rng: &'b mut StdRng,
+    /// Storage-manager ops executed so far; determines which part of a
+    /// library function's code each call exercises.
+    op_seq: u64,
+    /// Locks acquired, released in bulk at commit (strict two-phase
+    /// locking, like Shore-MT).
+    held_locks: Vec<(u64, u64)>,
+}
+
+impl Cx<'_, '_> {
+    // ----- building blocks ------------------------------------------------
+
+    /// Executes the hot path of a library function: a `frac`-sized span
+    /// whose offset cycles deterministically with the op sequence number.
+    /// Same-type transactions issue the same op sequence, so their library
+    /// paths coincide (inter-instance overlap); over a whole transaction
+    /// the cycling offsets cover the full region (footprint).
+    fn lib_call(&mut self, region: strex_sim::addr::AddrRange, frac: f64) {
+        let slots = 8u64;
+        let off = (self.op_seq % slots) as f64 / slots as f64 * (1.0 - frac);
+        self.tb.walk_span(region, off, off + frac, self.rng);
+        self.op_seq += 1;
+    }
+
+    fn begin(&mut self) {
+        let lib = *self.code.lib();
+        self.tb.walk_span(lib.txn_mgmt, 0.0, 0.5, self.rng);
+        self.tb.walk_span(lib.kernel, 0.0, 0.3, self.rng);
+    }
+
+    fn commit(&mut self, log_bytes: u64) {
+        let lib = *self.code.lib();
+        self.db.wal.append(log_bytes, &mut self.tb);
+        self.tb.walk(lib.wal, self.rng);
+        // Strict 2PL: drop every lock at commit (shared bucket writes).
+        let held = std::mem::take(&mut self.held_locks);
+        for (table, key) in held {
+            self.db.locks.release(table, key, &mut self.tb);
+        }
+        self.tb.workspace_burst(6);
+        self.tb.walk_span(lib.txn_mgmt, 0.5, 1.0, self.rng);
+        self.tb.walk_span(lib.kernel, 0.3, 0.6, self.rng);
+    }
+
+    /// `R(table)` — index lookup: action glue around lock + pin + descent.
+    fn lookup(&mut self, action: AddrRange, table: Table, key: u64) -> Option<Addr> {
+        let lib = *self.code.lib();
+        self.tb.walk_span(action, 0.0, 0.5, self.rng);
+        self.db
+            .locks
+            .acquire(table as u64, key, LockMode::Shared, &mut self.tb);
+        self.held_locks.push((table as u64, key));
+        self.lib_call(lib.lock, 0.3);
+        let t = table_of(self.db, table);
+        let found = t.lookup(key, &mut self.tb);
+        if let Some(addr) = found {
+            self.db.buffer.pin(addr, &mut self.tb);
+        }
+        self.lib_call(lib.btree_search, 0.35);
+        self.lib_call(lib.buffer, 0.25);
+        self.tb.workspace_burst(3);
+        self.tb.walk_span(action, 0.5, 1.0, self.rng);
+        found
+    }
+
+    /// `U(table)` — lookup + in-place tuple update.
+    fn update(&mut self, action: AddrRange, table: Table, key: u64) {
+        let lib = *self.code.lib();
+        self.tb.walk_span(action, 0.0, 0.5, self.rng);
+        self.db
+            .locks
+            .acquire(table as u64, key, LockMode::Exclusive, &mut self.tb);
+        self.held_locks.push((table as u64, key));
+        self.lib_call(lib.lock, 0.35);
+        table_of_mut(self.db, table).lookup_update(key, &mut self.tb);
+        self.lib_call(lib.btree_search, 0.35);
+        self.db.wal.append(96, &mut self.tb);
+        self.lib_call(lib.wal, 0.3);
+        self.tb.workspace_burst(4);
+        self.tb.walk_span(action, 0.5, 1.0, self.rng);
+    }
+
+    /// `I(table)` — tuple insert plus index maintenance.
+    fn insert(&mut self, action: AddrRange, table: Table, key: u64) {
+        let lib = *self.code.lib();
+        self.tb.walk_span(action, 0.0, 0.5, self.rng);
+        self.db
+            .locks
+            .acquire(table as u64, key, LockMode::Exclusive, &mut self.tb);
+        self.held_locks.push((table as u64, key));
+        self.lib_call(lib.lock, 0.35);
+        // History has no index; everything else goes through IndexedTable.
+        if matches!(table, Table::History) {
+            let mut arena = std::mem::take(&mut self.db.arena);
+            self.db.history.insert(&mut arena, &mut self.tb);
+            self.db.arena = arena;
+        } else {
+            let mut arena = std::mem::take(&mut self.db.arena);
+            table_of_mut(self.db, table).insert(key, &mut arena, &mut self.tb);
+            self.db.arena = arena;
+        }
+        self.lib_call(lib.btree_insert, 0.4);
+        self.db.wal.append(128, &mut self.tb);
+        self.lib_call(lib.wal, 0.35);
+        self.tb.workspace_burst(4);
+        self.tb.walk_span(action, 0.5, 1.0, self.rng);
+    }
+
+    /// `IT(index)` — range scan.
+    fn scan(&mut self, action: AddrRange, table: Table, from_key: u64, limit: usize) -> Vec<u64> {
+        let lib = *self.code.lib();
+        self.tb.walk_span(action, 0.0, 0.4, self.rng);
+        self.db
+            .locks
+            .acquire(table as u64, from_key, LockMode::Shared, &mut self.tb);
+        self.held_locks.push((table as u64, from_key));
+        self.lib_call(lib.lock, 0.3);
+        let hits = match table {
+            Table::Customer => self
+                .db
+                .customer_by_name
+                .scan_from(from_key, limit, &mut self.tb),
+            _ => table_of(self.db, table)
+                .index
+                .scan_from(from_key, limit, &mut self.tb),
+        };
+        self.lib_call(lib.btree_scan, 0.5);
+        // Read the payload rows the scan matched (index payloads are tuple
+        // addresses for the order/line tables).
+        if !matches!(table, Table::Customer) {
+            for &p in &hits {
+                table_of(self.db, table)
+                    .heap
+                    .read(strex_sim::addr::Addr::new(p), &mut self.tb);
+            }
+        }
+        self.tb.workspace_burst(1 + hits.len() as u64 / 2);
+        self.tb.walk_span(action, 0.4, 1.0, self.rng);
+        hits
+    }
+
+    // ----- inputs ---------------------------------------------------------
+
+    fn pick_warehouse(&mut self) -> u64 {
+        self.rng.gen_range(0..self.db.scale().warehouses)
+    }
+
+    fn pick_district(&mut self) -> u64 {
+        self.rng.gen_range(0..10)
+    }
+
+    fn pick_customer(&mut self) -> u64 {
+        nurand(self.rng, 255, 0, self.db.scale().customers_per_district - 1)
+    }
+
+    fn pick_item(&mut self) -> u64 {
+        nurand(self.rng, 1023, 0, self.db.scale().items - 1)
+    }
+
+    // ----- the five transactions (Figure 1) --------------------------------
+
+    /// New Order: lookups on WAREHOUSE/DISTRICT/CUSTOMER, D_NEXT_O_ID bump,
+    /// ORDER + NEW-ORDER inserts, then the OL_CNT item loop.
+    fn new_order(&mut self) {
+        let a: Vec<AddrRange> = self.code.actions(TpccTxnKind::NewOrder).to_vec();
+        let (w, d) = (self.pick_warehouse(), self.pick_district());
+        let c = self.pick_customer();
+        self.begin();
+        self.tb.walk(a[0], self.rng); // input parse / plan glue
+        self.lookup(a[1], Table::Warehouse, w);
+        self.lookup(a[2], Table::District, TpccDb::district_key(w, d));
+        // U(DIST): claim D_NEXT_O_ID — the classic hot-row update.
+        self.update(a[3], Table::District, TpccDb::district_key(w, d));
+        let o_id = self.db.claim_o_id(w, d);
+        self.lookup(a[4], Table::Customer, TpccDb::customer_key(w, d, c));
+        let okey = TpccDb::order_key(w, d, o_id);
+        self.insert(a[5], Table::Orders, okey);
+        self.insert(a[6], Table::NewOrder, okey);
+        // Item loop: OL_CNT uniform in 5..=15 per the specification.
+        let ol_cnt = self.rng.gen_range(5..=15);
+        for line in 0..ol_cnt {
+            let i = self.pick_item();
+            self.lookup(a[7], Table::Item, i);
+            let skey = TpccDb::stock_key(w, i);
+            self.lookup(a[8], Table::Stock, skey);
+            self.update(a[8], Table::Stock, skey);
+            self.insert(a[9], Table::OrderLine, TpccDb::order_line_key(okey, line));
+        }
+        self.tb.walk(a[10], self.rng); // totals / response glue
+        self.commit(256);
+    }
+
+    /// Payment: W/D updates, customer selected by id (40 %) or last name
+    /// (60 %, the conditional `IT(CUST)` of Figure 1), HISTORY insert.
+    fn payment(&mut self) {
+        let a: Vec<AddrRange> = self.code.actions(TpccTxnKind::Payment).to_vec();
+        let (w, d) = (self.pick_warehouse(), self.pick_district());
+        self.begin();
+        self.tb.walk(a[0], self.rng);
+        self.lookup(a[1], Table::Warehouse, w);
+        self.update(a[1], Table::Warehouse, w);
+        self.lookup(a[2], Table::District, TpccDb::district_key(w, d));
+        self.update(a[2], Table::District, TpccDb::district_key(w, d));
+        let ckey = if self.rng.gen_bool(0.6) {
+            // By last name: scan the name bucket, take the midpoint.
+            let buckets = (self.db.scale().customers_per_district / 3).max(1);
+            let name_hash = self.pick_customer() % buckets + TpccDb::district_key(w, d) * 1024;
+            let hits = self.scan(a[3], Table::Customer, TpccDb::name_key(name_hash, 0), 6);
+            hits.get(hits.len() / 2)
+                .copied()
+                .unwrap_or_else(|| TpccDb::customer_key(w, d, 0))
+        } else {
+            let c = self.pick_customer();
+            TpccDb::customer_key(w, d, c)
+        };
+        self.lookup(a[4], Table::Customer, ckey);
+        self.update(a[5], Table::Customer, ckey);
+        self.insert(a[6], Table::History, 0);
+        self.tb.walk(a[7], self.rng);
+        self.commit(192);
+    }
+
+    /// Order Status: customer by id or name, latest order, its lines.
+    fn order_status(&mut self) {
+        let a: Vec<AddrRange> = self.code.actions(TpccTxnKind::OrderStatus).to_vec();
+        let (w, d) = (self.pick_warehouse(), self.pick_district());
+        self.begin();
+        self.tb.walk(a[0], self.rng);
+        let ckey = if self.rng.gen_bool(0.6) {
+            let buckets = (self.db.scale().customers_per_district / 3).max(1);
+            let name_hash = self.pick_customer() % buckets + TpccDb::district_key(w, d) * 1024;
+            let hits = self.scan(a[1], Table::Customer, TpccDb::name_key(name_hash, 0), 6);
+            hits.first()
+                .copied()
+                .unwrap_or_else(|| TpccDb::customer_key(w, d, 0))
+        } else {
+            TpccDb::customer_key(w, d, self.pick_customer())
+        };
+        self.lookup(a[1], Table::Customer, ckey);
+        let latest = self.db.next_o_id[self.db.district_index(w, d)].saturating_sub(1);
+        let okey = TpccDb::order_key(w, d, latest);
+        self.lookup(a[2], Table::Orders, okey);
+        self.scan(a[3], Table::OrderLine, TpccDb::order_line_key(okey, 0), 10);
+        self.tb.walk(a[4], self.rng);
+        self.commit(64);
+    }
+
+    /// Delivery: per-district loop delivering the oldest new order.
+    fn delivery(&mut self) {
+        let a: Vec<AddrRange> = self.code.actions(TpccTxnKind::Delivery).to_vec();
+        let w = self.pick_warehouse();
+        self.begin();
+        self.tb.walk(a[0], self.rng);
+        for d in 0..10 {
+            // Oldest undelivered order for the district.
+            let oldest = self.db.scale().initial_orders_per_district / 2
+                + (TpccDb::district_key(w, d) % 7);
+            let okey = TpccDb::order_key(w, d, oldest);
+            self.lookup(a[1], Table::NewOrder, okey);
+            self.update(a[2], Table::Orders, okey);
+            self.scan(a[3], Table::OrderLine, TpccDb::order_line_key(okey, 0), 10);
+            let c = self.pick_customer();
+            self.update(a[4], Table::Customer, TpccDb::customer_key(w, d, c));
+        }
+        self.tb.walk(a[5], self.rng);
+        self.commit(320);
+    }
+
+    /// Stock Level: district cursor, recent order lines, stock threshold.
+    fn stock_level(&mut self) {
+        let a: Vec<AddrRange> = self.code.actions(TpccTxnKind::StockLevel).to_vec();
+        let (w, d) = (self.pick_warehouse(), self.pick_district());
+        self.begin();
+        self.tb.walk(a[0], self.rng);
+        self.lookup(a[1], Table::District, TpccDb::district_key(w, d));
+        let latest = self.db.next_o_id[self.db.district_index(w, d)].saturating_sub(1);
+        let okey = TpccDb::order_key(w, d, latest.saturating_sub(5));
+        let lines = self.scan(a[2], Table::OrderLine, TpccDb::order_line_key(okey, 0), 20);
+        for (n, _line) in lines.iter().enumerate().take(12) {
+            let i = (self.pick_item() + n as u64) % self.db.scale().items;
+            self.lookup(a[3], Table::Stock, TpccDb::stock_key(w, i));
+        }
+        self.tb.walk(a[4], self.rng);
+        self.commit(32);
+    }
+}
+
+fn table_of(db: &TpccDb, table: Table) -> &super::db::IndexedTable {
+    match table {
+        Table::Warehouse => &db.warehouse,
+        Table::District => &db.district,
+        Table::Customer => &db.customer,
+        Table::Item => &db.item,
+        Table::Stock => &db.stock,
+        Table::Orders => &db.orders,
+        Table::NewOrder => &db.new_order,
+        Table::OrderLine => &db.order_line,
+        Table::History => unreachable!("history is unindexed"),
+    }
+}
+
+fn table_of_mut(db: &mut TpccDb, table: Table) -> &mut super::db::IndexedTable {
+    match table {
+        Table::Warehouse => &mut db.warehouse,
+        Table::District => &mut db.district,
+        Table::Customer => &mut db.customer,
+        Table::Item => &mut db.item,
+        Table::Stock => &mut db.stock,
+        Table::Orders => &mut db.orders,
+        Table::NewOrder => &mut db.new_order,
+        Table::OrderLine => &mut db.order_line,
+        Table::History => unreachable!("history is unindexed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::db::TpccScale;
+    use crate::trace::MemRef;
+    use std::collections::HashSet;
+    use strex_sim::addr::BlockAddr;
+
+    fn build(kind: TpccTxnKind, ordinal: u64, seed: u64) -> TxnTrace {
+        let mut db = TpccDb::populate(TpccScale::mini());
+        let code = TpccCode::new();
+        TpccGen::new(&mut db, &code).build(kind, ordinal, seed)
+    }
+
+    #[test]
+    fn all_types_produce_nonempty_traces() {
+        for kind in TpccTxnKind::ALL {
+            let t = build(kind, 0, 1);
+            assert!(t.instr_total() > 10_000, "{kind}: {}", t.instr_total());
+            assert!(t.unique_code_blocks() > 500, "{kind}");
+        }
+    }
+
+    #[test]
+    fn traces_contain_loads_and_stores() {
+        let t = build(TpccTxnKind::NewOrder, 0, 1);
+        let loads = t.refs().iter().filter(|r| matches!(r, MemRef::Load { .. })).count();
+        let stores = t.refs().iter().filter(|r| matches!(r, MemRef::Store { .. })).count();
+        assert!(loads > 100, "loads {loads}");
+        assert!(stores > 50, "stores {stores}");
+    }
+
+    #[test]
+    fn same_type_instances_overlap_heavily() {
+        let a = build(TpccTxnKind::Payment, 0, 10);
+        let b = build(TpccTxnKind::Payment, 1, 11);
+        let blocks = |t: &TxnTrace| -> HashSet<BlockAddr> {
+            t.refs().iter().filter_map(|r| r.fetch_block()).collect()
+        };
+        let (sa, sb) = (blocks(&a), blocks(&b));
+        let inter = sa.intersection(&sb).count() as f64;
+        let smaller = sa.len().min(sb.len()) as f64;
+        assert!(
+            inter / smaller > 0.7,
+            "same-type overlap too low: {}",
+            inter / smaller
+        );
+    }
+
+    #[test]
+    fn different_types_overlap_only_in_library() {
+        let a = build(TpccTxnKind::NewOrder, 0, 10);
+        let b = build(TpccTxnKind::StockLevel, 0, 10);
+        let blocks = |t: &TxnTrace| -> HashSet<BlockAddr> {
+            t.refs().iter().filter_map(|r| r.fetch_block()).collect()
+        };
+        let (sa, sb) = (blocks(&a), blocks(&b));
+        let inter = sa.intersection(&sb).count() as f64;
+        let smaller = sa.len().min(sb.len()) as f64;
+        let frac = inter / smaller;
+        assert!(
+            frac > 0.05 && frac < 0.5,
+            "cross-type overlap should be the shared library only: {frac}"
+        );
+    }
+
+    #[test]
+    fn new_order_touches_district_hot_row() {
+        let mut db = TpccDb::populate(TpccScale::mini());
+        let code = TpccCode::new();
+        let before = db.next_o_id.iter().sum::<u64>();
+        let _ = TpccGen::new(&mut db, &code).build(TpccTxnKind::NewOrder, 0, 3);
+        let after = db.next_o_id.iter().sum::<u64>();
+        assert_eq!(after, before + 1, "D_NEXT_O_ID claimed exactly once");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build(TpccTxnKind::Delivery, 2, 42);
+        let b = build(TpccTxnKind::Delivery, 2, 42);
+        assert_eq!(a.refs(), b.refs());
+    }
+
+    #[test]
+    fn footprints_ordered_like_table3() {
+        // Heavier types must touch more unique code.
+        let no = build(TpccTxnKind::NewOrder, 0, 5).unique_code_blocks();
+        let sl = build(TpccTxnKind::StockLevel, 0, 5).unique_code_blocks();
+        assert!(no > sl, "NewOrder {no} <= StockLevel {sl}");
+    }
+}

@@ -1,0 +1,602 @@
+//! TPC-E workload model (Table 1: brokerage house; Table 3 footprints).
+//!
+//! The paper evaluates seven TPC-E transaction types: Broker Volume,
+//! Customer Position, Market Feed, Security Detail, Trade Status,
+//! Trade Update and Trade Lookup. Their footprints (Table 3) are smaller
+//! than TPC-C's (5-9 L1-I units), which is why the hybrid mechanism flips
+//! to SLICC at 8+ cores for TPC-E but only at ~12+ for TPC-C.
+//!
+//! The schema here is a condensed brokerage core — CUSTOMER, ACCOUNT,
+//! BROKER, SECURITY, TRADE, HOLDING with primary B+trees — and each
+//! transaction type is a flow of the same `R`/`U`/`I`/`IT` basic functions
+//! as TPC-C, over its own action code regions sized to the Table 3 targets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strex_sim::addr::{Addr, AddrRange};
+use strex_sim::ids::TxnTypeId;
+
+use crate::codepath::{TraceBuilder, WalkConfig};
+use crate::engine::{Arena, BTree, BufferPool, DataSink, HeapTable, LockManager, LockMode, Wal};
+use crate::layout::{CodeLayout, LibRegions};
+use crate::trace::TxnTrace;
+
+/// Base of the TPC-E per-thread stack area (distinct from TPC-C's).
+const STACK_BASE: u64 = 0xFA00_0000;
+const STACK_BYTES: u64 = 16 * 1024;
+
+/// The seven evaluated TPC-E transaction types.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum TpceTxnKind {
+    /// Broker Volume.
+    Broker,
+    /// Customer Position.
+    Customer,
+    /// Market Feed/Watch.
+    Market,
+    /// Security Detail.
+    Security,
+    /// Trade Status.
+    TradeStatus,
+    /// Trade Update.
+    TradeUpdate,
+    /// Trade Lookup.
+    TradeLookup,
+}
+
+impl TpceTxnKind {
+    /// All types in Table 3 order.
+    pub const ALL: [TpceTxnKind; 7] = [
+        TpceTxnKind::Broker,
+        TpceTxnKind::Customer,
+        TpceTxnKind::Market,
+        TpceTxnKind::Security,
+        TpceTxnKind::TradeStatus,
+        TpceTxnKind::TradeUpdate,
+        TpceTxnKind::TradeLookup,
+    ];
+
+    /// Stable type id for team formation.
+    pub fn type_id(self) -> TxnTypeId {
+        TxnTypeId::new(match self {
+            TpceTxnKind::Broker => 0,
+            TpceTxnKind::Customer => 1,
+            TpceTxnKind::Market => 2,
+            TpceTxnKind::Security => 3,
+            TpceTxnKind::TradeStatus => 4,
+            TpceTxnKind::TradeUpdate => 5,
+            TpceTxnKind::TradeLookup => 6,
+        })
+    }
+
+    /// Display name as in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TpceTxnKind::Broker => "Broker",
+            TpceTxnKind::Customer => "Customer",
+            TpceTxnKind::Market => "Market",
+            TpceTxnKind::Security => "Security",
+            TpceTxnKind::TradeStatus => "Tr_Stat",
+            TpceTxnKind::TradeUpdate => "Tr_Upd",
+            TpceTxnKind::TradeLookup => "Tr_Look",
+        }
+    }
+
+    /// Table 3 footprint target in L1-I units.
+    pub fn footprint_units(self) -> u64 {
+        match self {
+            TpceTxnKind::Broker => 7,
+            TpceTxnKind::Customer => 9,
+            TpceTxnKind::Market => 9,
+            TpceTxnKind::Security => 5,
+            TpceTxnKind::TradeStatus => 9,
+            TpceTxnKind::TradeUpdate => 8,
+            TpceTxnKind::TradeLookup => 8,
+        }
+    }
+
+    /// Distinct action regions in the flow.
+    pub fn n_actions(self) -> usize {
+        match self {
+            TpceTxnKind::Security => 4,
+            TpceTxnKind::Broker => 5,
+            _ => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for TpceTxnKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Brokerage tables.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+#[repr(u64)]
+enum Table {
+    Customer = 0,
+    Account = 1,
+    Broker = 2,
+    Security = 3,
+    Trade = 4,
+    Holding = 5,
+}
+
+const N_TABLES: u64 = 6;
+
+/// The populated TPC-E database.
+#[derive(Debug)]
+pub struct TpceDb {
+    arena: Arena,
+    locks: LockManager,
+    wal: Wal,
+    buffer: BufferPool,
+    customer: (HeapTable, BTree),
+    account: (HeapTable, BTree),
+    broker: (HeapTable, BTree),
+    security: (HeapTable, BTree),
+    trade: (HeapTable, BTree),
+    holding: (HeapTable, BTree),
+    next_trade_id: u64,
+    customers: u64,
+}
+
+impl TpceDb {
+    /// Populates the brokerage database for `customers` customers
+    /// (Table 1 uses 1000; tests may scale down).
+    pub fn populate(customers: u64) -> Self {
+        let mut arena = Arena::new();
+        let locks = LockManager::new(&mut arena, N_TABLES);
+        let wal = Wal::new(&mut arena, 256 * 1024);
+        let buffer = BufferPool::new(&mut arena);
+        let mk = |arena: &mut Arena, name: &'static str, bytes: u64| {
+            (HeapTable::new(name, bytes), BTree::new(arena, name))
+        };
+        let mut db = TpceDb {
+            customer: mk(&mut arena, "customer", 192),
+            account: mk(&mut arena, "account", 96),
+            broker: mk(&mut arena, "broker", 96),
+            security: mk(&mut arena, "security", 128),
+            trade: mk(&mut arena, "trade", 96),
+            holding: mk(&mut arena, "holding", 64),
+            next_trade_id: 0,
+            customers,
+            locks,
+            wal,
+            buffer,
+            arena,
+        };
+        db.load();
+        db
+    }
+
+    fn load(&mut self) {
+        let mut sink = crate::engine::RecordingSink::new();
+        let brokers = (self.customers / 100).max(4);
+        let securities = (self.customers * 2).max(64);
+        for b in 0..brokers {
+            Self::insert_into(&mut self.broker, b, &mut self.arena, &mut sink);
+        }
+        for s in 0..securities {
+            Self::insert_into(&mut self.security, s, &mut self.arena, &mut sink);
+            sink.accesses.clear();
+        }
+        for c in 0..self.customers {
+            Self::insert_into(&mut self.customer, c, &mut self.arena, &mut sink);
+            // Two accounts per customer, a few holdings each.
+            for a in 0..2 {
+                let acct = c * 4 + a;
+                Self::insert_into(&mut self.account, acct, &mut self.arena, &mut sink);
+                for h in 0..3 {
+                    Self::insert_into(
+                        &mut self.holding,
+                        acct * 16 + h,
+                        &mut self.arena,
+                        &mut sink,
+                    );
+                }
+            }
+            // Initial trades.
+            for _ in 0..2 {
+                let t = self.next_trade_id;
+                self.next_trade_id += 1;
+                Self::insert_into(&mut self.trade, t, &mut self.arena, &mut sink);
+            }
+            sink.accesses.clear();
+        }
+    }
+
+    fn insert_into(
+        table: &mut (HeapTable, BTree),
+        key: u64,
+        arena: &mut Arena,
+        sink: &mut dyn DataSink,
+    ) {
+        let addr = table.0.insert(arena, sink);
+        table.1.insert(key, addr.value(), arena, sink);
+    }
+
+    fn table_mut(&mut self, t: Table) -> &mut (HeapTable, BTree) {
+        match t {
+            Table::Customer => &mut self.customer,
+            Table::Account => &mut self.account,
+            Table::Broker => &mut self.broker,
+            Table::Security => &mut self.security,
+            Table::Trade => &mut self.trade,
+            Table::Holding => &mut self.holding,
+        }
+    }
+
+    /// Number of customers populated.
+    pub fn customers(&self) -> u64 {
+        self.customers
+    }
+}
+
+/// Code regions for the seven TPC-E types.
+#[derive(Clone, Debug)]
+pub struct TpceCode {
+    layout: CodeLayout,
+    actions: [Vec<AddrRange>; 7],
+}
+
+impl Default for TpceCode {
+    fn default() -> Self {
+        TpceCode::new()
+    }
+}
+
+impl TpceCode {
+    /// Lays out library + per-action regions to the Table 3 targets.
+    pub fn new() -> Self {
+        let mut layout = CodeLayout::new();
+        let mut actions: [Vec<AddrRange>; 7] = Default::default();
+        for kind in TpceTxnKind::ALL {
+            let bytes =
+                layout.action_bytes_for_target(kind.footprint_units(), kind.n_actions());
+            actions[kind.type_id().as_usize()] = (0..kind.n_actions())
+                .map(|_| layout.alloc_action(bytes))
+                .collect();
+        }
+        TpceCode { layout, actions }
+    }
+
+    /// Shared library regions.
+    pub fn lib(&self) -> &LibRegions {
+        self.layout.lib()
+    }
+
+    /// Action regions of one type.
+    pub fn actions(&self, kind: TpceTxnKind) -> &[AddrRange] {
+        &self.actions[kind.type_id().as_usize()]
+    }
+}
+
+/// Generates TPC-E transaction traces.
+///
+/// # Examples
+///
+/// ```
+/// use strex_oltp::tpce::{TpceTxnKind, TpceWorkloadBuilder};
+///
+/// let mut b = TpceWorkloadBuilder::new(64, 3);
+/// let t = b.one(TpceTxnKind::Security);
+/// assert_eq!(t.type_name(), "Security");
+/// ```
+#[derive(Debug)]
+pub struct TpceWorkloadBuilder {
+    db: TpceDb,
+    code: TpceCode,
+    seed: u64,
+    next_ordinal: u64,
+}
+
+impl TpceWorkloadBuilder {
+    /// Populates the database with `customers` customers.
+    pub fn new(customers: u64, seed: u64) -> Self {
+        TpceWorkloadBuilder {
+            db: TpceDb::populate(customers),
+            code: TpceCode::new(),
+            seed,
+            next_ordinal: 0,
+        }
+    }
+
+    /// The code layout.
+    pub fn code(&self) -> &TpceCode {
+        &self.code
+    }
+
+    /// Generates one transaction of `kind`.
+    pub fn one(&mut self, kind: TpceTxnKind) -> TxnTrace {
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ ordinal.wrapping_mul(0xD134_2543_DE82_EF95),
+        );
+        let stack = AddrRange::new(
+            Addr::new(STACK_BASE + ordinal * STACK_BYTES),
+            STACK_BYTES,
+        );
+        let mut cx = Cx {
+            db: &mut self.db,
+            code: &self.code,
+            tb: TraceBuilder::new(stack, WalkConfig::default()),
+            rng: &mut rng,
+            op_seq: 0,
+        };
+        cx.run(kind);
+        cx.tb.finish(kind.type_id(), kind.name())
+    }
+
+    /// `n` transactions of one type.
+    pub fn same_type(&mut self, kind: TpceTxnKind, n: usize) -> Vec<TxnTrace> {
+        (0..n).map(|_| self.one(kind)).collect()
+    }
+
+    /// `n` transactions over a representative read-heavy TPC-E mix.
+    pub fn mixed(&mut self, n: usize) -> Vec<TxnTrace> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x94D0_49BB));
+        (0..n)
+            .map(|_| {
+                let p: f64 = rng.gen();
+                let kind = if p < 0.19 {
+                    TpceTxnKind::TradeStatus
+                } else if p < 0.35 {
+                    TpceTxnKind::Market
+                } else if p < 0.50 {
+                    TpceTxnKind::Customer
+                } else if p < 0.64 {
+                    TpceTxnKind::Security
+                } else if p < 0.78 {
+                    TpceTxnKind::TradeLookup
+                } else if p < 0.90 {
+                    TpceTxnKind::TradeUpdate
+                } else {
+                    TpceTxnKind::Broker
+                };
+                self.one(kind)
+            })
+            .collect()
+    }
+}
+
+struct Cx<'a, 'b> {
+    db: &'a mut TpceDb,
+    code: &'a TpceCode,
+    tb: TraceBuilder,
+    rng: &'b mut StdRng,
+    op_seq: u64,
+}
+
+impl Cx<'_, '_> {
+    /// Hot-path library call; see the TPC-C builder for the rationale.
+    fn lib_call(&mut self, region: AddrRange, frac: f64) {
+        let slots = 8u64;
+        let off = (self.op_seq % slots) as f64 / slots as f64 * (1.0 - frac);
+        self.tb.walk_span(region, off, off + frac, self.rng);
+        self.op_seq += 1;
+    }
+
+    fn begin(&mut self) {
+        let lib = *self.code.lib();
+        self.tb.walk_span(lib.txn_mgmt, 0.0, 0.5, self.rng);
+        self.tb.walk_span(lib.kernel, 0.0, 0.3, self.rng);
+    }
+
+    fn commit(&mut self, log_bytes: u64) {
+        let lib = *self.code.lib();
+        self.db.wal.append(log_bytes, &mut self.tb);
+        self.tb.walk(lib.wal, self.rng);
+        self.tb.walk_span(lib.txn_mgmt, 0.5, 1.0, self.rng);
+    }
+
+    fn lookup(&mut self, action: AddrRange, table: Table, key: u64) {
+        let lib = *self.code.lib();
+        self.tb.walk_span(action, 0.0, 0.5, self.rng);
+        self.db
+            .locks
+            .acquire(table as u64, key, LockMode::Shared, &mut self.tb);
+        self.lib_call(lib.lock, 0.3);
+        let (heap, index) = self.db.table_mut(table);
+        if let Some(addr) = index.search(key, &mut self.tb).map(Addr::new) {
+            heap.read(addr, &mut self.tb);
+            self.db.buffer.pin(addr, &mut self.tb);
+        }
+        self.lib_call(lib.btree_search, 0.35);
+        self.lib_call(lib.buffer, 0.25);
+        self.tb.walk_span(action, 0.5, 1.0, self.rng);
+    }
+
+    fn update(&mut self, action: AddrRange, table: Table, key: u64) {
+        let lib = *self.code.lib();
+        self.tb.walk_span(action, 0.0, 0.5, self.rng);
+        self.db
+            .locks
+            .acquire(table as u64, key, LockMode::Exclusive, &mut self.tb);
+        self.lib_call(lib.lock, 0.35);
+        let (heap, index) = self.db.table_mut(table);
+        if let Some(addr) = index.search(key, &mut self.tb).map(Addr::new) {
+            heap.update(addr, &mut self.tb);
+        }
+        self.lib_call(lib.btree_search, 0.35);
+        self.db.wal.append(96, &mut self.tb);
+        self.lib_call(lib.wal, 0.3);
+        self.tb.walk_span(action, 0.5, 1.0, self.rng);
+    }
+
+    fn insert(&mut self, action: AddrRange, table: Table, key: u64) {
+        let lib = *self.code.lib();
+        self.tb.walk_span(action, 0.0, 0.5, self.rng);
+        self.db
+            .locks
+            .acquire(table as u64, key, LockMode::Exclusive, &mut self.tb);
+        self.lib_call(lib.lock, 0.35);
+        let mut arena = std::mem::take(&mut self.db.arena);
+        let (heap, index) = self.db.table_mut(table);
+        let addr = heap.insert(&mut arena, &mut self.tb);
+        index.insert(key, addr.value(), &mut arena, &mut self.tb);
+        self.db.arena = arena;
+        self.lib_call(lib.btree_insert, 0.4);
+        self.db.wal.append(128, &mut self.tb);
+        self.lib_call(lib.wal, 0.35);
+        self.tb.walk_span(action, 0.5, 1.0, self.rng);
+    }
+
+    fn scan(&mut self, action: AddrRange, table: Table, from_key: u64, limit: usize) {
+        let lib = *self.code.lib();
+        self.tb.walk_span(action, 0.0, 0.4, self.rng);
+        self.db
+            .locks
+            .acquire(table as u64, from_key, LockMode::Shared, &mut self.tb);
+        self.lib_call(lib.lock, 0.3);
+        let (_, index) = self.db.table_mut(table);
+        let _ = index.scan_from(from_key, limit, &mut self.tb);
+        self.lib_call(lib.btree_scan, 0.5);
+        self.tb.walk_span(action, 0.4, 1.0, self.rng);
+    }
+
+    fn run(&mut self, kind: TpceTxnKind) {
+        let a: Vec<AddrRange> = self.code.actions(kind).to_vec();
+        let customers = self.db.customers;
+        let c = self.rng.gen_range(0..customers);
+        let acct = c * 4 + self.rng.gen_range(0..2);
+        let securities = (customers * 2).max(64);
+        let s = self.rng.gen_range(0..securities);
+        self.begin();
+        match kind {
+            TpceTxnKind::Broker => {
+                let b = self.rng.gen_range(0..(customers / 100).max(4));
+                self.tb.walk(a[0], self.rng);
+                self.lookup(a[1], Table::Broker, b);
+                self.scan(a[2], Table::Trade, b * 8, 12);
+                self.lookup(a[3], Table::Security, s);
+                self.tb.walk(a[4], self.rng);
+                self.commit(48);
+            }
+            TpceTxnKind::Customer => {
+                self.tb.walk(a[0], self.rng);
+                self.lookup(a[1], Table::Customer, c);
+                self.lookup(a[2], Table::Account, acct);
+                self.scan(a[3], Table::Holding, acct * 16, 6);
+                self.lookup(a[4], Table::Security, s);
+                self.tb.walk(a[5], self.rng);
+                self.commit(32);
+            }
+            TpceTxnKind::Market => {
+                self.tb.walk(a[0], self.rng);
+                for k in 0..4 {
+                    self.lookup(a[1], Table::Security, (s + k * 17) % securities);
+                    self.update(a[2], Table::Security, (s + k * 17) % securities);
+                }
+                self.scan(a[3], Table::Trade, self.db.next_trade_id.saturating_sub(8), 8);
+                self.lookup(a[4], Table::Broker, 0);
+                self.tb.walk(a[5], self.rng);
+                self.commit(160);
+            }
+            TpceTxnKind::Security => {
+                self.tb.walk(a[0], self.rng);
+                self.lookup(a[1], Table::Security, s);
+                self.scan(a[2], Table::Trade, s * 4, 8);
+                self.tb.walk(a[3], self.rng);
+                self.commit(16);
+            }
+            TpceTxnKind::TradeStatus => {
+                self.tb.walk(a[0], self.rng);
+                self.lookup(a[1], Table::Customer, c);
+                self.lookup(a[2], Table::Account, acct);
+                self.scan(a[3], Table::Trade, acct * 8, 10);
+                self.lookup(a[4], Table::Broker, c % (customers / 100).max(4));
+                self.tb.walk(a[5], self.rng);
+                self.commit(24);
+            }
+            TpceTxnKind::TradeUpdate => {
+                self.tb.walk(a[0], self.rng);
+                let t0 = self.rng.gen_range(0..self.db.next_trade_id.max(1));
+                self.lookup(a[1], Table::Trade, t0);
+                for k in 0..3 {
+                    self.update(a[2], Table::Trade, (t0 + k) % self.db.next_trade_id.max(1));
+                }
+                let tid = self.db.next_trade_id;
+                self.db.next_trade_id += 1;
+                self.insert(a[3], Table::Trade, tid);
+                self.update(a[4], Table::Holding, acct * 16);
+                self.tb.walk(a[5], self.rng);
+                self.commit(224);
+            }
+            TpceTxnKind::TradeLookup => {
+                self.tb.walk(a[0], self.rng);
+                let t0 = self.rng.gen_range(0..self.db.next_trade_id.max(1));
+                self.scan(a[1], Table::Trade, t0, 10);
+                self.lookup(a[2], Table::Account, acct);
+                self.lookup(a[3], Table::Security, s);
+                self.scan(a[4], Table::Holding, acct * 16, 4);
+                self.tb.walk(a[5], self.rng);
+                self.commit(24);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_types_build() {
+        let mut b = TpceWorkloadBuilder::new(64, 1);
+        for kind in TpceTxnKind::ALL {
+            let t = b.one(kind);
+            assert!(t.instr_total() > 5_000, "{kind}: {}", t.instr_total());
+            assert_eq!(t.type_name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn footprints_track_table3_ordering() {
+        let mut b = TpceWorkloadBuilder::new(64, 2);
+        let fp = |k: TpceTxnKind, b: &mut TpceWorkloadBuilder| {
+            b.one(k).unique_code_blocks()
+        };
+        let sec = fp(TpceTxnKind::Security, &mut b);
+        let cust = fp(TpceTxnKind::Customer, &mut b);
+        assert!(
+            cust > sec,
+            "Customer (9u) must exceed Security (5u): {cust} vs {sec}"
+        );
+    }
+
+    #[test]
+    fn same_type_overlap_is_high() {
+        let mut b = TpceWorkloadBuilder::new(64, 3);
+        let t1 = b.one(TpceTxnKind::TradeStatus);
+        let t2 = b.one(TpceTxnKind::TradeStatus);
+        let blocks = |t: &crate::trace::TxnTrace| -> HashSet<u64> {
+            t.refs()
+                .iter()
+                .filter_map(|r| r.fetch_block().map(|b| b.index()))
+                .collect()
+        };
+        let (s1, s2) = (blocks(&t1), blocks(&t2));
+        let inter = s1.intersection(&s2).count() as f64;
+        let frac = inter / s1.len().min(s2.len()) as f64;
+        assert!(frac > 0.7, "overlap {frac}");
+    }
+
+    #[test]
+    fn mixed_covers_multiple_types() {
+        let mut b = TpceWorkloadBuilder::new(64, 4);
+        let names: HashSet<_> = b.mixed(30).iter().map(|t| t.type_name()).collect();
+        assert!(names.len() >= 4, "mix too narrow: {names:?}");
+    }
+
+    #[test]
+    fn trade_update_appends_trades() {
+        let mut b = TpceWorkloadBuilder::new(64, 5);
+        let before = b.db.next_trade_id;
+        let _ = b.one(TpceTxnKind::TradeUpdate);
+        assert_eq!(b.db.next_trade_id, before + 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Transaction reference traces and cursors.
+//!
+//! The paper's methodology replays instruction traces of TPC-C/TPC-E through
+//! a timing simulator (Section 5.1). This reproduction does the same: every
+//! transaction is materialized as a [`TxnTrace`] — the exact sequence of
+//! instruction-block fetches and data accesses its execution produces — and
+//! the schedulers replay traces through the memory hierarchy via resumable
+//! [`TraceCursor`]s, which is what makes context switching at arbitrary
+//! points (STREX) and mid-flight migration (SLICC) possible.
+
+use strex_sim::addr::{Addr, BlockAddr};
+use strex_sim::ids::TxnTypeId;
+
+/// Stride, in bytes, of workspace streaming writes (one touch per block).
+pub const WORKSPACE_STRIDE: u64 = 64;
+
+/// One event of a transaction's execution.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum MemRef {
+    /// Fetch of one instruction cache block, retiring `instrs` instructions.
+    IFetch {
+        /// The code block fetched.
+        block: BlockAddr,
+        /// Instructions retired out of this block before the next event.
+        instrs: u8,
+    },
+    /// A data load.
+    Load {
+        /// Byte address read.
+        addr: Addr,
+    },
+    /// A data store.
+    Store {
+        /// Byte address written.
+        addr: Addr,
+    },
+}
+
+impl MemRef {
+    /// Instructions retired by this event (zero for data accesses, whose
+    /// instructions are accounted by their enclosing fetch group).
+    pub fn instrs(self) -> u64 {
+        match self {
+            MemRef::IFetch { instrs, .. } => instrs as u64,
+            MemRef::Load { .. } | MemRef::Store { .. } => 0,
+        }
+    }
+
+    /// The instruction block, if this is a fetch.
+    pub fn fetch_block(self) -> Option<BlockAddr> {
+        match self {
+            MemRef::IFetch { block, .. } => Some(block),
+            _ => None,
+        }
+    }
+}
+
+/// The full reference trace of one transaction instance.
+#[derive(Clone, Debug)]
+pub struct TxnTrace {
+    txn_type: TxnTypeId,
+    type_name: &'static str,
+    refs: Vec<MemRef>,
+    instr_total: u64,
+}
+
+impl TxnTrace {
+    /// Builds a trace from raw events.
+    pub fn new(txn_type: TxnTypeId, type_name: &'static str, refs: Vec<MemRef>) -> Self {
+        let instr_total = refs.iter().map(|r| r.instrs()).sum();
+        TxnTrace {
+            txn_type,
+            type_name,
+            refs,
+            instr_total,
+        }
+    }
+
+    /// The transaction type this instance belongs to.
+    pub fn txn_type(&self) -> TxnTypeId {
+        self.txn_type
+    }
+
+    /// Human-readable type name ("NewOrder", "Payment", ...).
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+
+    /// The events of the trace.
+    pub fn refs(&self) -> &[MemRef] {
+        &self.refs
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// `true` if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Total instructions retired by the transaction.
+    pub fn instr_total(&self) -> u64 {
+        self.instr_total
+    }
+
+    /// Unique instruction blocks touched — the transaction's instruction
+    /// footprint, the quantity the FPTable records (Table 3).
+    pub fn unique_code_blocks(&self) -> usize {
+        let mut blocks: Vec<u64> = self
+            .refs
+            .iter()
+            .filter_map(|r| r.fetch_block().map(BlockAddr::index))
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks.len()
+    }
+
+    /// Instruction footprint in L1-I-size units of `l1i_bytes` (rounded up),
+    /// the unit the hybrid mechanism's FPTable uses.
+    pub fn footprint_units(&self, l1i_bytes: u64) -> u64 {
+        let bytes = self.unique_code_blocks() as u64 * strex_sim::addr::BLOCK_SIZE;
+        bytes.div_ceil(l1i_bytes)
+    }
+}
+
+/// A resumable read position within a [`TxnTrace`].
+///
+/// Cursors index into traces owned elsewhere so that a trace can be shared
+/// by several replicas (Figure 4 replicates instances ten times).
+///
+/// # Examples
+///
+/// ```
+/// use strex_oltp::trace::{MemRef, TraceCursor, TxnTrace};
+/// use strex_sim::addr::BlockAddr;
+/// use strex_sim::ids::TxnTypeId;
+///
+/// let t = TxnTrace::new(
+///     TxnTypeId::new(0),
+///     "demo",
+///     vec![MemRef::IFetch { block: BlockAddr::new(1), instrs: 10 }],
+/// );
+/// let mut cur = TraceCursor::new();
+/// assert!(cur.peek(&t).is_some());
+/// cur.advance();
+/// assert!(cur.done(&t));
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub struct TraceCursor {
+    pos: usize,
+}
+
+impl TraceCursor {
+    /// A cursor at the start of a trace.
+    pub fn new() -> Self {
+        TraceCursor { pos: 0 }
+    }
+
+    /// Current event index.
+    pub fn position(self) -> usize {
+        self.pos
+    }
+
+    /// The next event to replay, or `None` at end of trace.
+    pub fn peek(self, trace: &TxnTrace) -> Option<MemRef> {
+        trace.refs.get(self.pos).copied()
+    }
+
+    /// Moves past the current event.
+    pub fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// `true` once every event has been replayed.
+    pub fn done(self, trace: &TxnTrace) -> bool {
+        self.pos >= trace.refs.len()
+    }
+
+    /// Fraction of the trace consumed, in [0, 1].
+    pub fn progress(self, trace: &TxnTrace) -> f64 {
+        if trace.refs.is_empty() {
+            1.0
+        } else {
+            self.pos.min(trace.refs.len()) as f64 / trace.refs.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> TxnTrace {
+        TxnTrace::new(
+            TxnTypeId::new(3),
+            "demo",
+            vec![
+                MemRef::IFetch {
+                    block: BlockAddr::new(1),
+                    instrs: 10,
+                },
+                MemRef::Load {
+                    addr: Addr::new(4096),
+                },
+                MemRef::IFetch {
+                    block: BlockAddr::new(2),
+                    instrs: 12,
+                },
+                MemRef::IFetch {
+                    block: BlockAddr::new(1),
+                    instrs: 8,
+                },
+                MemRef::Store {
+                    addr: Addr::new(8192),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn instr_total_sums_fetch_groups() {
+        let t = demo_trace();
+        assert_eq!(t.instr_total(), 30);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn unique_blocks_deduplicated() {
+        let t = demo_trace();
+        assert_eq!(t.unique_code_blocks(), 2);
+    }
+
+    #[test]
+    fn footprint_units_round_up() {
+        let t = demo_trace();
+        // 2 blocks = 128 bytes; one 64-byte "L1" unit would be 2 units.
+        assert_eq!(t.footprint_units(64), 2);
+        assert_eq!(t.footprint_units(1024), 1);
+    }
+
+    #[test]
+    fn cursor_replays_in_order() {
+        let t = demo_trace();
+        let mut c = TraceCursor::new();
+        let mut seen = Vec::new();
+        while let Some(r) = c.peek(&t) {
+            seen.push(r);
+            c.advance();
+        }
+        assert_eq!(seen, t.refs().to_vec());
+        assert!(c.done(&t));
+        assert_eq!(c.progress(&t), 1.0);
+    }
+
+    #[test]
+    fn cursor_progress_midway() {
+        let t = demo_trace();
+        let mut c = TraceCursor::new();
+        c.advance();
+        assert!((c.progress(&t) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_done_immediately() {
+        let t = TxnTrace::new(TxnTypeId::new(0), "empty", Vec::new());
+        let c = TraceCursor::new();
+        assert!(c.done(&t));
+        assert_eq!(c.progress(&t), 1.0);
+        assert_eq!(t.footprint_units(32 * 1024), 0);
+    }
+
+    #[test]
+    fn memref_accessors() {
+        let f = MemRef::IFetch {
+            block: BlockAddr::new(9),
+            instrs: 4,
+        };
+        assert_eq!(f.instrs(), 4);
+        assert_eq!(f.fetch_block(), Some(BlockAddr::new(9)));
+        let l = MemRef::Load { addr: Addr::new(1) };
+        assert_eq!(l.instrs(), 0);
+        assert_eq!(l.fetch_block(), None);
+    }
+}

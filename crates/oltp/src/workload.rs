@@ -1,0 +1,196 @@
+//! Workload presets matching Table 1 of the paper.
+//!
+//! A [`Workload`] is a named pool of transaction traces. The presets mirror
+//! the paper's four workloads — TPC-C-1, TPC-C-10, TPC-E and MapReduce —
+//! with a `size` knob controlling how many transactions the pool holds
+//! (experiments use modest pools; the schedulers see up to 30 at a time,
+//! matching Section 4.3).
+
+use crate::mapreduce::MapReduceBuilder;
+use crate::tpcc::{TpccScale, TpccTxnKind, TpccWorkloadBuilder};
+use crate::tpce::{TpceTxnKind, TpceWorkloadBuilder};
+use crate::trace::TxnTrace;
+
+/// Which of the paper's workloads to generate.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum WorkloadKind {
+    /// TPC-C with 1 warehouse (Table 1: 84 MB).
+    TpccW1,
+    /// TPC-C with 10 warehouses (Table 1: 1 GB).
+    TpccW10,
+    /// TPC-E (Table 1: 1000 customers).
+    Tpce,
+    /// MapReduce (CloudSuite data analytics).
+    MapReduce,
+}
+
+impl WorkloadKind {
+    /// The four workloads in Figure 5/6 order.
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::TpccW1,
+        WorkloadKind::TpccW10,
+        WorkloadKind::Tpce,
+        WorkloadKind::MapReduce,
+    ];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::TpccW1 => "TPC-C-1",
+            WorkloadKind::TpccW10 => "TPC-C-10",
+            WorkloadKind::Tpce => "TPC-E",
+            WorkloadKind::MapReduce => "MapReduce",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named pool of transaction traces ready for scheduling.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    name: &'static str,
+    txns: Vec<TxnTrace>,
+}
+
+impl Workload {
+    /// Wraps a transaction pool under `name`.
+    pub fn new(name: &'static str, txns: Vec<TxnTrace>) -> Self {
+        Workload { name, txns }
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The transaction pool in arrival order.
+    pub fn txns(&self) -> &[TxnTrace] {
+        &self.txns
+    }
+
+    /// Consumes the workload, returning the pool.
+    pub fn into_txns(self) -> Vec<TxnTrace> {
+        self.txns
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// `true` if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Total instructions across the pool.
+    pub fn total_instructions(&self) -> u64 {
+        self.txns.iter().map(|t| t.instr_total()).sum()
+    }
+
+    /// Generates a preset workload of roughly `size` transactions.
+    pub fn preset(kind: WorkloadKind, size: usize, seed: u64) -> Workload {
+        match kind {
+            WorkloadKind::TpccW1 => {
+                let mut b = TpccWorkloadBuilder::new(TpccScale::new(1), seed);
+                Workload::new(kind.name(), b.mixed(size))
+            }
+            WorkloadKind::TpccW10 => {
+                let mut b = TpccWorkloadBuilder::new(TpccScale::new(10), seed);
+                Workload::new(kind.name(), b.mixed(size))
+            }
+            WorkloadKind::Tpce => {
+                let mut b = TpceWorkloadBuilder::new(1000, seed);
+                Workload::new(kind.name(), b.mixed(size))
+            }
+            WorkloadKind::MapReduce => {
+                let mut b = MapReduceBuilder::new(seed);
+                Workload::new(kind.name(), b.tasks(size))
+            }
+        }
+    }
+
+    /// A small-scale preset for tests and examples: same structure, scaled
+    /// databases, faster generation.
+    pub fn preset_small(kind: WorkloadKind, size: usize, seed: u64) -> Workload {
+        match kind {
+            WorkloadKind::TpccW1 => {
+                let mut b = TpccWorkloadBuilder::new(TpccScale::mini(), seed);
+                Workload::new(kind.name(), b.mixed(size))
+            }
+            WorkloadKind::TpccW10 => {
+                let mut scale = TpccScale::mini();
+                scale.warehouses = 2;
+                let mut b = TpccWorkloadBuilder::new(scale, seed);
+                Workload::new(kind.name(), b.mixed(size))
+            }
+            WorkloadKind::Tpce => {
+                let mut b = TpceWorkloadBuilder::new(64, seed);
+                Workload::new(kind.name(), b.mixed(size))
+            }
+            WorkloadKind::MapReduce => {
+                let mut b = MapReduceBuilder::new(seed);
+                Workload::new(kind.name(), b.tasks(size))
+            }
+        }
+    }
+
+    /// A pool of same-type TPC-C transactions (Figures 2, 4, 7).
+    pub fn tpcc_same_type(
+        kind: TpccTxnKind,
+        warehouses: u64,
+        n: usize,
+        seed: u64,
+    ) -> Workload {
+        let mut b = TpccWorkloadBuilder::new(TpccScale::new(warehouses), seed);
+        Workload::new(kind.name(), b.same_type(kind, n))
+    }
+
+    /// A pool of same-type TPC-E transactions (Figure 4).
+    pub fn tpce_same_type(kind: TpceTxnKind, n: usize, seed: u64) -> Workload {
+        let mut b = TpceWorkloadBuilder::new(1000, seed);
+        Workload::new(kind.name(), b.same_type(kind, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_presets_build_for_all_kinds() {
+        for kind in WorkloadKind::ALL {
+            let w = Workload::preset_small(kind, 4, 1);
+            assert_eq!(w.len(), 4, "{kind}");
+            assert!(w.total_instructions() > 0);
+            assert_eq!(w.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn same_type_pool_is_uniform() {
+        let w = Workload::tpcc_same_type(TpccTxnKind::Payment, 1, 3, 2);
+        assert!(w.txns().iter().all(|t| t.type_name() == "Payment"));
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = Workload::preset_small(WorkloadKind::Tpce, 3, 9);
+        let b = Workload::preset_small(WorkloadKind::Tpce, 3, 9);
+        let sig = |w: &Workload| -> Vec<u64> {
+            w.txns().iter().map(|t| t.instr_total()).collect()
+        };
+        assert_eq!(sig(&a), sig(&b));
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(WorkloadKind::TpccW10.to_string(), "TPC-C-10");
+        assert_eq!(WorkloadKind::MapReduce.name(), "MapReduce");
+    }
+}

@@ -1,0 +1,238 @@
+//! Physical address and cache-block address newtypes.
+//!
+//! The simulator works on a synthetic 64-bit physical address space. Code and
+//! data regions are carved out of this space by the workload generator
+//! (`strex-oltp`). Caches operate on [`BlockAddr`] granularity (64-byte
+//! blocks, per Table 2 of the paper).
+
+use std::fmt;
+
+/// Cache block size in bytes (Table 2: 64 B blocks at every level).
+pub const BLOCK_SIZE: u64 = 64;
+
+/// Log2 of [`BLOCK_SIZE`], used for address-to-block conversions.
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// A byte-granularity physical address in the simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::addr::{Addr, BLOCK_SIZE};
+///
+/// let a = Addr::new(3 * BLOCK_SIZE + 17);
+/// assert_eq!(a.block().index(), 3);
+/// assert_eq!(a.block_offset(), 17);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw 64-bit value.
+    pub fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache block containing this address.
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// Returns the byte offset of this address within its cache block.
+    pub fn block_offset(self) -> u64 {
+        self.0 & (BLOCK_SIZE - 1)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address-space overflow (debug builds only).
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-block-granularity address (block index = byte address / 64).
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::addr::BlockAddr;
+///
+/// let b = BlockAddr::new(42);
+/// assert_eq!(b.next().index(), 43);
+/// assert_eq!(b.base_addr().value(), 42 * 64);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block index.
+    pub fn new(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// Returns the block index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of the block.
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// Returns the sequentially next block (used by the next-line prefetcher).
+    pub fn next(self) -> BlockAddr {
+        BlockAddr(self.0.wrapping_add(1))
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for BlockAddr {
+    fn from(addr: Addr) -> Self {
+        addr.block()
+    }
+}
+
+/// A half-open range of bytes in the simulated address space.
+///
+/// Used by the workload generator to describe code regions and by the
+/// footprint analyses to iterate over the blocks of a region.
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::addr::{Addr, AddrRange};
+///
+/// let r = AddrRange::new(Addr::new(0), 256);
+/// assert_eq!(r.blocks().count(), 4);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct AddrRange {
+    start: Addr,
+    len: u64,
+}
+
+impl AddrRange {
+    /// Creates a range starting at `start` spanning `len` bytes.
+    pub fn new(start: Addr, len: u64) -> Self {
+        AddrRange { start, len }
+    }
+
+    /// Returns the first address of the range.
+    pub fn start(self) -> Addr {
+        self.start
+    }
+
+    /// Returns the length of the range in bytes.
+    pub fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the range spans zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the first address past the end of the range.
+    pub fn end(self) -> Addr {
+        self.start.offset(self.len)
+    }
+
+    /// Returns `true` if `addr` falls within the range.
+    pub fn contains(self, addr: Addr) -> bool {
+        addr.value() >= self.start.value() && addr.value() < self.start.value() + self.len
+    }
+
+    /// Iterates over every cache block overlapped by the range.
+    pub fn blocks(self) -> impl Iterator<Item = BlockAddr> {
+        let first = self.start.block().index();
+        let last = if self.len == 0 {
+            first
+        } else {
+            self.start.offset(self.len - 1).block().index() + 1
+        };
+        (first..last).map(BlockAddr::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_block_mapping() {
+        assert_eq!(Addr::new(0).block(), BlockAddr::new(0));
+        assert_eq!(Addr::new(63).block(), BlockAddr::new(0));
+        assert_eq!(Addr::new(64).block(), BlockAddr::new(1));
+        assert_eq!(Addr::new(64).block_offset(), 0);
+        assert_eq!(Addr::new(65).block_offset(), 1);
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let b = BlockAddr::new(1234);
+        assert_eq!(b.base_addr().block(), b);
+        assert_eq!(b.next().index(), 1235);
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+    }
+
+    #[test]
+    fn range_contains_boundaries() {
+        let r = AddrRange::new(Addr::new(100), 10);
+        assert!(r.contains(Addr::new(100)));
+        assert!(r.contains(Addr::new(109)));
+        assert!(!r.contains(Addr::new(110)));
+        assert!(!r.contains(Addr::new(99)));
+        assert_eq!(r.end().value(), 110);
+    }
+
+    #[test]
+    fn range_blocks_partial_coverage() {
+        // Spans bytes 60..70 -> blocks 0 and 1.
+        let r = AddrRange::new(Addr::new(60), 10);
+        let blocks: Vec<_> = r.blocks().collect();
+        assert_eq!(blocks, vec![BlockAddr::new(0), BlockAddr::new(1)]);
+    }
+
+    #[test]
+    fn empty_range_has_no_blocks() {
+        let r = AddrRange::new(Addr::new(128), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.blocks().count(), 0);
+    }
+
+    #[test]
+    fn aligned_range_block_count() {
+        let r = AddrRange::new(Addr::new(0), 32 * 1024);
+        assert_eq!(r.blocks().count(), 512); // 32 KB / 64 B
+    }
+}

@@ -1,0 +1,479 @@
+//! Generic set-associative cache with per-frame auxiliary tags.
+//!
+//! Two features distinguish this cache from a textbook model, both required
+//! by STREX (Section 4.3 of the paper):
+//!
+//! 1. **Auxiliary 8-bit tag per frame.** STREX maintains a phase-ID table
+//!    (PIDT) parallel to the L1-I tag array; here the PIDT is an `aux` byte
+//!    stored alongside each frame. The cache itself attaches no meaning to
+//!    the byte.
+//! 2. **Victim monitoring.** STREX must observe which block a fill is about
+//!    to evict *and its phase tag*. [`SetAssocCache::peek_victim`] answers
+//!    that question without side effects, and is guaranteed to agree with
+//!    the victim subsequently chosen by [`SetAssocCache::fill`].
+
+use crate::addr::{BlockAddr, BLOCK_SIZE};
+use crate::replacement::{Replacement, ReplacementKind};
+
+/// Shape of one cache: capacity, associativity and block size.
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::cache::CacheGeometry;
+///
+/// let l1 = CacheGeometry::new(32 * 1024, 8); // Table 2: 32 KB, 8-way
+/// assert_eq!(l1.sets(), 64);
+/// assert_eq!(l1.blocks(), 512);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    assoc: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry of `size_bytes` capacity and `assoc` ways with the
+    /// global 64 B block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of
+    /// `assoc * BLOCK_SIZE` or if either argument is zero.
+    pub fn new(size_bytes: u64, assoc: usize) -> Self {
+        assert!(size_bytes > 0 && assoc > 0, "degenerate cache geometry");
+        assert_eq!(
+            size_bytes % (assoc as u64 * BLOCK_SIZE),
+            0,
+            "capacity must divide evenly into sets"
+        );
+        CacheGeometry { size_bytes, assoc }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Number of ways per set.
+    pub fn assoc(self) -> usize {
+        self.assoc
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> usize {
+        (self.size_bytes / (self.assoc as u64 * BLOCK_SIZE)) as usize
+    }
+
+    /// Total number of block frames.
+    pub fn blocks(self) -> usize {
+        (self.size_bytes / BLOCK_SIZE) as usize
+    }
+
+    /// Maps a block address to its set index.
+    pub fn set_of(self, block: BlockAddr) -> usize {
+        (block.index() % self.sets() as u64) as usize
+    }
+}
+
+/// A block about to be (or just) evicted, with its auxiliary tag.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct Victim {
+    /// The evicted block's address.
+    pub block: BlockAddr,
+    /// The auxiliary tag (STREX phase ID) the block carried.
+    pub aux: u8,
+    /// Whether the block was dirty (data caches only).
+    pub dirty: bool,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct Frame {
+    block: BlockAddr,
+    valid: bool,
+    dirty: bool,
+    aux: u8,
+}
+
+/// Outcome of [`SetAssocCache::access`].
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum AccessOutcome {
+    /// The block was resident.
+    Hit,
+    /// The block was installed; `evicted` names the displaced block, if any.
+    Miss {
+        /// The block displaced by the fill, `None` if an invalid way was used.
+        evicted: Option<Victim>,
+    },
+}
+
+impl AccessOutcome {
+    /// Returns `true` for [`AccessOutcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// Returns the evicted victim of a miss, if any.
+    pub fn evicted(self) -> Option<Victim> {
+        match self {
+            AccessOutcome::Hit => None,
+            AccessOutcome::Miss { evicted } => evicted,
+        }
+    }
+}
+
+/// A set-associative cache with pluggable replacement and per-frame aux tags.
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::addr::BlockAddr;
+/// use strex_sim::cache::{CacheGeometry, SetAssocCache};
+/// use strex_sim::replacement::ReplacementKind;
+///
+/// let mut c = SetAssocCache::new(CacheGeometry::new(4096, 4), ReplacementKind::Lru);
+/// let b = BlockAddr::new(10);
+/// assert!(!c.access(b, 0).is_hit());
+/// assert!(c.access(b, 0).is_hit());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    frames: Vec<Frame>,
+    repl: Replacement,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry and replacement policy.
+    pub fn new(geom: CacheGeometry, repl: ReplacementKind) -> Self {
+        SetAssocCache {
+            geom,
+            frames: vec![Frame::default(); geom.blocks()],
+            repl: Replacement::new(repl, geom.sets(), geom.assoc()),
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Returns the replacement policy family.
+    pub fn replacement_kind(&self) -> ReplacementKind {
+        self.repl.kind()
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.geom.assoc();
+        base..base + self.geom.assoc()
+    }
+
+    fn find(&self, block: BlockAddr) -> Option<(usize, usize)> {
+        let set = self.geom.set_of(block);
+        for (way, idx) in self.set_range(set).enumerate() {
+            let f = &self.frames[idx];
+            if f.valid && f.block == block {
+                return Some((set, way));
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if `block` is resident, without touching policy state.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.find(block).is_some()
+    }
+
+    /// Returns the aux tag of a resident block.
+    pub fn aux(&self, block: BlockAddr) -> Option<u8> {
+        self.find(block)
+            .map(|(set, way)| self.frames[set * self.geom.assoc() + way].aux)
+    }
+
+    /// Overwrites the aux tag of a resident block; returns `false` if the
+    /// block is not resident.
+    pub fn set_aux(&mut self, block: BlockAddr, aux: u8) -> bool {
+        if let Some((set, way)) = self.find(block) {
+            self.frames[set * self.geom.assoc() + way].aux = aux;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reports which block a fill of `block` would displace.
+    ///
+    /// Returns `None` when `block` is already resident or the set still has
+    /// an invalid way (the fill would be eviction-free). The answer agrees
+    /// exactly with the eviction performed by a subsequent
+    /// [`access`](SetAssocCache::access) or [`fill`](SetAssocCache::fill) of
+    /// the same block, provided no other mutation intervenes.
+    pub fn peek_victim(&self, block: BlockAddr) -> Option<Victim> {
+        if self.contains(block) {
+            return None;
+        }
+        let set = self.geom.set_of(block);
+        // An invalid way absorbs the fill without eviction.
+        for idx in self.set_range(set) {
+            if !self.frames[idx].valid {
+                return None;
+            }
+        }
+        let way = self.repl.victim_way(set);
+        let f = &self.frames[set * self.geom.assoc() + way];
+        Some(Victim {
+            block: f.block,
+            aux: f.aux,
+            dirty: f.dirty,
+        })
+    }
+
+    /// Accesses `block`, tagging the frame with `aux` whether the access hits
+    /// or misses (STREX tags blocks with the current phase on *every* touch).
+    pub fn access(&mut self, block: BlockAddr, aux: u8) -> AccessOutcome {
+        if let Some((set, way)) = self.find(block) {
+            self.repl.on_hit(set, way);
+            self.frames[set * self.geom.assoc() + way].aux = aux;
+            return AccessOutcome::Hit;
+        }
+        let evicted = self.fill(block, aux);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Accesses `block` for writing; like [`access`](SetAssocCache::access)
+    /// but also marks the frame dirty.
+    pub fn access_write(&mut self, block: BlockAddr, aux: u8) -> AccessOutcome {
+        let outcome = self.access(block, aux);
+        if let Some((set, way)) = self.find(block) {
+            self.frames[set * self.geom.assoc() + way].dirty = true;
+        }
+        outcome
+    }
+
+    /// Installs `block` (which must not be resident), returning any victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the block is already resident.
+    pub fn fill(&mut self, block: BlockAddr, aux: u8) -> Option<Victim> {
+        debug_assert!(!self.contains(block), "fill of resident block");
+        let set = self.geom.set_of(block);
+        let assoc = self.geom.assoc();
+        // Prefer an invalid way.
+        let mut target = None;
+        for (way, idx) in self.set_range(set).enumerate() {
+            if !self.frames[idx].valid {
+                target = Some((way, None));
+                break;
+            }
+        }
+        let (way, victim) = match target {
+            Some(t) => t,
+            None => {
+                let way = self.repl.evict(set);
+                let f = &self.frames[set * assoc + way];
+                (
+                    way,
+                    Some(Victim {
+                        block: f.block,
+                        aux: f.aux,
+                        dirty: f.dirty,
+                    }),
+                )
+            }
+        };
+        self.frames[set * assoc + way] = Frame {
+            block,
+            valid: true,
+            dirty: false,
+            aux,
+        };
+        self.repl.on_fill(set, way);
+        (way, victim).1
+    }
+
+    /// Invalidates `block` if resident (coherence), returning its frame info.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<Victim> {
+        if let Some((set, way)) = self.find(block) {
+            let idx = set * self.geom.assoc() + way;
+            let f = self.frames[idx];
+            self.frames[idx].valid = false;
+            self.frames[idx].dirty = false;
+            self.repl.on_invalidate(set, way);
+            Some(Victim {
+                block: f.block,
+                aux: f.aux,
+                dirty: f.dirty,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Clears the dirty bit of a resident block (coherence downgrade),
+    /// returning whether it was dirty.
+    pub fn clean(&mut self, block: BlockAddr) -> bool {
+        if let Some((set, way)) = self.find(block) {
+            let idx = set * self.geom.assoc() + way;
+            let was = self.frames[idx].dirty;
+            self.frames[idx].dirty = false;
+            was
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over all resident blocks (used by cache signatures and the
+    /// temporal-overlap analysis of Figure 2).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.frames.iter().filter(|f| f.valid).map(|f| f.block)
+    }
+
+    /// Number of resident (valid) blocks.
+    pub fn occupancy(&self) -> usize {
+        self.frames.iter().filter(|f| f.valid).count()
+    }
+
+    /// Invalidates every frame, returning the cache to its initial state.
+    pub fn flush(&mut self) {
+        let kind = self.repl.kind();
+        self.frames.iter_mut().for_each(|f| *f = Frame::default());
+        self.repl = Replacement::new(kind, self.geom.sets(), self.geom.assoc());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 2 sets x 2 ways.
+        SetAssocCache::new(CacheGeometry::new(256, 2), ReplacementKind::Lru)
+    }
+
+    #[test]
+    fn geometry_math() {
+        let g = CacheGeometry::new(32 * 1024, 8);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.blocks(), 512);
+        assert_eq!(g.set_of(BlockAddr::new(64)), 0);
+        assert_eq!(g.set_of(BlockAddr::new(65)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must divide evenly")]
+    fn bad_geometry_panics() {
+        let _ = CacheGeometry::new(100, 3);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        let b = BlockAddr::new(4);
+        assert!(!c.access(b, 1).is_hit());
+        assert!(c.access(b, 2).is_hit());
+        assert_eq!(c.aux(b), Some(2), "aux retagged on hit");
+    }
+
+    #[test]
+    fn eviction_in_full_set() {
+        let mut c = small();
+        // Blocks 0, 2, 4 all map to set 0 (2 sets).
+        c.access(BlockAddr::new(0), 0);
+        c.access(BlockAddr::new(2), 0);
+        let out = c.access(BlockAddr::new(4), 0);
+        let v = out.evicted().expect("set was full");
+        assert_eq!(v.block, BlockAddr::new(0), "LRU victim");
+        assert!(!c.contains(BlockAddr::new(0)));
+        assert!(c.contains(BlockAddr::new(2)));
+        assert!(c.contains(BlockAddr::new(4)));
+    }
+
+    #[test]
+    fn peek_agrees_with_fill() {
+        let mut c = small();
+        c.access(BlockAddr::new(0), 7);
+        c.access(BlockAddr::new(2), 8);
+        let peek = c.peek_victim(BlockAddr::new(4)).expect("set full");
+        let actual = c.access(BlockAddr::new(4), 0).evicted().unwrap();
+        assert_eq!(peek, actual);
+        assert_eq!(peek.aux, 7);
+    }
+
+    #[test]
+    fn peek_none_when_resident_or_free() {
+        let mut c = small();
+        assert!(c.peek_victim(BlockAddr::new(0)).is_none(), "free way");
+        c.access(BlockAddr::new(0), 0);
+        assert!(c.peek_victim(BlockAddr::new(0)).is_none(), "resident");
+    }
+
+    #[test]
+    fn dirty_victims_reported() {
+        let mut c = small();
+        c.access_write(BlockAddr::new(0), 0);
+        c.access(BlockAddr::new(2), 0);
+        c.access(BlockAddr::new(2), 0); // block 2 MRU; block 0 is victim
+        let v = c.access(BlockAddr::new(4), 0).evicted().unwrap();
+        assert_eq!(v.block, BlockAddr::new(0));
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn invalidate_frees_way() {
+        let mut c = small();
+        c.access(BlockAddr::new(0), 0);
+        c.access(BlockAddr::new(2), 0);
+        assert!(c.invalidate(BlockAddr::new(0)).is_some());
+        assert!(!c.contains(BlockAddr::new(0)));
+        // Set has a free way again: no victim for the next fill.
+        assert!(c.access(BlockAddr::new(4), 0).evicted().is_none());
+    }
+
+    #[test]
+    fn clean_clears_dirty() {
+        let mut c = small();
+        c.access_write(BlockAddr::new(0), 0);
+        assert!(c.clean(BlockAddr::new(0)));
+        assert!(!c.clean(BlockAddr::new(0)));
+    }
+
+    #[test]
+    fn resident_blocks_and_occupancy() {
+        let mut c = small();
+        c.access(BlockAddr::new(0), 0);
+        c.access(BlockAddr::new(1), 0);
+        c.access(BlockAddr::new(2), 0);
+        assert_eq!(c.occupancy(), 3);
+        let mut blocks: Vec<_> = c.resident_blocks().map(BlockAddr::index).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 1, 2]);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn aux_round_trip() {
+        let mut c = small();
+        c.access(BlockAddr::new(5), 9);
+        assert_eq!(c.aux(BlockAddr::new(5)), Some(9));
+        assert!(c.set_aux(BlockAddr::new(5), 11));
+        assert_eq!(c.aux(BlockAddr::new(5)), Some(11));
+        assert!(!c.set_aux(BlockAddr::new(99), 1));
+        assert_eq!(c.aux(BlockAddr::new(99)), None);
+    }
+
+    #[test]
+    fn works_with_all_replacement_kinds() {
+        for kind in ReplacementKind::ALL {
+            let mut c = SetAssocCache::new(CacheGeometry::new(512, 2), kind);
+            for i in 0..64u64 {
+                c.access(BlockAddr::new(i % 12), (i % 256) as u8);
+                if let Some(peek) = c.peek_victim(BlockAddr::new(100 + i)) {
+                    let got = c.access(BlockAddr::new(100 + i), 0).evicted().unwrap();
+                    assert_eq!(peek, got, "{kind}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Identifier newtypes shared across the simulator, workload generator and
+//! schedulers.
+//!
+//! Keeping these in the substrate crate lets every layer speak the same
+//! strongly-typed language (per the newtype guideline) without circular
+//! dependencies.
+
+use std::fmt;
+
+/// Identifies one core of the simulated CMP.
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::ids::CoreId;
+/// let c = CoreId::new(3);
+/// assert_eq!(c.as_usize(), 3);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier from a raw index.
+    pub fn new(index: u16) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the index as `usize` for container indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index.
+    pub fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifies one transaction thread (a virtual hardware context).
+///
+/// The paper's scheduling structures use 12-bit thread IDs (Table 4); a
+/// `u32` is used here for headroom while preserving the semantics.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread identifier from a raw index.
+    pub fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the index as `usize` for container indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies a transaction *type* (e.g. TPC-C New Order).
+///
+/// STREX groups same-type transactions into teams by inspecting the address
+/// of the transaction's header instructions; the workload generator exposes
+/// the type directly, which is equivalent information.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct TxnTypeId(u16);
+
+impl TxnTypeId {
+    /// Creates a transaction-type identifier.
+    pub fn new(index: u16) -> Self {
+        TxnTypeId(index)
+    }
+
+    /// Returns the index as `usize` for container indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index.
+    pub fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type{}", self.0)
+    }
+}
+
+/// An 8-bit modulo phase identifier (Section 4.3: 8-bit phaseID tags and an
+/// 8-bit modulo phaseID counter per core).
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::ids::PhaseId;
+/// let p = PhaseId::new(255);
+/// assert_eq!(p.wrapping_next(), PhaseId::new(0));
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct PhaseId(u8);
+
+impl PhaseId {
+    /// Creates a phase identifier from a raw tag value.
+    pub fn new(tag: u8) -> Self {
+        PhaseId(tag)
+    }
+
+    /// Returns the raw 8-bit tag.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the next phase, wrapping modulo 256 like the hardware counter.
+    pub fn wrapping_next(self) -> PhaseId {
+        PhaseId(self.0.wrapping_add(1))
+    }
+}
+
+impl fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ph{}", self.0)
+    }
+}
+
+/// A simulation timestamp in core clock cycles.
+pub type Cycle = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_wraps_modulo_256() {
+        let mut p = PhaseId::new(254);
+        p = p.wrapping_next();
+        assert_eq!(p.value(), 255);
+        p = p.wrapping_next();
+        assert_eq!(p.value(), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(CoreId::new(1) < CoreId::new(2));
+        assert_eq!(CoreId::new(7).to_string(), "core7");
+        assert_eq!(ThreadId::new(9).to_string(), "t9");
+        assert_eq!(TxnTypeId::new(2).to_string(), "type2");
+        assert_eq!(PhaseId::new(3).to_string(), "ph3");
+    }
+
+    #[test]
+    fn usize_conversions() {
+        assert_eq!(CoreId::new(15).as_usize(), 15);
+        assert_eq!(ThreadId::new(100).as_usize(), 100);
+        assert_eq!(TxnTypeId::new(6).as_usize(), 6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Shared NUCA L2 cache (Table 2: 1 MB per core, 16-way, 16-cycle hit,
+//! address-interleaved slices over the torus).
+
+use crate::addr::BlockAddr;
+use crate::cache::{CacheGeometry, SetAssocCache};
+use crate::ids::{CoreId, Cycle};
+use crate::interconnect::Torus;
+use crate::memory::Dram;
+use crate::replacement::ReplacementKind;
+use crate::stats::SharedStats;
+
+/// The shared L2: one slice per core, interleaved by block address.
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::addr::BlockAddr;
+/// use strex_sim::ids::CoreId;
+/// use strex_sim::l2::SharedL2;
+///
+/// let mut l2 = SharedL2::table2(4);
+/// let cold = l2.access(CoreId::new(0), BlockAddr::new(5), 0);
+/// let warm = l2.access(CoreId::new(0), BlockAddr::new(5), cold);
+/// assert!(warm < cold);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedL2 {
+    slices: Vec<SetAssocCache>,
+    torus: Torus,
+    hit_latency: u64,
+    dram: Dram,
+    stats: SharedStats,
+}
+
+impl SharedL2 {
+    /// Builds the Table 2 L2 for `n_cores` cores.
+    pub fn table2(n_cores: usize) -> Self {
+        SharedL2::new(
+            n_cores,
+            1024 * 1024,
+            16,
+            16,
+            ReplacementKind::Lru,
+            Torus::new(n_cores),
+            Dram::default(),
+        )
+    }
+
+    /// Builds an L2 from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero (via the torus) or the slice geometry is
+    /// degenerate (via [`CacheGeometry::new`]).
+    pub fn new(
+        n_cores: usize,
+        bytes_per_core: u64,
+        assoc: usize,
+        hit_latency: u64,
+        repl: ReplacementKind,
+        torus: Torus,
+        dram: Dram,
+    ) -> Self {
+        let geom = CacheGeometry::new(bytes_per_core, assoc);
+        SharedL2 {
+            slices: (0..n_cores).map(|_| SetAssocCache::new(geom, repl)).collect(),
+            torus,
+            hit_latency,
+            dram,
+            stats: SharedStats::default(),
+        }
+    }
+
+    /// Which slice a block maps to.
+    pub fn slice_of(&self, block: BlockAddr) -> CoreId {
+        CoreId::new((block.index() % self.slices.len() as u64) as u16)
+    }
+
+    /// Serves a demand access from `core` arriving at `now`; returns the
+    /// total latency (network + slice hit or memory fill).
+    pub fn access(&mut self, core: CoreId, block: BlockAddr, now: Cycle) -> u64 {
+        self.stats.l2_accesses += 1;
+        let slice = self.slice_of(block);
+        let net = self.torus.round_trip(core, slice);
+        let cache = &mut self.slices[slice.as_usize()];
+        if cache.access(block, 0).is_hit() {
+            net + self.hit_latency
+        } else {
+            self.stats.l2_misses += 1;
+            let mem = self.dram.access(block, now + net / 2 + self.hit_latency);
+            net + self.hit_latency + mem
+        }
+    }
+
+    /// Accepts a dirty writeback from an L1 (charged to the L2 only as a
+    /// statistic; writebacks are off the critical path).
+    pub fn writeback(&mut self, core: CoreId, block: BlockAddr) {
+        let _ = core;
+        self.stats.writebacks += 1;
+        let slice = self.slice_of(block);
+        let cache = &mut self.slices[slice.as_usize()];
+        if !cache.contains(block) {
+            cache.fill(block, 0);
+        }
+    }
+
+    /// Returns `true` if the block is resident in its slice.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.slices[self.slice_of(block).as_usize()].contains(block)
+    }
+
+    /// Accumulated shared-level statistics.
+    pub fn stats(&self) -> SharedStats {
+        self.stats
+    }
+
+    /// Aggregate capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.slices
+            .iter()
+            .map(|s| s.geometry().size_bytes())
+            .sum()
+    }
+
+    /// Number of slices (= cores).
+    pub fn n_slices(&self) -> usize {
+        self.slices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_covers_all_slices() {
+        let l2 = SharedL2::table2(4);
+        let mut seen = [false; 4];
+        for i in 0..16 {
+            seen[l2.slice_of(BlockAddr::new(i)).as_usize()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn miss_then_hit_latency_ordering() {
+        let mut l2 = SharedL2::table2(2);
+        let b = BlockAddr::new(3);
+        let miss = l2.access(CoreId::new(0), b, 0);
+        let hit = l2.access(CoreId::new(0), b, 1000);
+        assert!(miss > hit);
+        assert!(hit >= l2.hit_latency);
+        assert_eq!(l2.stats().l2_accesses, 2);
+        assert_eq!(l2.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn remote_slice_costs_network() {
+        let mut l2 = SharedL2::table2(4);
+        // Warm both blocks first.
+        let local = BlockAddr::new(0); // slice 0
+        let remote = BlockAddr::new(1); // slice 1
+        l2.access(CoreId::new(0), local, 0);
+        l2.access(CoreId::new(0), remote, 0);
+        let l_local = l2.access(CoreId::new(0), local, 10_000);
+        let l_remote = l2.access(CoreId::new(0), remote, 10_000);
+        assert!(l_remote > l_local, "remote slice adds torus hops");
+    }
+
+    #[test]
+    fn writeback_installs_block() {
+        let mut l2 = SharedL2::table2(2);
+        let b = BlockAddr::new(9);
+        assert!(!l2.contains(b));
+        l2.writeback(CoreId::new(1), b);
+        assert!(l2.contains(b));
+        assert_eq!(l2.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn capacity_scales() {
+        assert_eq!(SharedL2::table2(4).capacity_bytes(), 4 * 1024 * 1024);
+        assert_eq!(SharedL2::table2(16).n_slices(), 16);
+    }
+}

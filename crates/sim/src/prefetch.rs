@@ -1,0 +1,101 @@
+//! Instruction prefetchers evaluated in Section 5.3.
+//!
+//! * [`PrefetcherKind::NextLine`] — the classic sequential prefetcher
+//!   (Smith, 1978): on an L1-I miss to block *b*, block *b + 1* is fetched
+//!   alongside. Prefetched blocks install with optimistic timeliness (no
+//!   extra demand latency when they are later used), which makes the
+//!   comparison conservative for STREX.
+//! * [`PrefetcherKind::PifIdeal`] — the paper's upper-bound model of PIF
+//!   (Ferdman et al., MICRO 2011): a 100 %-hit L1-I. Demand traffic is still
+//!   generated toward the L2 for blocks that would have missed, partially
+//!   modeling PIF's bandwidth cost, exactly as Section 5.3 describes.
+//!
+//! The prefetchers are policies consulted by the memory hierarchy rather
+//! than free-standing engines; [`PrefetcherKind::prefetch_targets`] tells
+//! the hierarchy which blocks to bring in alongside a demand fetch.
+
+use crate::addr::BlockAddr;
+
+/// Which instruction prefetcher a core uses.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum PrefetcherKind {
+    /// No prefetching (the paper's baseline).
+    #[default]
+    None,
+    /// Sequential next-line prefetcher.
+    NextLine,
+    /// Idealized PIF: never stalls on instruction fetch, still generates
+    /// L2 demand traffic for would-be misses.
+    PifIdeal,
+}
+
+impl PrefetcherKind {
+    /// Blocks to prefetch after a demand miss on `block`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strex_sim::addr::BlockAddr;
+    /// use strex_sim::prefetch::PrefetcherKind;
+    ///
+    /// let next = PrefetcherKind::NextLine.prefetch_targets(BlockAddr::new(7));
+    /// assert_eq!(next, vec![BlockAddr::new(8)]);
+    /// assert!(PrefetcherKind::None.prefetch_targets(BlockAddr::new(7)).is_empty());
+    /// ```
+    pub fn prefetch_targets(self, block: BlockAddr) -> Vec<BlockAddr> {
+        match self {
+            PrefetcherKind::None | PrefetcherKind::PifIdeal => Vec::new(),
+            PrefetcherKind::NextLine => vec![block.next()],
+        }
+    }
+
+    /// Whether instruction-fetch stalls are entirely hidden (PIF-ideal).
+    pub fn hides_all_fetch_latency(self) -> bool {
+        matches!(self, PrefetcherKind::PifIdeal)
+    }
+}
+
+impl std::fmt::Display for PrefetcherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::NextLine => "next-line",
+            PrefetcherKind::PifIdeal => "PIF-ideal",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_targets_successor() {
+        let t = PrefetcherKind::NextLine.prefetch_targets(BlockAddr::new(100));
+        assert_eq!(t, vec![BlockAddr::new(101)]);
+    }
+
+    #[test]
+    fn none_and_pif_issue_no_prefetches() {
+        assert!(PrefetcherKind::None
+            .prefetch_targets(BlockAddr::new(0))
+            .is_empty());
+        assert!(PrefetcherKind::PifIdeal
+            .prefetch_targets(BlockAddr::new(0))
+            .is_empty());
+    }
+
+    #[test]
+    fn only_pif_hides_latency() {
+        assert!(PrefetcherKind::PifIdeal.hides_all_fetch_latency());
+        assert!(!PrefetcherKind::NextLine.hides_all_fetch_latency());
+        assert!(!PrefetcherKind::None.hides_all_fetch_latency());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PrefetcherKind::NextLine.to_string(), "next-line");
+        assert_eq!(PrefetcherKind::PifIdeal.to_string(), "PIF-ideal");
+    }
+}

@@ -1,0 +1,397 @@
+//! Cache replacement policies.
+//!
+//! Section 5.7 of the paper studies STREX against state-of-the-art
+//! replacement policies. This module implements all five policies evaluated
+//! there:
+//!
+//! * **LRU** — classic least-recently-used stack.
+//! * **LIP** — LRU Insertion Policy (Qureshi et al., ISCA 2007): new blocks
+//!   are inserted at the LRU position so a streaming footprint cannot evict
+//!   the working set.
+//! * **BIP** — Bimodal Insertion Policy (same paper): like LIP, but a small
+//!   fraction of insertions (1/32) go to the MRU position so the cache can
+//!   adapt to working-set changes.
+//! * **SRRIP** — Static Re-Reference Interval Prediction (Jaleel et al.,
+//!   ISCA 2010): 2-bit re-reference prediction values (RRPV), inserting at
+//!   "long" (RRPV = 2) and promoting to "near-immediate" (RRPV = 0) on hits.
+//! * **BRRIP** — Bimodal RRIP: inserts at "distant" (RRPV = 3) most of the
+//!   time and at "long" 1/32 of the time, resisting thrashing/streaming.
+//!
+//! The implementation stores one metadata byte per way per set (LRU stack
+//! position or RRPV), and a shared bimodal throttle counter for BIP/BRRIP.
+//! All decision logic is deterministic so that a *peek* at the next victim
+//! (needed by STREX's victim monitor) always agrees with the subsequent
+//! eviction.
+
+use std::fmt;
+
+/// RRPV width used by SRRIP/BRRIP (2 bits, values 0..=3).
+const RRPV_MAX: u8 = 3;
+/// "Long re-reference" insertion value for SRRIP.
+const RRPV_LONG: u8 = RRPV_MAX - 1;
+/// Bimodal throttle period for BIP/BRRIP (1-in-32 insertions are favored).
+const BIMODAL_PERIOD: u32 = 32;
+
+/// The replacement policy family to use for a cache.
+///
+/// # Examples
+///
+/// ```
+/// use strex_sim::replacement::ReplacementKind;
+/// assert_eq!(ReplacementKind::default(), ReplacementKind::Lru);
+/// assert_eq!(ReplacementKind::Brrip.to_string(), "BRRIP");
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum ReplacementKind {
+    /// Least recently used.
+    #[default]
+    Lru,
+    /// LRU Insertion Policy.
+    Lip,
+    /// Bimodal Insertion Policy.
+    Bip,
+    /// Static Re-Reference Interval Prediction.
+    Srrip,
+    /// Bimodal Re-Reference Interval Prediction.
+    Brrip,
+}
+
+impl ReplacementKind {
+    /// All policy kinds, in the order Figure 9 reports them.
+    pub const ALL: [ReplacementKind; 5] = [
+        ReplacementKind::Lru,
+        ReplacementKind::Lip,
+        ReplacementKind::Bip,
+        ReplacementKind::Srrip,
+        ReplacementKind::Brrip,
+    ];
+}
+
+impl fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplacementKind::Lru => "LRU",
+            ReplacementKind::Lip => "LIP",
+            ReplacementKind::Bip => "BIP",
+            ReplacementKind::Srrip => "SRRIP",
+            ReplacementKind::Brrip => "BRRIP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Replacement state for every set of one cache.
+///
+/// The cache calls [`on_hit`](Replacement::on_hit) when an access hits,
+/// [`on_fill`](Replacement::on_fill) when a block is installed, and
+/// [`victim_way`](Replacement::victim_way) /
+/// [`evict`](Replacement::evict) when it must choose a victim.
+#[derive(Clone, Debug)]
+pub struct Replacement {
+    kind: ReplacementKind,
+    assoc: usize,
+    /// One metadata byte per way per set: LRU stack depth, or RRPV.
+    meta: Vec<u8>,
+    /// Bimodal throttle counter shared by all sets (BIP/BRRIP only).
+    bimodal_ctr: u32,
+}
+
+impl Replacement {
+    /// Creates replacement state for `sets` sets of `assoc` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0 or greater than 255.
+    pub fn new(kind: ReplacementKind, sets: usize, assoc: usize) -> Self {
+        assert!(assoc > 0 && assoc <= 255, "associativity out of range");
+        let meta = match kind {
+            // The LRU stack must be a permutation of 0..assoc per set even
+            // before any access, so initialize each set as the identity
+            // (the cache prefers invalid ways regardless).
+            ReplacementKind::Lru | ReplacementKind::Lip | ReplacementKind::Bip => (0..sets
+                * assoc)
+                .map(|i| (i % assoc) as u8)
+                .collect(),
+            ReplacementKind::Srrip | ReplacementKind::Brrip => vec![RRPV_MAX; sets * assoc],
+        };
+        Replacement {
+            kind,
+            assoc,
+            meta,
+            bimodal_ctr: 0,
+        }
+    }
+
+    /// Returns the policy family.
+    pub fn kind(&self) -> ReplacementKind {
+        self.kind
+    }
+
+    /// Returns the associativity this state was built for.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    fn set_meta(&mut self, set: usize) -> &mut [u8] {
+        let base = set * self.assoc;
+        &mut self.meta[base..base + self.assoc]
+    }
+
+    fn set_meta_ref(&self, set: usize) -> &[u8] {
+        let base = set * self.assoc;
+        &self.meta[base..base + self.assoc]
+    }
+
+    /// Records a hit on `way` of `set`.
+    pub fn on_hit(&mut self, set: usize, way: usize) {
+        match self.kind {
+            ReplacementKind::Lru | ReplacementKind::Lip | ReplacementKind::Bip => {
+                self.promote_to_mru(set, way);
+            }
+            ReplacementKind::Srrip | ReplacementKind::Brrip => {
+                self.set_meta(set)[way] = 0;
+            }
+        }
+    }
+
+    /// Records that a new block was installed in `way` of `set`.
+    pub fn on_fill(&mut self, set: usize, way: usize) {
+        match self.kind {
+            ReplacementKind::Lru => self.promote_to_mru(set, way),
+            ReplacementKind::Lip => self.demote_to_lru(set, way),
+            ReplacementKind::Bip => {
+                self.bimodal_ctr = (self.bimodal_ctr + 1) % BIMODAL_PERIOD;
+                if self.bimodal_ctr == 0 {
+                    self.promote_to_mru(set, way);
+                } else {
+                    self.demote_to_lru(set, way);
+                }
+            }
+            ReplacementKind::Srrip => self.set_meta(set)[way] = RRPV_LONG,
+            ReplacementKind::Brrip => {
+                self.bimodal_ctr = (self.bimodal_ctr + 1) % BIMODAL_PERIOD;
+                let rrpv = if self.bimodal_ctr == 0 { RRPV_LONG } else { RRPV_MAX };
+                self.set_meta(set)[way] = rrpv;
+            }
+        }
+    }
+
+    /// Returns the way that would be evicted from `set`, without mutating any
+    /// policy state.
+    ///
+    /// This is the *peek* operation STREX's victim monitor relies on: the way
+    /// returned here is exactly the way [`evict`](Replacement::evict) will
+    /// select next (assuming no intervening hits or fills in the set).
+    pub fn victim_way(&self, set: usize) -> usize {
+        let meta = self.set_meta_ref(set);
+        match self.kind {
+            ReplacementKind::Lru | ReplacementKind::Lip | ReplacementKind::Bip => {
+                // Deepest stack position = LRU.
+                Self::argmax(meta)
+            }
+            ReplacementKind::Srrip | ReplacementKind::Brrip => {
+                // RRIP aging selects the first way to reach RRPV_MAX, which
+                // is the way with the largest RRPV (lowest index on ties).
+                Self::argmax(meta)
+            }
+        }
+    }
+
+    /// Chooses and returns the victim way of `set`, applying any policy
+    /// mutation that eviction implies (RRIP aging).
+    pub fn evict(&mut self, set: usize) -> usize {
+        let way = self.victim_way(set);
+        if matches!(self.kind, ReplacementKind::Srrip | ReplacementKind::Brrip) {
+            // Age every other way by the amount needed for `way` to reach
+            // RRPV_MAX, mirroring the iterative increment loop in hardware.
+            let meta = self.set_meta(set);
+            let delta = RRPV_MAX - meta[way];
+            if delta > 0 {
+                for m in meta.iter_mut() {
+                    *m = (*m + delta).min(RRPV_MAX);
+                }
+            }
+        }
+        way
+    }
+
+    /// Clears the metadata of `way` in `set` after an invalidation so the
+    /// way is preferred for the next fill.
+    pub fn on_invalidate(&mut self, set: usize, way: usize) {
+        let init = match self.kind {
+            ReplacementKind::Lru | ReplacementKind::Lip | ReplacementKind::Bip => {
+                (self.assoc - 1) as u8
+            }
+            ReplacementKind::Srrip | ReplacementKind::Brrip => RRPV_MAX,
+        };
+        // Keep the LRU stack consistent: treat as a demotion to LRU first.
+        if matches!(
+            self.kind,
+            ReplacementKind::Lru | ReplacementKind::Lip | ReplacementKind::Bip
+        ) {
+            self.demote_to_lru(set, way);
+        }
+        self.set_meta(set)[way] = init;
+    }
+
+    fn argmax(meta: &[u8]) -> usize {
+        let mut best = 0;
+        for (i, &m) in meta.iter().enumerate() {
+            if m > meta[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Moves `way` to stack depth 0 and pushes shallower entries down.
+    fn promote_to_mru(&mut self, set: usize, way: usize) {
+        let meta = self.set_meta(set);
+        let old = meta[way];
+        for m in meta.iter_mut() {
+            if *m < old {
+                *m += 1;
+            }
+        }
+        meta[way] = 0;
+    }
+
+    /// Moves `way` to the deepest stack position, pulling deeper entries up.
+    fn demote_to_lru(&mut self, set: usize, way: usize) {
+        let assoc = self.assoc as u8;
+        let meta = self.set_meta(set);
+        let old = meta[way];
+        for m in meta.iter_mut() {
+            if *m > old {
+                *m -= 1;
+            }
+        }
+        meta[way] = assoc - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack_positions(r: &Replacement, set: usize) -> Vec<u8> {
+        r.set_meta_ref(set).to_vec()
+    }
+
+    #[test]
+    fn lru_victim_is_least_recent() {
+        let mut r = Replacement::new(ReplacementKind::Lru, 1, 4);
+        for way in 0..4 {
+            r.on_fill(0, way);
+        }
+        // Fill order 0,1,2,3 -> way 0 is LRU.
+        assert_eq!(r.victim_way(0), 0);
+        r.on_hit(0, 0); // way 0 becomes MRU
+        assert_eq!(r.victim_way(0), 1);
+    }
+
+    #[test]
+    fn lru_stack_is_a_permutation() {
+        let mut r = Replacement::new(ReplacementKind::Lru, 1, 8);
+        for way in 0..8 {
+            r.on_fill(0, way);
+        }
+        for &w in &[3usize, 1, 7, 3, 0] {
+            r.on_hit(0, w);
+            let mut pos = stack_positions(&r, 0);
+            pos.sort_unstable();
+            assert_eq!(pos, (0..8u8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn lip_inserts_at_lru() {
+        let mut r = Replacement::new(ReplacementKind::Lip, 1, 4);
+        for way in 0..4 {
+            r.on_fill(0, way);
+        }
+        // The most recent fill sits at the LRU position under LIP.
+        assert_eq!(r.victim_way(0), 3);
+        // A hit rescues it.
+        r.on_hit(0, 3);
+        assert_ne!(r.victim_way(0), 3);
+    }
+
+    #[test]
+    fn bip_occasionally_inserts_at_mru() {
+        let mut r = Replacement::new(ReplacementKind::Bip, 1, 2);
+        let mut mru_inserts = 0;
+        for i in 0..(2 * BIMODAL_PERIOD as usize) {
+            let way = i % 2;
+            r.on_fill(0, way);
+            if r.set_meta_ref(0)[way] == 0 {
+                mru_inserts += 1;
+            }
+        }
+        assert_eq!(mru_inserts, 2, "exactly 1-in-32 fills go to MRU");
+    }
+
+    #[test]
+    fn srrip_promotes_on_hit_and_ages_on_evict() {
+        let mut r = Replacement::new(ReplacementKind::Srrip, 1, 2);
+        r.on_fill(0, 0);
+        r.on_fill(0, 1);
+        assert_eq!(r.set_meta_ref(0), &[RRPV_LONG, RRPV_LONG]);
+        r.on_hit(0, 0);
+        assert_eq!(r.set_meta_ref(0)[0], 0);
+        // Way 1 has the larger RRPV, so it is the victim; eviction ages way 0.
+        assert_eq!(r.victim_way(0), 1);
+        let v = r.evict(0);
+        assert_eq!(v, 1);
+        assert_eq!(r.set_meta_ref(0)[0], 1, "other ways aged by the same delta");
+    }
+
+    #[test]
+    fn brrip_mostly_inserts_distant() {
+        let mut r = Replacement::new(ReplacementKind::Brrip, 1, 1);
+        let mut long_inserts = 0;
+        for _ in 0..BIMODAL_PERIOD as usize {
+            r.on_fill(0, 0);
+            if r.set_meta_ref(0)[0] == RRPV_LONG {
+                long_inserts += 1;
+            }
+        }
+        assert_eq!(long_inserts, 1);
+    }
+
+    #[test]
+    fn peek_matches_evict_for_all_kinds() {
+        for kind in ReplacementKind::ALL {
+            let mut r = Replacement::new(kind, 4, 8);
+            // Mixed traffic over a few sets.
+            for i in 0..200usize {
+                let set = i % 4;
+                let way = (i * 7) % 8;
+                if i % 3 == 0 {
+                    r.on_hit(set, way);
+                } else {
+                    r.on_fill(set, way);
+                }
+                let peek = r.victim_way(set);
+                let got = r.evict(set);
+                assert_eq!(peek, got, "peek/evict divergence for {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_prefers_way_for_next_victim() {
+        let mut r = Replacement::new(ReplacementKind::Lru, 1, 4);
+        for way in 0..4 {
+            r.on_fill(0, way);
+        }
+        r.on_invalidate(0, 2);
+        assert_eq!(r.victim_way(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity out of range")]
+    fn zero_assoc_panics() {
+        let _ = Replacement::new(ReplacementKind::Lru, 1, 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Miss and instruction counters, and the MPKI metrics the paper reports.
+
+/// Counters for one core's private caches.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub struct CoreStats {
+    /// Instructions executed (retired) on this core.
+    pub instructions: u64,
+    /// L1-I accesses (block-granularity fetch groups).
+    pub i_accesses: u64,
+    /// L1-I misses.
+    pub i_misses: u64,
+    /// L1-I misses hidden by the idealized PIF model (still L2 traffic).
+    pub i_misses_hidden: u64,
+    /// Prefetches issued by this core's L1-I prefetcher.
+    pub prefetches: u64,
+    /// Prefetched blocks that were later demanded (useful prefetches).
+    pub useful_prefetches: u64,
+    /// L1-D accesses.
+    pub d_accesses: u64,
+    /// L1-D misses.
+    pub d_misses: u64,
+    /// L1-D misses caused by coherence invalidations.
+    pub d_coherence_misses: u64,
+    /// Writes that required invalidating other sharers.
+    pub upgrade_invalidations: u64,
+    /// Cycles this core spent stalled on instruction fetch.
+    pub i_stall_cycles: u64,
+    /// Cycles this core spent stalled on data access.
+    pub d_stall_cycles: u64,
+}
+
+impl CoreStats {
+    /// Instruction misses per kilo-instruction.
+    pub fn i_mpki(&self) -> f64 {
+        mpki(self.i_misses, self.instructions)
+    }
+
+    /// Data misses per kilo-instruction.
+    pub fn d_mpki(&self) -> f64 {
+        mpki(self.d_misses, self.instructions)
+    }
+
+    /// Adds another core's counters into this one (for aggregation).
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.instructions += other.instructions;
+        self.i_accesses += other.i_accesses;
+        self.i_misses += other.i_misses;
+        self.i_misses_hidden += other.i_misses_hidden;
+        self.prefetches += other.prefetches;
+        self.useful_prefetches += other.useful_prefetches;
+        self.d_accesses += other.d_accesses;
+        self.d_misses += other.d_misses;
+        self.d_coherence_misses += other.d_coherence_misses;
+        self.upgrade_invalidations += other.upgrade_invalidations;
+        self.i_stall_cycles += other.i_stall_cycles;
+        self.d_stall_cycles += other.d_stall_cycles;
+    }
+}
+
+/// Counters for the shared levels.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub struct SharedStats {
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses (went to memory).
+    pub l2_misses: u64,
+    /// Dirty writebacks received from L1-Ds.
+    pub writebacks: u64,
+}
+
+/// Whole-system statistics: per-core plus shared counters.
+#[derive(Clone, Debug, Default)]
+pub struct SystemStats {
+    /// One entry per core.
+    pub cores: Vec<CoreStats>,
+    /// Shared-cache and memory counters.
+    pub shared: SharedStats,
+}
+
+impl SystemStats {
+    /// Creates zeroed statistics for `n_cores` cores.
+    pub fn new(n_cores: usize) -> Self {
+        SystemStats {
+            cores: vec![CoreStats::default(); n_cores],
+            shared: SharedStats::default(),
+        }
+    }
+
+    /// Sums every core's counters.
+    pub fn aggregate(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for c in &self.cores {
+            total.merge(c);
+        }
+        total
+    }
+
+    /// System-wide instruction MPKI (Figures 4, 5 and 9).
+    pub fn i_mpki(&self) -> f64 {
+        self.aggregate().i_mpki()
+    }
+
+    /// System-wide data MPKI (Figure 5).
+    pub fn d_mpki(&self) -> f64 {
+        self.aggregate().d_mpki()
+    }
+
+    /// Total instructions executed.
+    pub fn instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+}
+
+/// Misses per kilo-instruction; zero when no instructions retired.
+pub fn mpki(misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_basic() {
+        assert_eq!(mpki(0, 1000), 0.0);
+        assert_eq!(mpki(10, 1000), 10.0);
+        assert_eq!(mpki(5, 0), 0.0, "no instructions -> 0, not NaN");
+    }
+
+    #[test]
+    fn core_stats_mpki() {
+        let s = CoreStats {
+            instructions: 2000,
+            i_misses: 50,
+            d_misses: 20,
+            ..CoreStats::default()
+        };
+        assert_eq!(s.i_mpki(), 25.0);
+        assert_eq!(s.d_mpki(), 10.0);
+    }
+
+    #[test]
+    fn aggregate_sums_cores() {
+        let mut sys = SystemStats::new(2);
+        sys.cores[0].instructions = 1000;
+        sys.cores[0].i_misses = 10;
+        sys.cores[1].instructions = 3000;
+        sys.cores[1].i_misses = 30;
+        let agg = sys.aggregate();
+        assert_eq!(agg.instructions, 4000);
+        assert_eq!(agg.i_misses, 40);
+        assert_eq!(sys.i_mpki(), 10.0);
+    }
+
+    #[test]
+    fn merge_covers_all_fields() {
+        let a = CoreStats {
+            instructions: 1,
+            i_accesses: 2,
+            i_misses: 3,
+            i_misses_hidden: 4,
+            prefetches: 5,
+            useful_prefetches: 6,
+            d_accesses: 7,
+            d_misses: 8,
+            d_coherence_misses: 9,
+            upgrade_invalidations: 10,
+            i_stall_cycles: 11,
+            d_stall_cycles: 12,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.instructions, 2);
+        assert_eq!(b.d_stall_cycles, 24);
+        assert_eq!(b.upgrade_invalidations, 20);
+    }
+}

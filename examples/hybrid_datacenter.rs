@@ -1,0 +1,47 @@
+//! A data-center reconfiguration scenario (Section 5.5): the cores granted
+//! to the OLTP application change at runtime, and the hybrid scheduler
+//! re-profiles transaction footprints (FPTable) to pick SLICC when the
+//! aggregate L1-I fits the workload and STREX when it does not.
+//!
+//! ```text
+//! cargo run --release --example hybrid_datacenter
+//! ```
+
+use strex::config::SchedulerKind;
+use strex::driver::{run, SimConfig};
+use strex::sched::FpTable;
+use strex_oltp::workload::{Workload, WorkloadKind};
+
+fn main() {
+    let workload = Workload::preset_small(WorkloadKind::Tpce, 40, 11);
+    // Profile once: the FPTable the hardware would build by sampling one
+    // transaction per type (Section 5.5's profiling phase).
+    let fptable = FpTable::profile(workload.txns(), 32 * 1024);
+    println!(
+        "FPTable: {} types profiled, mean footprint {:.1} L1-I units\n",
+        fptable.len(),
+        fptable.mean_units()
+    );
+
+    println!(
+        "{:>5}  {:>9}  {:>8}  {:>7}  {:>7}",
+        "cores", "selected", "rel-tput", "I-MPKI", "D-MPKI"
+    );
+    let base2 = run(&workload, &SimConfig::new(2, SchedulerKind::Baseline));
+    for cores in [2usize, 4, 8, 16] {
+        let r = run(&workload, &SimConfig::new(cores, SchedulerKind::Hybrid));
+        println!(
+            "{:>5}  {:>9}  {:>8.2}  {:>7.1}  {:>7.2}",
+            cores,
+            r.hybrid_choice.unwrap_or("?"),
+            r.relative_throughput(&base2),
+            r.i_mpki(),
+            r.d_mpki()
+        );
+    }
+    println!(
+        "\nThe selection rule is the paper's: SLICC once the core count covers \
+         the FPTable's mean footprint ({:.1} units here), STREX below that.",
+        fptable.mean_units()
+    );
+}

@@ -1,0 +1,44 @@
+//! Throughput vs latency as a function of STREX team size (the Figure 7/8
+//! trade-off): larger teams amortize the lead's misses over more followers
+//! but delay each follower's completion, exactly like request batching in
+//! software transaction schedulers.
+//!
+//! ```text
+//! cargo run --release --example team_size_tuning
+//! ```
+
+use strex::config::SchedulerKind;
+use strex::driver::{run, SimConfig};
+use strex_oltp::workload::{Workload, WorkloadKind};
+
+fn main() {
+    let workload = Workload::preset_small(WorkloadKind::TpccW1, 48, 7);
+    let cores = 4;
+    let baseline = run(&workload, &SimConfig::new(cores, SchedulerKind::Baseline));
+    println!(
+        "{:>9}  {:>8}  {:>17}  {:>13}",
+        "team size", "rel-tput", "mean latency (Mc)", "p90 done (Mc)"
+    );
+    println!(
+        "{:>9}  {:>8.2}  {:>17.2}  {:>13.2}",
+        "base",
+        1.00,
+        baseline.mean_latency() / 1e6,
+        baseline.completion_time(0.9) as f64 / 1e6
+    );
+    for team_size in [2usize, 4, 6, 10, 16, 20] {
+        let cfg = SimConfig::new(cores, SchedulerKind::Strex).with_team_size(team_size);
+        let r = run(&workload, &cfg);
+        println!(
+            "{:>9}  {:>8.2}  {:>17.2}  {:>13.2}",
+            team_size,
+            r.relative_throughput(&baseline),
+            r.mean_latency() / 1e6,
+            r.completion_time(0.9) as f64 / 1e6
+        );
+    }
+    println!(
+        "\nPick the team size from your latency budget: throughput rises with \
+         team size while per-transaction latency stretches (paper, Section 5.4)."
+    );
+}
