@@ -3,12 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! repro [fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|config|all] [--quick]
+//! repro [fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|config|all] [--quick] [--json]
 //! ```
 //!
 //! `fig5`/`fig6` share one run matrix, as do `fig7`/`fig8`. With `--quick`
 //! the pools and databases shrink so the whole suite finishes in well under
 //! a minute (used by CI); shapes are preserved, magnitudes are noisier.
+//! With `--json` the figure 5/6 scheduler campaign is additionally emitted
+//! as one JSON document (the `BENCH_*.json` trajectory format).
 
 use std::env;
 use std::process::ExitCode;
@@ -20,7 +22,14 @@ use strex_bench::experiments::{
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    for flag in args.iter().filter(|a| a.starts_with("--")) {
+        if flag != "--quick" && flag != "--json" {
+            eprintln!("unknown flag `{flag}`; known flags: --quick --json");
+            return ExitCode::FAILURE;
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let effort = if quick { Effort::Quick } else { Effort::Full };
     let targets: Vec<&str> = args
         .iter()
@@ -45,6 +54,9 @@ fn main() -> ExitCode {
         }
     }
 
+    if json && !(want("fig5") || want("fig6")) {
+        eprintln!("note: --json only applies to the fig5/fig6 campaign, which is not selected");
+    }
     println!(
         "STREX reproduction — seed {} — {:?} effort\n",
         experiments::SEED, effort
@@ -62,7 +74,13 @@ fn main() -> ExitCode {
         println!("{}", fig4(effort).0);
     }
     if want("fig5") || want("fig6") {
-        println!("{}", fig5_fig6(effort).0);
+        if json {
+            let ((text, _), campaign) = experiments::fig5_fig6_campaign(effort);
+            println!("{text}");
+            println!("{}", campaign.to_json());
+        } else {
+            println!("{}", fig5_fig6(effort).0);
+        }
     }
     if want("fig7") || want("fig8") {
         println!("{}", fig7_fig8(effort).0);

@@ -5,9 +5,10 @@
 //! matches the experiment index in DESIGN.md; `Quick` runs the same code in
 //! seconds for CI.
 
-use strex::config::{SchedulerKind, SliccParams, StrexParams};
+use strex::campaign::Campaign;
+use strex::config::{SchedulerKind, SimConfig, SliccParams, StrexParams};
 use strex::cost::{CostBreakdown, CostParams};
-use strex::driver::{run, SimConfig};
+use strex::driver::run;
 use strex::report::Report;
 use strex::sched::FpTable;
 use strex_oltp::overlap::{analyze, OverlapConfig};
@@ -55,13 +56,19 @@ impl Effort {
 pub const SEED: u64 = 20130624;
 
 fn sim(cores: usize, kind: SchedulerKind) -> SimConfig {
-    SimConfig::new(cores, kind)
+    SimConfig::builder()
+        .cores(cores)
+        .scheduler(kind)
+        .build()
+        .expect("experiment configurations are valid")
 }
 
 fn sim_prefetch(cores: usize, pf: PrefetcherKind) -> SimConfig {
-    let mut cfg = SimConfig::new(cores, SchedulerKind::Baseline);
-    cfg.system = cfg.system.with_prefetcher(pf);
-    cfg
+    SimConfig::builder()
+        .cores(cores)
+        .prefetcher(pf)
+        .build()
+        .expect("experiment configurations are valid")
 }
 
 /// Figure 1: transaction flow graphs with per-action instruction footprints.
@@ -222,14 +229,56 @@ pub struct MatrixRow {
 /// Figures 5 and 6: the full scheduler x core-count x workload matrix.
 ///
 /// Figure 5 reads the `i_mpki`/`d_mpki` columns (Base/SLICC/STREX); Figure 6
-/// reads `rel_throughput` (adding next-line, PIF and the hybrid).
+/// reads `rel_throughput` (adding next-line, PIF and the hybrid). The
+/// matrix is declared as a [`Campaign`] per technique family and executed
+/// on a worker pool; results are read back by cell key, so row order is
+/// independent of execution order.
 pub fn fig5_fig6(effort: Effort) -> (String, Vec<MatrixRow>) {
+    fig5_fig6_campaign(effort).0
+}
+
+/// [`fig5_fig6`] plus the raw scheduler campaign (for JSON export).
+pub fn fig5_fig6_campaign(
+    effort: Effort,
+) -> ((String, Vec<MatrixRow>), strex::campaign::CampaignResult) {
+    let kinds = [
+        SchedulerKind::Baseline,
+        SchedulerKind::Slicc,
+        SchedulerKind::Strex,
+        SchedulerKind::Hybrid,
+    ];
+    let size = 240;
+    let workloads: Vec<Workload> = WorkloadKind::ALL
+        .into_iter()
+        .map(|wk| effort.workload(wk, size, SEED))
+        .collect();
+    let core_counts = effort.core_counts();
+
+    let sched_matrix = Campaign::new(sim(2, SchedulerKind::Baseline))
+        .over_schedulers(kinds)
+        .over_workloads(&workloads)
+        .over_cores(core_counts.iter().copied())
+        .run()
+        .expect("figure 5/6 scheduler matrix is valid");
+    let pf_matrices: Vec<(PrefetcherKind, strex::campaign::CampaignResult)> =
+        [PrefetcherKind::NextLine, PrefetcherKind::PifIdeal]
+            .into_iter()
+            .map(|pf| {
+                let m = Campaign::new(sim_prefetch(2, pf))
+                    .over_workloads(&workloads)
+                    .over_cores(core_counts.iter().copied())
+                    .run()
+                    .expect("figure 6 prefetcher matrix is valid");
+                (pf, m)
+            })
+            .collect();
+
     let mut rows = Vec::new();
-    for wk in WorkloadKind::ALL {
-        let size = 240;
-        let w = effort.workload(wk, size, SEED);
-        let base2 = run(&w, &sim(2, SchedulerKind::Baseline));
-        for &cores in &effort.core_counts() {
+    for (wk, w) in WorkloadKind::ALL.into_iter().zip(&workloads) {
+        let base2 = sched_matrix
+            .report(w.name(), SchedulerKind::Baseline.key(), 2)
+            .expect("2-core baseline is part of the matrix");
+        for &cores in &core_counts {
             let mut push = |label: String, r: &Report| {
                 rows.push(MatrixRow {
                     workload: wk.name(),
@@ -237,21 +286,20 @@ pub fn fig5_fig6(effort: Effort) -> (String, Vec<MatrixRow>) {
                     technique: label,
                     i_mpki: r.i_mpki(),
                     d_mpki: r.d_mpki(),
-                    rel_throughput: r.relative_throughput(&base2),
+                    rel_throughput: r.relative_throughput(base2),
                 });
             };
-            for kind in [
-                SchedulerKind::Baseline,
-                SchedulerKind::Slicc,
-                SchedulerKind::Strex,
-                SchedulerKind::Hybrid,
-            ] {
-                let r = run(&w, &sim(cores, kind));
-                push(format!("{kind}"), &r);
+            for kind in kinds {
+                let r = sched_matrix
+                    .report(w.name(), kind.key(), cores)
+                    .expect("every scheduler cell ran");
+                push(format!("{kind}"), r);
             }
-            for pf in [PrefetcherKind::NextLine, PrefetcherKind::PifIdeal] {
-                let r = run(&w, &sim_prefetch(cores, pf));
-                push(format!("{pf}"), &r);
+            for (pf, matrix) in &pf_matrices {
+                let r = matrix
+                    .report(w.name(), SchedulerKind::Baseline.key(), cores)
+                    .expect("every prefetcher cell ran");
+                push(format!("{pf}"), r);
             }
         }
     }
@@ -274,11 +322,14 @@ pub fn fig5_fig6(effort: Effort) -> (String, Vec<MatrixRow>) {
         ]);
     }
     (
-        format!(
-            "Figures 5 & 6: L1 misses and relative throughput\n\n{}",
-            t.render()
+        (
+            format!(
+                "Figures 5 & 6: L1 misses and relative throughput\n\n{}",
+                t.render()
+            ),
+            rows,
         ),
-        rows,
+        sched_matrix,
     )
 }
 
@@ -315,18 +366,26 @@ pub fn fig7_fig8(effort: Effort) -> (String, Vec<TeamSizeRow>) {
         });
     };
     push("Baseline".to_string(), &base);
-    let team_sizes: &[usize] = match effort {
-        Effort::Quick => &[2, 10],
-        Effort::Full => &[2, 4, 6, 8, 10, 12, 16, 20],
+    let team_sizes: Vec<usize> = match effort {
+        Effort::Quick => vec![2, 10],
+        Effort::Full => vec![2, 4, 6, 8, 10, 12, 16, 20],
     };
-    for &ts in team_sizes {
-        let cfg = sim(cores, SchedulerKind::Strex).with_team_size(ts);
-        let r = run(&w, &cfg);
-        push(format!("STREX-{ts}T"), &r);
+    let strex_sweep = Campaign::new(sim(cores, SchedulerKind::Strex))
+        .over_workloads([&w])
+        .over_team_sizes(team_sizes.iter().copied())
+        .run()
+        .expect("figure 7/8 team-size sweep is valid");
+    for (&ts, cell) in team_sizes.iter().zip(strex_sweep.cells()) {
+        debug_assert_eq!(cell.key.team_size, ts);
+        push(format!("STREX-{ts}T"), &cell.report);
     }
-    for &c in &effort.core_counts() {
-        let r = run(&w, &sim(c, SchedulerKind::Slicc));
-        push(format!("SLICC-{c}"), &r);
+    let slicc_sweep = Campaign::new(sim(2, SchedulerKind::Slicc))
+        .over_workloads([&w])
+        .over_cores(effort.core_counts())
+        .run()
+        .expect("figure 8 SLICC core sweep is valid");
+    for cell in slicc_sweep.cells() {
+        push(format!("SLICC-{}", cell.key.cores), &cell.report);
     }
     let mut t = TextTable::new(vec!["config", "mean latency (M-cyc)", "rel-tput"]);
     for r in &rows {
@@ -362,8 +421,11 @@ pub fn fig9(effort: Effort) -> (String, Vec<ReplacementRow>) {
     for wk in [WorkloadKind::TpccW10, WorkloadKind::Tpce] {
         let w = effort.workload(wk, 240, SEED);
         for kind in ReplacementKind::ALL {
-            let mut cfg = sim(8, SchedulerKind::Baseline);
-            cfg.system = cfg.system.with_l1i_replacement(kind);
+            let cfg = SimConfig::builder()
+                .cores(8)
+                .l1i_replacement(kind)
+                .build()
+                .expect("experiment configurations are valid");
             let r = run(&w, &cfg);
             rows.push(ReplacementRow {
                 workload: wk.name(),
@@ -376,8 +438,12 @@ pub fn fig9(effort: Effort) -> (String, Vec<ReplacementRow>) {
             ReplacementKind::Bip,
             ReplacementKind::Brrip,
         ] {
-            let mut cfg = sim(8, SchedulerKind::Strex);
-            cfg.system = cfg.system.with_l1i_replacement(kind);
+            let cfg = SimConfig::builder()
+                .cores(8)
+                .scheduler(SchedulerKind::Strex)
+                .l1i_replacement(kind)
+                .build()
+                .expect("experiment configurations are valid");
             let r = run(&w, &cfg);
             rows.push(ReplacementRow {
                 workload: wk.name(),
@@ -426,8 +492,12 @@ pub fn ablation(effort: Effort) -> (String, Vec<AblationRow>) {
     let reference = run(&w, &sim(cores, SchedulerKind::Strex));
     let mut rows = Vec::new();
     for min_q in [0u32, 32, 96, 256, 1024] {
-        let mut cfg = sim(cores, SchedulerKind::Strex);
-        cfg.strex.min_quantum_fetches = min_q;
+        let cfg = SimConfig::builder()
+            .cores(cores)
+            .scheduler(SchedulerKind::Strex)
+            .min_quantum_fetches(min_q)
+            .build()
+            .expect("experiment configurations are valid");
         let r = run(&w, &cfg);
         rows.push(AblationRow {
             setting: format!("min_quantum_fetches={min_q}"),
@@ -437,8 +507,12 @@ pub fn ablation(effort: Effort) -> (String, Vec<AblationRow>) {
         });
     }
     for blocks in [1u64, 4, 16, 64] {
-        let mut cfg = sim(cores, SchedulerKind::Strex);
-        cfg.strex.ctx_state_blocks = blocks;
+        let cfg = SimConfig::builder()
+            .cores(cores)
+            .scheduler(SchedulerKind::Strex)
+            .ctx_state_blocks(blocks)
+            .build()
+            .expect("experiment configurations are valid");
         let r = run(&w, &cfg);
         rows.push(AblationRow {
             setting: format!("ctx_state_blocks={blocks}"),
@@ -509,8 +583,12 @@ pub fn future_work(effort: Effort) -> (String, Vec<ComboRow>) {
         ("Base+PIF", SchedulerKind::Baseline, PrefetcherKind::PifIdeal),
         ("STREX+PIF", SchedulerKind::Strex, PrefetcherKind::PifIdeal),
     ] {
-        let mut cfg = sim(cores, sched);
-        cfg.system = cfg.system.with_prefetcher(pf);
+        let cfg = SimConfig::builder()
+            .cores(cores)
+            .scheduler(sched)
+            .prefetcher(pf)
+            .build()
+            .expect("experiment configurations are valid");
         let r = run(&w, &cfg);
         push(label, &r);
     }

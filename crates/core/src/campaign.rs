@@ -1,0 +1,441 @@
+//! Experiment campaigns: declarative run matrices executed on a worker
+//! pool.
+//!
+//! The paper is evaluated entirely through matrices of simulations —
+//! scheduler × workload × core-count × team-size sweeps (Figures 5–9).
+//! [`Campaign`] declares such a matrix over one base [`SimConfig`],
+//! executes every cell on a [`std::thread::scope`] worker pool
+//! (simulations are independent and deterministic, so the sweep is
+//! embarrassingly parallel), and yields a [`CampaignResult`] whose cells
+//! carry stable [`CellKey`]s and serialize to JSON.
+//!
+//! ```no_run
+//! use strex::campaign::Campaign;
+//! use strex::config::{SchedulerKind, SimConfig};
+//! use strex_oltp::workload::{Workload, WorkloadKind};
+//!
+//! let workloads = [
+//!     Workload::preset_small(WorkloadKind::TpccW1, 24, 42),
+//!     Workload::preset_small(WorkloadKind::Tpce, 24, 42),
+//! ];
+//! let result = Campaign::new(SimConfig::default())
+//!     .over_schedulers(SchedulerKind::ALL)
+//!     .over_workloads(workloads.iter())
+//!     .over_cores([2, 4, 8])
+//!     .run()
+//!     .expect("valid matrix");
+//! for cell in result.cells() {
+//!     println!("{}: I-MPKI {:.1}", cell.key, cell.report.i_mpki());
+//! }
+//! println!("{}", result.to_json());
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use strex_oltp::workload::Workload;
+
+use crate::config::{SchedulerKind, SimConfig};
+use crate::driver::run_with;
+use crate::error::ConfigError;
+use crate::json::JsonWriter;
+use crate::report::Report;
+use crate::sched::registry::{self, SchedulerRegistry};
+
+/// A declarative run matrix over one base configuration.
+///
+/// Axes left unset default to the single value the base configuration
+/// carries (its scheduler, core count, and team size); workloads have no
+/// default — an empty workload axis yields an empty result.
+pub struct Campaign<'w> {
+    base: SimConfig,
+    schedulers: Option<Vec<String>>,
+    workloads: Vec<&'w Workload>,
+    cores: Option<Vec<usize>>,
+    team_sizes: Option<Vec<usize>>,
+    parallelism: Option<usize>,
+}
+
+impl<'w> Campaign<'w> {
+    /// A campaign whose cells start from `base`.
+    pub fn new(base: SimConfig) -> Self {
+        Campaign {
+            base,
+            schedulers: None,
+            workloads: Vec::new(),
+            cores: None,
+            team_sizes: None,
+            parallelism: None,
+        }
+    }
+
+    /// Adds a scheduler axis over built-in kinds.
+    pub fn over_schedulers(self, kinds: impl IntoIterator<Item = SchedulerKind>) -> Self {
+        self.over_scheduler_names(kinds.into_iter().map(|k| k.key()))
+    }
+
+    /// Adds a scheduler axis over registry names — the way custom
+    /// [`SchedulerFactory`](crate::sched::registry::SchedulerFactory)
+    /// policies enter a matrix (pair with [`Campaign::run_on`]).
+    pub fn over_scheduler_names<S: Into<String>>(
+        mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.schedulers
+            .get_or_insert_with(Vec::new)
+            .extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds workloads to the workload axis.
+    pub fn over_workloads(mut self, workloads: impl IntoIterator<Item = &'w Workload>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Adds a core-count axis (Figure 5/6 sweep 2, 4, 8, 16).
+    pub fn over_cores(mut self, cores: impl IntoIterator<Item = usize>) -> Self {
+        self.cores.get_or_insert_with(Vec::new).extend(cores);
+        self
+    }
+
+    /// Adds a STREX team-size axis (Figure 7/8 sweep 2..=20).
+    pub fn over_team_sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.team_sizes.get_or_insert_with(Vec::new).extend(sizes);
+        self
+    }
+
+    /// Caps the worker pool (defaults to available parallelism). `1`
+    /// forces sequential execution on the calling thread's schedule.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Enumerates and validates every cell without running anything.
+    ///
+    /// Cells are produced in deterministic matrix order — workload-major,
+    /// then scheduler, cores, team size — which is also the order of
+    /// [`CampaignResult::cells`].
+    ///
+    /// The cell's *key* is authoritative for the scheduler: the executor
+    /// resolves `CellKey::scheduler` from the registry. The returned
+    /// `SimConfig`'s `scheduler` field mirrors the key only for built-in
+    /// kinds; for custom registry names (which `SchedulerKind` cannot
+    /// represent) it keeps the base value — replay a custom-policy cell
+    /// through [`run_registered`](crate::driver::run_registered)-style
+    /// name resolution, not through the config field.
+    pub fn cells(&self, reg: &SchedulerRegistry) -> Result<Vec<(CellKey, SimConfig)>, ConfigError> {
+        let schedulers: Vec<String> = match &self.schedulers {
+            Some(s) => s.clone(),
+            None => vec![self.base.scheduler.key().to_string()],
+        };
+        let cores = self
+            .cores
+            .clone()
+            .unwrap_or_else(|| vec![self.base.system.n_cores]);
+        let team_sizes = self
+            .team_sizes
+            .clone()
+            .unwrap_or_else(|| vec![self.base.strex.team_size]);
+
+        let mut cells = Vec::new();
+        for (w_idx, w) in self.workloads.iter().enumerate() {
+            for sched in &schedulers {
+                if reg.get(sched).is_none() {
+                    return Err(ConfigError::UnknownScheduler {
+                        name: sched.clone(),
+                    });
+                }
+                for &n_cores in &cores {
+                    for &team_size in &team_sizes {
+                        let mut cfg = self.base.clone();
+                        // Mutate the axis fields in place so every other
+                        // base override (prefetcher, replacement, DRAM…)
+                        // survives into the cell.
+                        cfg.system.n_cores = n_cores;
+                        cfg.strex.team_size = team_size;
+                        if let Some(kind) = SchedulerKind::from_key(sched) {
+                            cfg.scheduler = kind;
+                        }
+                        cfg.validate()?;
+                        cells.push((
+                            CellKey {
+                                workload: w.name().to_string(),
+                                workload_idx: w_idx,
+                                scheduler: sched.clone(),
+                                cores: n_cores,
+                                team_size,
+                            },
+                            cfg,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Executes the matrix against the
+    /// [global registry](crate::sched::registry::global).
+    pub fn run(&self) -> Result<CampaignResult, ConfigError> {
+        self.run_on(registry::global())
+    }
+
+    /// Executes the matrix, resolving scheduler names from `reg`.
+    ///
+    /// Every cell is validated before anything runs, so a bad matrix
+    /// costs nothing. Cells execute on a scoped worker pool; results are
+    /// reassembled in matrix order, so the outcome is independent of
+    /// worker interleaving — and, because each simulation is itself
+    /// deterministic, bit-identical to sequential [`run`](crate::driver::run)
+    /// calls.
+    pub fn run_on(&self, reg: &SchedulerRegistry) -> Result<CampaignResult, ConfigError> {
+        let cells = self.cells(reg)?;
+        let workers = self
+            .parallelism
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .min(cells.len().max(1));
+
+        let slots: Vec<Mutex<Option<Report>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((key, cfg)) = cells.get(i) else {
+                        break;
+                    };
+                    let workload = self.workloads[key.workload_idx];
+                    let mut sched = reg
+                        .create(&key.scheduler, cfg)
+                        .expect("cells() checked registration");
+                    let report = run_with(workload, cfg, sched.as_mut());
+                    *slots[i].lock().expect("worker never panics holding slot") =
+                        Some(report);
+                });
+            }
+        });
+
+        let cells = cells
+            .into_iter()
+            .zip(slots)
+            .map(|((key, _), slot)| CampaignCell {
+                key,
+                report: slot
+                    .into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every cell executed"),
+            })
+            .collect();
+        Ok(CampaignResult { cells })
+    }
+}
+
+/// Stable identity of one matrix cell.
+#[derive(Clone, Eq, PartialEq, Hash, Debug)]
+pub struct CellKey {
+    /// Workload name.
+    pub workload: String,
+    /// Position of the workload in the campaign's workload axis
+    /// (disambiguates two workloads sharing a name).
+    pub workload_idx: usize,
+    /// Scheduler registry name.
+    pub scheduler: String,
+    /// Core count.
+    pub cores: usize,
+    /// STREX team size.
+    pub team_size: usize,
+}
+
+impl fmt::Display for CellKey {
+    /// The stable textual key: `workload/scheduler/c<cores>/t<team_size>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/c{}/t{}",
+            self.workload, self.scheduler, self.cores, self.team_size
+        )
+    }
+}
+
+/// One executed cell: its key and the measured report.
+#[derive(Clone, Debug)]
+pub struct CampaignCell {
+    /// Which cell of the matrix this is.
+    pub key: CellKey,
+    /// The simulation outcome.
+    pub report: Report,
+}
+
+/// All cells of an executed campaign, in deterministic matrix order.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    cells: Vec<CampaignCell>,
+}
+
+impl CampaignResult {
+    /// The cells, in matrix order (workload-major; see
+    /// [`Campaign::cells`]).
+    pub fn cells(&self) -> &[CampaignCell] {
+        &self.cells
+    }
+
+    /// Number of executed cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the matrix was empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The first report matching `workload`, `scheduler` and `cores`
+    /// (any team size).
+    pub fn report(&self, workload: &str, scheduler: &str, cores: usize) -> Option<&Report> {
+        self.cells
+            .iter()
+            .find(|c| {
+                c.key.workload == workload
+                    && c.key.scheduler == scheduler
+                    && c.key.cores == cores
+            })
+            .map(|c| &c.report)
+    }
+
+    /// The report for an exact key.
+    pub fn get(&self, key: &CellKey) -> Option<&Report> {
+        self.cells
+            .iter()
+            .find(|c| &c.key == key)
+            .map(|c| &c.report)
+    }
+
+    /// Serializes every cell — key and full report — as one JSON object,
+    /// the on-disk form intended for `BENCH_*.json` trajectories.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("cells");
+        w.begin_array();
+        for cell in &self.cells {
+            w.begin_object();
+            w.key("id");
+            w.string(&cell.key.to_string());
+            w.key("key");
+            w.begin_object();
+            w.key("workload");
+            w.string(&cell.key.workload);
+            w.key("scheduler");
+            w.string(&cell.key.scheduler);
+            w.key("cores");
+            w.number_u64(cell.key.cores as u64);
+            w.key("team_size");
+            w.number_u64(cell.key.team_size as u64);
+            w.end_object();
+            w.key("report");
+            cell.report.write_json(&mut w);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strex_oltp::workload::WorkloadKind;
+
+    fn pool() -> Workload {
+        Workload::preset_small(WorkloadKind::TpccW1, 8, 17)
+    }
+
+    #[test]
+    fn axes_default_to_the_base_configuration() {
+        let w = pool();
+        let base = SimConfig::new(4, SchedulerKind::Strex).with_team_size(6);
+        let cells = Campaign::new(base)
+            .over_workloads([&w])
+            .cells(registry::global())
+            .expect("valid");
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].0.scheduler, "strex");
+        assert_eq!(cells[0].0.cores, 4);
+        assert_eq!(cells[0].0.team_size, 6);
+    }
+
+    #[test]
+    fn matrix_order_is_workload_major_and_stable() {
+        let (w1, w2) = (pool(), pool());
+        let campaign = Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
+            .over_schedulers([SchedulerKind::Baseline, SchedulerKind::Strex])
+            .over_workloads([&w1, &w2])
+            .over_cores([2, 4]);
+        let cells = campaign.cells(registry::global()).expect("valid");
+        assert_eq!(cells.len(), 8);
+        let ids: Vec<String> = cells.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(ids[0], "TPC-C-1/baseline/c2/t10");
+        assert_eq!(ids[1], "TPC-C-1/baseline/c4/t10");
+        assert_eq!(ids[2], "TPC-C-1/strex/c2/t10");
+        assert_eq!(ids[4], "TPC-C-1/baseline/c2/t10", "second workload");
+        assert_eq!(cells[4].0.workload_idx, 1);
+    }
+
+    #[test]
+    fn invalid_cells_are_rejected_before_execution() {
+        let w = pool();
+        let err = Campaign::new(SimConfig::new(2, SchedulerKind::Strex))
+            .over_workloads([&w])
+            .over_team_sizes([0])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTeamSize);
+
+        let err = Campaign::new(SimConfig::new(2, SchedulerKind::Strex))
+            .over_workloads([&w])
+            .over_scheduler_names(["no-such-policy"])
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::UnknownScheduler {
+                name: "no-such-policy".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_workload_axis_gives_empty_result() {
+        let result = Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
+            .run()
+            .expect("empty is fine");
+        assert!(result.is_empty());
+        assert_eq!(result.to_json(), r#"{"cells":[]}"#);
+    }
+
+    #[test]
+    fn lookup_by_axis_and_by_key() {
+        let w = pool();
+        let result = Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
+            .over_schedulers([SchedulerKind::Baseline, SchedulerKind::Strex])
+            .over_workloads([&w])
+            .run()
+            .expect("runs");
+        assert_eq!(result.len(), 2);
+        let r = result.report("TPC-C-1", "strex", 2).expect("present");
+        assert_eq!(r.scheduler, "STREX");
+        let key = result.cells()[0].key.clone();
+        assert!(result.get(&key).is_some());
+        assert!(result.report("TPC-C-1", "slicc", 2).is_none());
+    }
+}

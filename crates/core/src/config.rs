@@ -1,4 +1,13 @@
-//! Scheduler configuration (Sections 4.3 and 5.1 of the paper).
+//! Simulation configuration (Sections 4.3 and 5.1 of the paper): scheduler
+//! parameters, the top-level [`SimConfig`], and its validating builder.
+
+use strex_sim::config::SystemConfig;
+
+use crate::error::ConfigError;
+
+/// Most cores a configuration may request: `CoreId` is a `u16`, so core
+/// indices 0..=65535 are addressable.
+pub const MAX_CORES: usize = u16::MAX as usize + 1;
 
 /// STREX parameters.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -99,6 +108,24 @@ impl SchedulerKind {
         SchedulerKind::Slicc,
         SchedulerKind::Hybrid,
     ];
+
+    /// The registry key this kind resolves to — `SchedulerKind` is a thin
+    /// alias over the entries of
+    /// [`sched::registry`](crate::sched::registry); the driver looks the
+    /// key up there rather than matching on the enum.
+    pub fn key(self) -> &'static str {
+        match self {
+            SchedulerKind::Baseline => "baseline",
+            SchedulerKind::Strex => "strex",
+            SchedulerKind::Slicc => "slicc",
+            SchedulerKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// The inverse of [`SchedulerKind::key`], for the built-in kinds.
+    pub fn from_key(key: &str) -> Option<SchedulerKind> {
+        SchedulerKind::ALL.into_iter().find(|k| k.key() == key)
+    }
 }
 
 impl std::fmt::Display for SchedulerKind {
@@ -110,6 +137,206 @@ impl std::fmt::Display for SchedulerKind {
             SchedulerKind::Hybrid => "STREX+SLICC",
         };
         f.write_str(s)
+    }
+}
+
+/// Full simulation configuration.
+///
+/// Construct through [`SimConfig::builder`], which validates the
+/// invariants the simulator depends on and returns
+/// `Result<SimConfig, ConfigError>`:
+///
+/// ```
+/// use strex::config::{SchedulerKind, SimConfig};
+///
+/// let cfg = SimConfig::builder()
+///     .cores(4)
+///     .scheduler(SchedulerKind::Strex)
+///     .team_size(8)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.system.n_cores, 4);
+///
+/// // Invalid combinations are rejected, not silently accepted:
+/// assert!(SimConfig::builder().team_size(0).build().is_err());
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimConfig {
+    /// Hardware configuration (Table 2).
+    pub system: SystemConfig,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// STREX parameters.
+    pub strex: StrexParams,
+    /// SLICC parameters.
+    pub slicc: SliccParams,
+}
+
+impl Default for SimConfig {
+    /// The paper's headline setup: Table 2 hardware with 16 cores under
+    /// baseline scheduling.
+    fn default() -> Self {
+        SimConfig {
+            system: SystemConfig::default(),
+            scheduler: SchedulerKind::default(),
+            strex: StrexParams::default(),
+            slicc: SliccParams::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Starts a builder at the defaults
+    /// (`SimConfig::builder().build().unwrap() == SimConfig::default()`).
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Compatibility shorthand: baseline Table 2 hardware with `n_cores`
+    /// cores under `scheduler`. Prefer [`SimConfig::builder`] for anything
+    /// beyond these two knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero (use the builder for fallible
+    /// construction).
+    pub fn new(n_cores: usize, scheduler: SchedulerKind) -> Self {
+        SimConfig {
+            system: SystemConfig::with_cores(n_cores),
+            scheduler,
+            strex: StrexParams::default(),
+            slicc: SliccParams::default(),
+        }
+    }
+
+    /// Compatibility shorthand overriding the STREX team size (Figures 7
+    /// and 8). Prefer [`SimConfigBuilder::team_size`], which validates.
+    pub fn with_team_size(mut self, team_size: usize) -> Self {
+        self.strex.team_size = team_size;
+        self
+    }
+
+    /// Checks every invariant the simulator depends on.
+    ///
+    /// The builder calls this from [`SimConfigBuilder::build`]; it is also
+    /// public so configurations assembled field-by-field (or mutated by
+    /// sweep code) can be re-checked before running.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let n = self.system.n_cores;
+        if n == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if n > MAX_CORES {
+            return Err(ConfigError::TooManyCores { requested: n });
+        }
+        if self.strex.team_size == 0 {
+            return Err(ConfigError::ZeroTeamSize);
+        }
+        if self.strex.formation_window < self.strex.team_size {
+            return Err(ConfigError::FormationWindowTooSmall {
+                window: self.strex.formation_window,
+                team_size: self.strex.team_size,
+            });
+        }
+        let l1i = self.system.l1i_geometry;
+        if l1i.size_bytes() == 0 || l1i.assoc() == 0 {
+            return Err(ConfigError::ZeroCacheGeometry { cache: "L1-I" });
+        }
+        let l1d = self.system.l1d_geometry;
+        if l1d.size_bytes() == 0 || l1d.assoc() == 0 {
+            return Err(ConfigError::ZeroCacheGeometry { cache: "L1-D" });
+        }
+        if self.system.l2_bytes_per_core == 0 || self.system.l2_assoc == 0 {
+            return Err(ConfigError::ZeroCacheGeometry { cache: "L2" });
+        }
+        Ok(())
+    }
+}
+
+/// Fluent, validating constructor for [`SimConfig`].
+///
+/// Every setter is infallible; [`SimConfigBuilder::build`] checks the
+/// combined result once and reports the first violated invariant as a
+/// [`ConfigError`].
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the core count (Table 2 evaluates 2, 4, 8 and 16).
+    pub fn cores(mut self, n_cores: usize) -> Self {
+        self.config.system.n_cores = n_cores;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the whole hardware configuration. The core count of a
+    /// previously applied [`SimConfigBuilder::cores`] is overwritten.
+    pub fn system(mut self, system: SystemConfig) -> Self {
+        self.config.system = system;
+        self
+    }
+
+    /// Replaces the STREX parameter block.
+    pub fn strex(mut self, strex: StrexParams) -> Self {
+        self.config.strex = strex;
+        self
+    }
+
+    /// Replaces the SLICC parameter block.
+    pub fn slicc(mut self, slicc: SliccParams) -> Self {
+        self.config.slicc = slicc;
+        self
+    }
+
+    /// Sets the STREX team size (Figures 7 and 8 sweep this).
+    pub fn team_size(mut self, team_size: usize) -> Self {
+        self.config.strex.team_size = team_size;
+        self
+    }
+
+    /// Sets the team-formation window (Section 4.3).
+    pub fn formation_window(mut self, window: usize) -> Self {
+        self.config.strex.formation_window = window;
+        self
+    }
+
+    /// Sets the context-switch state size in blocks (Section 4.4.2).
+    pub fn ctx_state_blocks(mut self, blocks: u64) -> Self {
+        self.config.strex.ctx_state_blocks = blocks;
+        self
+    }
+
+    /// Sets the minimum per-quantum fetch count (Section 4.4.2).
+    pub fn min_quantum_fetches(mut self, fetches: u32) -> Self {
+        self.config.strex.min_quantum_fetches = fetches;
+        self
+    }
+
+    /// Sets the L1-I instruction prefetcher.
+    pub fn prefetcher(mut self, prefetcher: strex_sim::prefetch::PrefetcherKind) -> Self {
+        self.config.system.prefetcher = prefetcher;
+        self
+    }
+
+    /// Sets the L1-I replacement policy (Figure 9 varies this).
+    pub fn l1i_replacement(mut self, kind: strex_sim::replacement::ReplacementKind) -> Self {
+        self.config.system.l1i_replacement = kind;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -132,5 +359,90 @@ mod tests {
     fn display_names() {
         assert_eq!(SchedulerKind::Baseline.to_string(), "Base");
         assert_eq!(SchedulerKind::Hybrid.to_string(), "STREX+SLICC");
+    }
+
+    #[test]
+    fn registry_keys_roundtrip() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::from_key(kind.key()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::from_key("nope"), None);
+    }
+
+    #[test]
+    fn builder_defaults_equal_default() {
+        let built = SimConfig::builder().build().expect("defaults are valid");
+        let default = SimConfig::default();
+        assert_eq!(built.system, default.system);
+        assert_eq!(built.scheduler, default.scheduler);
+        assert_eq!(built.strex, default.strex);
+        assert_eq!(built.slicc, default.slicc);
+        assert_eq!(built, default);
+    }
+
+    #[test]
+    fn builder_rejects_each_invariant_violation() {
+        assert_eq!(
+            SimConfig::builder().cores(0).build(),
+            Err(ConfigError::ZeroCores)
+        );
+        assert_eq!(
+            SimConfig::builder().cores(MAX_CORES + 1).build(),
+            Err(ConfigError::TooManyCores {
+                requested: MAX_CORES + 1
+            })
+        );
+        assert_eq!(
+            SimConfig::builder().team_size(0).build(),
+            Err(ConfigError::ZeroTeamSize)
+        );
+        assert_eq!(
+            SimConfig::builder().team_size(12).formation_window(4).build(),
+            Err(ConfigError::FormationWindowTooSmall {
+                window: 4,
+                team_size: 12
+            })
+        );
+        let mut degenerate = SystemConfig::with_cores(2);
+        degenerate.l2_bytes_per_core = 0;
+        assert_eq!(
+            SimConfig::builder().system(degenerate).build(),
+            Err(ConfigError::ZeroCacheGeometry { cache: "L2" })
+        );
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        use strex_sim::prefetch::PrefetcherKind;
+        use strex_sim::replacement::ReplacementKind;
+
+        let cfg = SimConfig::builder()
+            .cores(8)
+            .scheduler(SchedulerKind::Hybrid)
+            .team_size(6)
+            .formation_window(24)
+            .ctx_state_blocks(16)
+            .min_quantum_fetches(32)
+            .prefetcher(PrefetcherKind::NextLine)
+            .l1i_replacement(ReplacementKind::Brrip)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.system.n_cores, 8);
+        assert_eq!(cfg.scheduler, SchedulerKind::Hybrid);
+        assert_eq!(cfg.strex.team_size, 6);
+        assert_eq!(cfg.strex.formation_window, 24);
+        assert_eq!(cfg.strex.ctx_state_blocks, 16);
+        assert_eq!(cfg.strex.min_quantum_fetches, 32);
+        assert_eq!(cfg.system.prefetcher, PrefetcherKind::NextLine);
+        assert_eq!(cfg.system.l1i_replacement, ReplacementKind::Brrip);
+    }
+
+    #[test]
+    fn max_cores_is_exactly_the_u16_space() {
+        let mut cfg = SimConfig::default();
+        cfg.system.n_cores = MAX_CORES;
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.system.n_cores = MAX_CORES + 1;
+        assert!(cfg.validate().is_err());
     }
 }

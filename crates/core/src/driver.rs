@@ -13,16 +13,15 @@ use std::collections::BinaryHeap;
 
 use strex_oltp::trace::MemRef;
 use strex_oltp::workload::Workload;
-use strex_sim::config::SystemConfig;
 use strex_sim::hierarchy::MemorySystem;
 use strex_sim::ids::{CoreId, Cycle, ThreadId};
 
-use crate::config::{SchedulerKind, SliccParams, StrexParams};
 use crate::report::Report;
-use crate::sched::{
-    BaselineSched, Decision, HybridSched, Scheduler, SliccSched, StrexSched,
-};
+use crate::sched::registry::{self, SchedulerRegistry};
+use crate::sched::{Decision, Scheduler};
 use crate::thread::TxnThread;
+
+pub use crate::config::SimConfig;
 
 /// Events executed per core before re-entering the global cycle queue.
 /// Coarse interleaving keeps heap traffic low; 64 events ≈ a few hundred
@@ -31,37 +30,6 @@ const BATCH_EVENTS: usize = 64;
 
 /// Cycles an idle core waits before polling for newly runnable work.
 const IDLE_POLL: Cycle = 200;
-
-/// Full simulation configuration.
-#[derive(Clone, Debug)]
-pub struct SimConfig {
-    /// Hardware configuration (Table 2).
-    pub system: SystemConfig,
-    /// Scheduling policy.
-    pub scheduler: SchedulerKind,
-    /// STREX parameters.
-    pub strex: StrexParams,
-    /// SLICC parameters.
-    pub slicc: SliccParams,
-}
-
-impl SimConfig {
-    /// Baseline scheduling on `n_cores` Table 2 cores.
-    pub fn new(n_cores: usize, scheduler: SchedulerKind) -> Self {
-        SimConfig {
-            system: SystemConfig::with_cores(n_cores),
-            scheduler,
-            strex: StrexParams::default(),
-            slicc: SliccParams::default(),
-        }
-    }
-
-    /// Overrides the STREX team size (Figures 7 and 8).
-    pub fn with_team_size(mut self, team_size: usize) -> Self {
-        self.strex.team_size = team_size;
-        self
-    }
-}
 
 /// One core's execution state.
 #[derive(Clone, Debug, Default)]
@@ -72,33 +40,64 @@ struct Core {
 
 /// Runs `workload` under `config` and returns the measured [`Report`].
 ///
+/// The scheduler is resolved from the [global scheduler
+/// registry](crate::sched::registry::global) by the configuration's
+/// [`SchedulerKind::key`](crate::config::SchedulerKind::key); this is the
+/// single-run compatibility wrapper over [`run_registered`]. For matrices
+/// of runs, see [`Campaign`](crate::campaign::Campaign).
+///
 /// # Examples
 ///
 /// ```no_run
-/// use strex::driver::{run, SimConfig};
 /// use strex::config::SchedulerKind;
+/// use strex::driver::{run, SimConfig};
 /// use strex_oltp::workload::{Workload, WorkloadKind};
 ///
 /// let w = Workload::preset_small(WorkloadKind::TpccW1, 8, 1);
-/// let report = run(&w, &SimConfig::new(4, SchedulerKind::Strex));
+/// let cfg = SimConfig::builder()
+///     .cores(4)
+///     .scheduler(SchedulerKind::Strex)
+///     .build()
+///     .expect("valid configuration");
+/// let report = run(&w, &cfg);
 /// println!("I-MPKI: {:.1}", report.i_mpki());
 /// ```
 pub fn run(workload: &Workload, config: &SimConfig) -> Report {
-    let mut scheduler: Box<dyn Scheduler> = match config.scheduler {
-        SchedulerKind::Baseline => Box::new(BaselineSched::new()),
-        SchedulerKind::Strex => Box::new(StrexSched::new(config.strex)),
-        SchedulerKind::Slicc => Box::new(SliccSched::new(config.slicc)),
-        SchedulerKind::Hybrid => Box::new(HybridSched::new(
-            config.strex,
-            config.slicc,
-            config.system.l1i_geometry.size_bytes(),
-        )),
-    };
+    run_registered(workload, config, registry::global())
+}
+
+/// Runs with the scheduler resolved by name from `reg` — the hook through
+/// which custom [`SchedulerFactory`](crate::sched::registry::SchedulerFactory)
+/// policies reach the driver.
+///
+/// # Panics
+///
+/// Panics if `config.scheduler.key()` is not registered in `reg`.
+pub fn run_registered(
+    workload: &Workload,
+    config: &SimConfig,
+    reg: &SchedulerRegistry,
+) -> Report {
+    let key = config.scheduler.key();
+    let mut scheduler = reg
+        .create(key, config)
+        .unwrap_or_else(|| panic!("scheduler {key:?} is not registered"));
     run_with(workload, config, scheduler.as_mut())
 }
 
 /// Runs with a caller-provided scheduler (ablations, custom policies).
+///
+/// # Panics
+///
+/// Panics if `config` violates a [`SimConfig::validate`] invariant —
+/// configurations assembled field-by-field (bypassing the builder) are
+/// re-checked here, the chokepoint every run funnels through, so e.g. a
+/// core count beyond the `u16` `CoreId` space fails loudly instead of
+/// silently aliasing cores.
 pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Scheduler) -> Report {
+    if let Err(e) = config.validate() {
+        panic!("invalid SimConfig: {e}");
+    }
     let traces = workload.txns();
     let n_cores = config.system.n_cores;
     let mut mem = MemorySystem::new(config.system);
@@ -241,16 +240,25 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SchedulerKind;
     use strex_oltp::workload::WorkloadKind;
 
     fn small_workload() -> Workload {
         Workload::preset_small(WorkloadKind::TpccW1, 6, 11)
     }
 
+    fn cfg(cores: usize, kind: SchedulerKind) -> SimConfig {
+        SimConfig::builder()
+            .cores(cores)
+            .scheduler(kind)
+            .build()
+            .expect("valid test configuration")
+    }
+
     #[test]
     fn baseline_completes_all_transactions() {
         let w = small_workload();
-        let r = run(&w, &SimConfig::new(2, SchedulerKind::Baseline));
+        let r = run(&w, &cfg(2, SchedulerKind::Baseline));
         assert_eq!(r.transactions, 6);
         assert_eq!(r.latencies.len(), 6);
         assert!(r.makespan > 0);
@@ -261,7 +269,7 @@ mod tests {
     fn all_schedulers_complete() {
         let w = small_workload();
         for kind in SchedulerKind::ALL {
-            let r = run(&w, &SimConfig::new(2, kind));
+            let r = run(&w, &cfg(2, kind));
             assert_eq!(r.transactions, 6, "{kind}");
             assert_eq!(
                 r.stats.instructions(),
@@ -274,8 +282,8 @@ mod tests {
     #[test]
     fn more_cores_do_not_slow_the_baseline() {
         let w = Workload::preset_small(WorkloadKind::TpccW1, 8, 3);
-        let two = run(&w, &SimConfig::new(2, SchedulerKind::Baseline));
-        let eight = run(&w, &SimConfig::new(8, SchedulerKind::Baseline));
+        let two = run(&w, &cfg(2, SchedulerKind::Baseline));
+        let eight = run(&w, &cfg(8, SchedulerKind::Baseline));
         assert!(
             eight.makespan < two.makespan,
             "8-core {} vs 2-core {}",
@@ -288,8 +296,8 @@ mod tests {
     fn strex_reduces_instruction_misses_on_same_type_pool() {
         use strex_oltp::tpcc::TpccTxnKind;
         let w = Workload::tpcc_same_type(TpccTxnKind::Payment, 1, 8, 5);
-        let base = run(&w, &SimConfig::new(2, SchedulerKind::Baseline));
-        let strex = run(&w, &SimConfig::new(2, SchedulerKind::Strex));
+        let base = run(&w, &cfg(2, SchedulerKind::Baseline));
+        let strex = run(&w, &cfg(2, SchedulerKind::Strex));
         assert!(
             strex.i_mpki() < base.i_mpki(),
             "STREX {} vs base {}",
@@ -301,7 +309,7 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let w = small_workload();
-        let cfg = SimConfig::new(2, SchedulerKind::Strex);
+        let cfg = cfg(2, SchedulerKind::Strex);
         let a = run(&w, &cfg);
         let b = run(&w, &cfg);
         assert_eq!(a.makespan, b.makespan);

@@ -1,0 +1,94 @@
+//! Configuration validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`SimConfig`](crate::config::SimConfig) failed validation.
+///
+/// Returned by [`SimConfigBuilder::build`](crate::config::SimConfigBuilder::build)
+/// and [`SimConfig::validate`](crate::config::SimConfig::validate).
+#[derive(Clone, Eq, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The system has no cores.
+    ZeroCores,
+    /// More cores than core IDs (`CoreId` is a `u16`, so at most
+    /// [`MAX_CORES`](crate::config::MAX_CORES) cores are addressable).
+    TooManyCores {
+        /// The rejected core count.
+        requested: usize,
+    },
+    /// STREX teams must hold at least one transaction.
+    ZeroTeamSize,
+    /// Team formation cannot examine fewer transactions than fit in one
+    /// team (Section 4.3: the window is where teams are drawn from).
+    FormationWindowTooSmall {
+        /// The rejected window.
+        window: usize,
+        /// The configured team size it must cover.
+        team_size: usize,
+    },
+    /// A cache level has zero capacity or zero associativity.
+    ZeroCacheGeometry {
+        /// Which cache: `"L1-I"`, `"L1-D"`, or `"L2"`.
+        cache: &'static str,
+    },
+    /// The scheduler name is not present in the registry consulted.
+    UnknownScheduler {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCores => write!(f, "core count must be at least 1"),
+            ConfigError::TooManyCores { requested } => write!(
+                f,
+                "core count {requested} exceeds the {} addressable by a u16 CoreId",
+                crate::config::MAX_CORES
+            ),
+            ConfigError::ZeroTeamSize => write!(f, "STREX team size must be at least 1"),
+            ConfigError::FormationWindowTooSmall { window, team_size } => write!(
+                f,
+                "formation window {window} cannot cover a team of {team_size}"
+            ),
+            ConfigError::ZeroCacheGeometry { cache } => {
+                write!(f, "{cache} cache has zero capacity or associativity")
+            }
+            ConfigError::UnknownScheduler { name } => {
+                write!(f, "scheduler {name:?} is not registered")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        assert!(ConfigError::ZeroCores.to_string().contains("at least 1"));
+        assert!(ConfigError::TooManyCores { requested: 1 << 20 }
+            .to_string()
+            .contains("1048576"));
+        assert!(ConfigError::FormationWindowTooSmall {
+            window: 3,
+            team_size: 8
+        }
+        .to_string()
+        .contains("3"));
+        assert!(ConfigError::ZeroCacheGeometry { cache: "L2" }
+            .to_string()
+            .contains("L2"));
+        assert!(ConfigError::UnknownScheduler {
+            name: "nope".into()
+        }
+        .to_string()
+        .contains("nope"));
+    }
+}

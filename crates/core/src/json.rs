@@ -1,0 +1,217 @@
+//! Dependency-free JSON emission for reports and campaign results.
+//!
+//! The build environment has no crates.io mirror, so instead of `serde`
+//! this module provides a tiny escaping writer; `Report::to_json` and
+//! `CampaignResult::to_json` are built on it. Emission is deterministic:
+//! fixed key order, no whitespace variation — two equal results serialize
+//! to byte-identical strings, which the campaign determinism tests rely
+//! on.
+
+use std::fmt::Write as _;
+
+/// Incremental writer for one JSON value.
+///
+/// The caller is responsible for overall well-formedness (matching
+/// `begin_*`/`end_*` calls); the writer handles separators, escaping, and
+/// non-finite floats (emitted as `null`, since JSON has no NaN).
+///
+/// # Examples
+///
+/// ```
+/// use strex::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("TPC-C");
+/// w.key("cores");
+/// w.number(4);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"TPC-C","cores":4}"#);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    // Whether the next value/key at the current nesting level needs a
+    // leading comma.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Starts an object value.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Starts an array value.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key (must be followed by exactly one value).
+    pub fn key(&mut self, key: &str) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            // The upcoming value's own pre_value must not add a comma (it
+            // will re-arm the flag for the key after it).
+            *need = false;
+        }
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        escape_into(&mut self.out, s);
+    }
+
+    /// Writes an integer value.
+    pub fn number(&mut self, n: impl Into<i128>) {
+        self.pre_value();
+        let _ = write!(self.out, "{}", n.into());
+    }
+
+    /// Writes an unsigned value (u64/usize don't fit `Into<i128>` via one
+    /// blanket, so they get their own entry point).
+    pub fn number_u64(&mut self, n: u64) {
+        self.pre_value();
+        let _ = write!(self.out, "{n}");
+    }
+
+    /// Writes a float value (`null` if not finite — JSON has no NaN/Inf).
+    pub fn float(&mut self, f: f64) {
+        self.pre_value();
+        if f.is_finite() {
+            let _ = write!(self.out, "{f}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, b: bool) {
+        self.pre_value();
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// Writes a null value.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.out.push_str("null");
+    }
+
+    /// Writes an optional string (`null` when absent).
+    pub fn opt_string(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => self.string(s),
+            None => self.null(),
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_arrays_and_separators() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.number(1);
+        w.number(2);
+        w.number(3);
+        w.end_array();
+        w.key("b");
+        w.begin_object();
+        w.key("c");
+        w.string("x");
+        w.end_object();
+        w.key("d");
+        w.null();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[1,2,3],"b":{"c":"x"},"d":null}"#);
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.float(1.5);
+        w.float(f64::NAN);
+        w.float(f64::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), "[1.5,null,null]");
+    }
+
+    #[test]
+    fn top_level_scalars_have_no_commas() {
+        let mut w = JsonWriter::new();
+        w.boolean(true);
+        assert_eq!(w.finish(), "true");
+    }
+}

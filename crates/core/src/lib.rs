@@ -23,14 +23,23 @@
 //!
 //! ## Quick example
 //!
+//! Single runs go through the validating builder and [`driver::run`]:
+//!
 //! ```no_run
-//! use strex::config::SchedulerKind;
-//! use strex::driver::{run, SimConfig};
+//! use strex::config::{SchedulerKind, SimConfig};
+//! use strex::driver::run;
 //! use strex_oltp::workload::{Workload, WorkloadKind};
 //!
 //! let workload = Workload::preset_small(WorkloadKind::TpccW1, 16, 42);
-//! let base = run(&workload, &SimConfig::new(4, SchedulerKind::Baseline));
-//! let strex = run(&workload, &SimConfig::new(4, SchedulerKind::Strex));
+//! let cfg = |kind| {
+//!     SimConfig::builder()
+//!         .cores(4)
+//!         .scheduler(kind)
+//!         .build()
+//!         .expect("valid configuration")
+//! };
+//! let base = run(&workload, &cfg(SchedulerKind::Baseline));
+//! let strex = run(&workload, &cfg(SchedulerKind::Strex));
 //! println!(
 //!     "I-MPKI {:.1} -> {:.1}, speedup {:.2}x",
 //!     base.i_mpki(),
@@ -38,18 +47,48 @@
 //!     strex.relative_throughput(&base),
 //! );
 //! ```
+//!
+//! Whole evaluations — the paper's scheduler × workload × core matrices —
+//! go through [`campaign::Campaign`], which runs every cell on a worker
+//! pool and serializes results to JSON:
+//!
+//! ```no_run
+//! use strex::campaign::Campaign;
+//! use strex::config::{SchedulerKind, SimConfig};
+//! use strex_oltp::workload::{Workload, WorkloadKind};
+//!
+//! let w = Workload::preset_small(WorkloadKind::TpccW1, 24, 42);
+//! let result = Campaign::new(SimConfig::default())
+//!     .over_schedulers(SchedulerKind::ALL)
+//!     .over_workloads([&w])
+//!     .over_cores([2, 4, 8, 16])
+//!     .run()
+//!     .expect("valid matrix");
+//! println!("{}", result.to_json());
+//! ```
+//!
+//! Custom scheduling policies implement
+//! [`sched::registry::SchedulerFactory`] and register by name — the
+//! driver and campaigns resolve policies through the registry, never a
+//! hard-coded list.
 
+pub mod campaign;
 pub mod config;
 pub mod cost;
 pub mod driver;
+pub mod error;
+pub mod json;
 pub mod report;
 pub mod sched;
 pub mod team;
 pub mod thread;
 
-pub use config::{SchedulerKind, SliccParams, StrexParams};
-pub use driver::{run, SimConfig};
+pub use campaign::{Campaign, CampaignCell, CampaignResult, CellKey};
+pub use config::{SchedulerKind, SimConfig, SimConfigBuilder, SliccParams, StrexParams};
+pub use driver::{run, run_registered, run_with};
+pub use error::ConfigError;
 pub use report::Report;
+pub use sched::registry::{SchedulerFactory, SchedulerRegistry};
 pub use sched::{FpTable, Scheduler};
 pub use team::{form_teams, Team};
 pub use thread::TxnThread;

@@ -1,7 +1,9 @@
 //! Simulation results: the metrics the paper's figures report.
 
 use strex_sim::ids::Cycle;
-use strex_sim::stats::SystemStats;
+use strex_sim::stats::{CoreStats, SharedStats, SystemStats};
+
+use crate::json::JsonWriter;
 
 /// Outcome of one simulation run.
 #[derive(Clone, Debug)]
@@ -102,6 +104,69 @@ impl Report {
         }
     }
 
+    /// Serializes the full report — identity, headline metrics, raw
+    /// latencies, and every hierarchy counter — as one JSON object.
+    ///
+    /// Emission is deterministic (fixed key order, `{}` float formatting),
+    /// so two reports from identical runs serialize byte-identically;
+    /// the campaign determinism tests compare exactly this.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("scheduler");
+        w.string(self.scheduler);
+        w.key("workload");
+        w.string(&self.workload);
+        w.key("n_cores");
+        w.number_u64(self.n_cores as u64);
+        w.key("makespan");
+        w.number_u64(self.makespan);
+        w.key("transactions");
+        w.number_u64(self.transactions as u64);
+        w.key("context_switches");
+        w.number_u64(self.context_switches);
+        w.key("migrations");
+        w.number_u64(self.migrations);
+        w.key("hybrid_choice");
+        w.opt_string(self.hybrid_choice);
+        w.key("metrics");
+        w.begin_object();
+        w.key("i_mpki");
+        w.float(self.i_mpki());
+        w.key("d_mpki");
+        w.float(self.d_mpki());
+        w.key("steady_throughput");
+        w.float(self.steady_throughput());
+        w.key("mean_latency");
+        w.float(self.mean_latency());
+        w.end_object();
+        w.key("latencies");
+        w.begin_array();
+        for &l in &self.latencies {
+            w.number_u64(l);
+        }
+        w.end_array();
+        w.key("stats");
+        w.begin_object();
+        w.key("aggregate");
+        write_core_stats(w, &self.stats.aggregate());
+        w.key("shared");
+        write_shared_stats(w, &self.stats.shared);
+        w.key("cores");
+        w.begin_array();
+        for c in &self.stats.cores {
+            write_core_stats(w, c);
+        }
+        w.end_array();
+        w.end_object();
+        w.end_object();
+    }
+
     /// Latency histogram over fixed-width bins of `bin_cycles`, returning
     /// `(bin upper edge, fraction)` pairs — Figure 7's distribution.
     pub fn latency_histogram(&self, bin_cycles: u64, n_bins: usize) -> Vec<(u64, f64)> {
@@ -117,6 +182,46 @@ impl Report {
             .map(|(i, c)| ((i as u64 + 1) * bin_cycles, c as f64 / total))
             .collect()
     }
+}
+
+fn write_core_stats(w: &mut JsonWriter, s: &CoreStats) {
+    w.begin_object();
+    w.key("instructions");
+    w.number_u64(s.instructions);
+    w.key("i_accesses");
+    w.number_u64(s.i_accesses);
+    w.key("i_misses");
+    w.number_u64(s.i_misses);
+    w.key("i_misses_hidden");
+    w.number_u64(s.i_misses_hidden);
+    w.key("prefetches");
+    w.number_u64(s.prefetches);
+    w.key("useful_prefetches");
+    w.number_u64(s.useful_prefetches);
+    w.key("d_accesses");
+    w.number_u64(s.d_accesses);
+    w.key("d_misses");
+    w.number_u64(s.d_misses);
+    w.key("d_coherence_misses");
+    w.number_u64(s.d_coherence_misses);
+    w.key("upgrade_invalidations");
+    w.number_u64(s.upgrade_invalidations);
+    w.key("i_stall_cycles");
+    w.number_u64(s.i_stall_cycles);
+    w.key("d_stall_cycles");
+    w.number_u64(s.d_stall_cycles);
+    w.end_object();
+}
+
+fn write_shared_stats(w: &mut JsonWriter, s: &SharedStats) {
+    w.begin_object();
+    w.key("l2_accesses");
+    w.number_u64(s.l2_accesses);
+    w.key("l2_misses");
+    w.number_u64(s.l2_misses);
+    w.key("writebacks");
+    w.number_u64(s.writebacks);
+    w.end_object();
 }
 
 #[cfg(test)]
@@ -177,6 +282,21 @@ mod tests {
         let r = report(100, vec![10, 20, 30]);
         assert!((r.mean_latency() - 20.0).abs() < 1e-12);
         assert_eq!(report(100, vec![]).mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn json_contains_identity_metrics_and_counters() {
+        let r = report(1000, vec![500, 900]);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""scheduler":"test""#));
+        assert!(j.contains(r#""workload":"w""#));
+        assert!(j.contains(r#""makespan":1000"#));
+        assert!(j.contains(r#""latencies":[500,900]"#));
+        assert!(j.contains(r#""hybrid_choice":null"#));
+        assert!(j.contains(r#""l2_accesses":0"#));
+        // Deterministic: same report, same bytes.
+        assert_eq!(j, r.to_json());
     }
 
     #[test]

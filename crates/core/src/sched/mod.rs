@@ -8,11 +8,13 @@
 
 pub mod baseline;
 pub mod hybrid;
+pub mod registry;
 pub mod slicc;
 pub mod strex;
 
 pub use baseline::BaselineSched;
 pub use hybrid::{FpTable, HybridSched};
+pub use registry::{SchedulerFactory, SchedulerRegistry};
 pub use slicc::SliccSched;
 pub use strex::StrexSched;
 

@@ -1,0 +1,216 @@
+//! Pluggable scheduler construction: factories and the registry the
+//! driver resolves policies from.
+//!
+//! The driver never names a concrete scheduler type; it asks a
+//! [`SchedulerRegistry`] to build one from the configuration's registry
+//! key ([`SchedulerKind::key`]). Custom policies — ablations, paper
+//! extensions — implement [`SchedulerFactory`], register under a fresh
+//! name, and immediately work with [`driver::run`](crate::driver),
+//! [`Campaign`](crate::campaign::Campaign) matrices and the `repro`
+//! harness, without touching the driver.
+//!
+//! ```
+//! use strex::config::SimConfig;
+//! use strex::sched::registry::{self, SchedulerFactory, SchedulerRegistry};
+//! use strex::sched::{BaselineSched, Scheduler};
+//!
+//! // A custom policy: the baseline under a new name.
+//! struct MyPolicy;
+//! impl SchedulerFactory for MyPolicy {
+//!     fn name(&self) -> &'static str { "my-policy" }
+//!     fn create(&self, _config: &SimConfig) -> Box<dyn Scheduler> {
+//!         Box::new(BaselineSched::new())
+//!     }
+//! }
+//!
+//! let mut reg = SchedulerRegistry::with_defaults();
+//! reg.register(Box::new(MyPolicy));
+//! assert!(reg.get("my-policy").is_some());
+//! assert!(registry::global().get("strex").is_some());
+//! ```
+
+use std::sync::OnceLock;
+
+use crate::config::{SchedulerKind, SimConfig};
+use crate::sched::{BaselineSched, HybridSched, Scheduler, SliccSched, StrexSched};
+
+/// Builds scheduler instances from a configuration.
+///
+/// `Send + Sync` because campaign workers construct schedulers
+/// concurrently from a shared registry.
+pub trait SchedulerFactory: Send + Sync {
+    /// The registry key (and lookup name) of this policy.
+    fn name(&self) -> &'static str;
+
+    /// Creates a fresh scheduler for one simulation run.
+    fn create(&self, config: &SimConfig) -> Box<dyn Scheduler>;
+}
+
+/// A name-keyed collection of [`SchedulerFactory`]s.
+pub struct SchedulerRegistry {
+    entries: Vec<Box<dyn SchedulerFactory>>,
+}
+
+impl SchedulerRegistry {
+    /// A registry with no entries.
+    pub fn empty() -> Self {
+        SchedulerRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry holding the paper's four policies under the keys
+    /// `"baseline"`, `"strex"`, `"slicc"` and `"hybrid"`.
+    pub fn with_defaults() -> Self {
+        let mut reg = SchedulerRegistry::empty();
+        reg.register(Box::new(BaselineFactory));
+        reg.register(Box::new(StrexFactory));
+        reg.register(Box::new(SliccFactory));
+        reg.register(Box::new(HybridFactory));
+        reg
+    }
+
+    /// Adds `factory`, replacing any entry with the same name.
+    pub fn register(&mut self, factory: Box<dyn SchedulerFactory>) {
+        self.entries.retain(|e| e.name() != factory.name());
+        self.entries.push(factory);
+    }
+
+    /// Looks a factory up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn SchedulerFactory> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == name)
+            .map(AsRef::as_ref)
+    }
+
+    /// Builds a scheduler by name, or `None` if the name is unknown.
+    pub fn create(&self, name: &str, config: &SimConfig) -> Option<Box<dyn Scheduler>> {
+        self.get(name).map(|f| f.create(config))
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+}
+
+impl Default for SchedulerRegistry {
+    fn default() -> Self {
+        SchedulerRegistry::with_defaults()
+    }
+}
+
+/// The process-wide registry [`driver::run`](crate::driver::run) consults:
+/// the built-in policies. Callers needing custom entries build their own
+/// [`SchedulerRegistry`] and go through
+/// [`driver::run_registered`](crate::driver::run_registered) or
+/// [`Campaign::run_on`](crate::campaign::Campaign::run_on).
+pub fn global() -> &'static SchedulerRegistry {
+    static GLOBAL: OnceLock<SchedulerRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(SchedulerRegistry::with_defaults)
+}
+
+/// Factory for the conventional run-to-completion baseline.
+pub struct BaselineFactory;
+
+impl SchedulerFactory for BaselineFactory {
+    fn name(&self) -> &'static str {
+        SchedulerKind::Baseline.key()
+    }
+
+    fn create(&self, _config: &SimConfig) -> Box<dyn Scheduler> {
+        Box::new(BaselineSched::new())
+    }
+}
+
+/// Factory for STREX stratified execution.
+pub struct StrexFactory;
+
+impl SchedulerFactory for StrexFactory {
+    fn name(&self) -> &'static str {
+        SchedulerKind::Strex.key()
+    }
+
+    fn create(&self, config: &SimConfig) -> Box<dyn Scheduler> {
+        Box::new(StrexSched::new(config.strex))
+    }
+}
+
+/// Factory for SLICC thread migration.
+pub struct SliccFactory;
+
+impl SchedulerFactory for SliccFactory {
+    fn name(&self) -> &'static str {
+        SchedulerKind::Slicc.key()
+    }
+
+    fn create(&self, config: &SimConfig) -> Box<dyn Scheduler> {
+        Box::new(SliccSched::new(config.slicc))
+    }
+}
+
+/// Factory for the Section 5.5 footprint-profiled hybrid.
+pub struct HybridFactory;
+
+impl SchedulerFactory for HybridFactory {
+    fn name(&self) -> &'static str {
+        SchedulerKind::Hybrid.key()
+    }
+
+    fn create(&self, config: &SimConfig) -> Box<dyn Scheduler> {
+        Box::new(HybridSched::new(
+            config.strex,
+            config.slicc,
+            config.system.l1i_geometry.size_bytes(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_every_kind() {
+        let reg = SchedulerRegistry::with_defaults();
+        for kind in SchedulerKind::ALL {
+            assert!(reg.get(kind.key()).is_some(), "{kind} missing");
+        }
+        assert_eq!(reg.names().len(), 4);
+    }
+
+    #[test]
+    fn create_builds_the_right_policy() {
+        let reg = SchedulerRegistry::with_defaults();
+        let cfg = SimConfig::new(2, SchedulerKind::Strex);
+        let sched = reg.create("strex", &cfg).expect("registered");
+        assert_eq!(sched.name(), "STREX");
+        assert!(reg.create("unknown", &cfg).is_none());
+    }
+
+    #[test]
+    fn register_replaces_same_name() {
+        struct Override;
+        impl SchedulerFactory for Override {
+            fn name(&self) -> &'static str {
+                "baseline"
+            }
+            fn create(&self, _c: &SimConfig) -> Box<dyn Scheduler> {
+                Box::new(StrexSched::new(crate::config::StrexParams::default()))
+            }
+        }
+        let mut reg = SchedulerRegistry::with_defaults();
+        reg.register(Box::new(Override));
+        assert_eq!(reg.names().len(), 4);
+        let cfg = SimConfig::new(2, SchedulerKind::Baseline);
+        let sched = reg.create("baseline", &cfg).expect("still present");
+        assert_eq!(sched.name(), "STREX", "override must win");
+    }
+
+    #[test]
+    fn global_registry_is_stable() {
+        assert!(std::ptr::eq(global(), global()));
+        assert_eq!(global().names().len(), 4);
+    }
+}

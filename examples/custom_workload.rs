@@ -14,8 +14,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use strex::config::SchedulerKind;
-use strex::driver::{run, SimConfig};
+use strex::config::{SchedulerKind, SimConfig};
+use strex::driver::run;
 use strex_oltp::codepath::{TraceBuilder, WalkConfig};
 use strex_oltp::engine::{Arena, BTree, RecordingSink};
 use strex_oltp::layout::CodeLayout;
@@ -64,8 +64,15 @@ fn kv_requests(n: usize, code_kb: u64, seed: u64) -> Workload {
 fn main() {
     for code_kb in [20u64, 160] {
         let w = kv_requests(30, code_kb, 99);
-        let base = run(&w, &SimConfig::new(2, SchedulerKind::Baseline));
-        let strex = run(&w, &SimConfig::new(2, SchedulerKind::Strex));
+        let cfg = |kind| {
+            SimConfig::builder()
+                .cores(2)
+                .scheduler(kind)
+                .build()
+                .expect("valid configuration")
+        };
+        let base = run(&w, &cfg(SchedulerKind::Baseline));
+        let strex = run(&w, &cfg(SchedulerKind::Strex));
         println!(
             "{:8} ({:>3} KB handler): base I-MPKI {:>5.1} -> STREX {:>5.1} \
              ({:>3.0}% fewer misses, {:+.0}% throughput)",

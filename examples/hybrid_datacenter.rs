@@ -7,8 +7,8 @@
 //! cargo run --release --example hybrid_datacenter
 //! ```
 
-use strex::config::SchedulerKind;
-use strex::driver::{run, SimConfig};
+use strex::campaign::Campaign;
+use strex::config::{SchedulerKind, SimConfig};
 use strex::sched::FpTable;
 use strex_oltp::workload::{Workload, WorkloadKind};
 
@@ -27,12 +27,27 @@ fn main() {
         "{:>5}  {:>9}  {:>8}  {:>7}  {:>7}",
         "cores", "selected", "rel-tput", "I-MPKI", "D-MPKI"
     );
-    let base2 = run(&workload, &SimConfig::new(2, SchedulerKind::Baseline));
-    for cores in [2usize, 4, 8, 16] {
-        let r = run(&workload, &SimConfig::new(cores, SchedulerKind::Hybrid));
+    // The reconfiguration sweep is one hybrid campaign over the granted
+    // core counts; the 2-core baseline reference is a single run.
+    let base2 = strex::driver::run(
+        &workload,
+        &SimConfig::builder().cores(2).build().expect("valid"),
+    );
+    let hybrid_cfg = SimConfig::builder()
+        .cores(2)
+        .scheduler(SchedulerKind::Hybrid)
+        .build()
+        .expect("valid");
+    let result = Campaign::new(hybrid_cfg)
+        .over_workloads([&workload])
+        .over_cores([2usize, 4, 8, 16])
+        .run()
+        .expect("valid campaign");
+    for cell in result.cells() {
+        let r = &cell.report;
         println!(
             "{:>5}  {:>9}  {:>8.2}  {:>7.1}  {:>7.2}",
-            cores,
+            cell.key.cores,
             r.hybrid_choice.unwrap_or("?"),
             r.relative_throughput(&base2),
             r.i_mpki(),

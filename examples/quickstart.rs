@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use strex::config::SchedulerKind;
-use strex::driver::{run, SimConfig};
+use strex::campaign::Campaign;
+use strex::config::{SchedulerKind, SimConfig};
 use strex_oltp::workload::{Workload, WorkloadKind};
 
 fn main() {
@@ -20,9 +20,25 @@ fn main() {
         workload.total_instructions() as f64 / 1e6
     );
 
+    // One validated base configuration, a two-cell scheduler matrix: the
+    // campaign executes the cells on a worker pool.
     let cores = 2;
-    let baseline = run(&workload, &SimConfig::new(cores, SchedulerKind::Baseline));
-    let strex = run(&workload, &SimConfig::new(cores, SchedulerKind::Strex));
+    let base_cfg = SimConfig::builder()
+        .cores(cores)
+        .build()
+        .expect("valid configuration");
+    let result = Campaign::new(base_cfg)
+        .over_schedulers([SchedulerKind::Baseline, SchedulerKind::Strex])
+        .over_workloads([&workload])
+        .run()
+        .expect("valid campaign");
+
+    let baseline = result
+        .report(workload.name(), SchedulerKind::Baseline.key(), cores)
+        .expect("baseline cell ran");
+    let strex = result
+        .report(workload.name(), SchedulerKind::Strex.key(), cores)
+        .expect("STREX cell ran");
 
     println!("{cores}-core results:");
     println!(
@@ -44,6 +60,6 @@ fn main() {
         "\nSTREX reduces instruction misses by {:.0}% and improves steady-state \
          throughput by {:.0}%",
         (1.0 - strex.i_mpki() / baseline.i_mpki()) * 100.0,
-        (strex.relative_throughput(&baseline) - 1.0) * 100.0
+        (strex.relative_throughput(baseline) - 1.0) * 100.0
     );
 }

@@ -7,14 +7,21 @@
 //! cargo run --release --example team_size_tuning
 //! ```
 
-use strex::config::SchedulerKind;
-use strex::driver::{run, SimConfig};
+use strex::campaign::Campaign;
+use strex::config::{SchedulerKind, SimConfig};
+use strex::driver::run;
 use strex_oltp::workload::{Workload, WorkloadKind};
 
 fn main() {
     let workload = Workload::preset_small(WorkloadKind::TpccW1, 48, 7);
     let cores = 4;
-    let baseline = run(&workload, &SimConfig::new(cores, SchedulerKind::Baseline));
+    let baseline = run(
+        &workload,
+        &SimConfig::builder()
+            .cores(cores)
+            .build()
+            .expect("valid configuration"),
+    );
     println!(
         "{:>9}  {:>8}  {:>17}  {:>13}",
         "team size", "rel-tput", "mean latency (Mc)", "p90 done (Mc)"
@@ -26,12 +33,24 @@ fn main() {
         baseline.mean_latency() / 1e6,
         baseline.completion_time(0.9) as f64 / 1e6
     );
-    for team_size in [2usize, 4, 6, 10, 16, 20] {
-        let cfg = SimConfig::new(cores, SchedulerKind::Strex).with_team_size(team_size);
-        let r = run(&workload, &cfg);
+
+    // The whole team-size sweep is one campaign axis; the executor runs
+    // the cells on a worker pool and returns them in matrix order.
+    let strex_cfg = SimConfig::builder()
+        .cores(cores)
+        .scheduler(SchedulerKind::Strex)
+        .build()
+        .expect("valid configuration");
+    let sweep = Campaign::new(strex_cfg)
+        .over_workloads([&workload])
+        .over_team_sizes([2usize, 4, 6, 10, 16, 20])
+        .run()
+        .expect("valid campaign");
+    for cell in sweep.cells() {
+        let r = &cell.report;
         println!(
             "{:>9}  {:>8.2}  {:>17.2}  {:>13.2}",
-            team_size,
+            cell.key.team_size,
             r.relative_throughput(&baseline),
             r.mean_latency() / 1e6,
             r.completion_time(0.9) as f64 / 1e6

@@ -1,1 +1,38 @@
-//! placeholder
+//! # strex-repro
+//!
+//! Facade over the STREX (ISCA 2013) reproduction workspace: re-exports
+//! the three library crates plus the experiment harness, so downstream
+//! users depend on one crate.
+//!
+//! * [`strex`] — schedulers, simulation driver, campaign executor;
+//! * [`strex_sim`] — the memory-hierarchy simulator;
+//! * [`strex_oltp`] — the OLTP workload model and trace generator;
+//! * [`strex_bench`] — per-figure experiment entry points.
+//!
+//! The most common entry points are lifted to the top level:
+//!
+//! ```no_run
+//! use strex_repro::{Campaign, SchedulerKind, SimConfig, Workload, WorkloadKind};
+//!
+//! let workloads = [Workload::preset_small(WorkloadKind::TpccW1, 16, 42)];
+//! let cfg = SimConfig::builder().cores(4).build().expect("valid config");
+//! let result = Campaign::new(cfg)
+//!     .over_schedulers(SchedulerKind::ALL)
+//!     .over_workloads(workloads.iter())
+//!     .run()
+//!     .expect("campaign runs");
+//! println!("{}", result.to_json());
+//! ```
+
+pub use strex;
+pub use strex_bench;
+pub use strex_oltp;
+pub use strex_sim;
+
+pub use strex::campaign::{Campaign, CampaignResult, CellKey};
+pub use strex::config::SchedulerKind;
+pub use strex::driver::{run, SimConfig};
+pub use strex::error::ConfigError;
+pub use strex::report::Report;
+pub use strex_oltp::workload::{Workload, WorkloadKind};
+pub use strex_sim::config::SystemConfig;

@@ -1,0 +1,154 @@
+//! Minimal offline stand-in for the crates.io `proptest` crate.
+//!
+//! The workspace builds without a crates.io mirror, so the subset of the
+//! proptest 1.x API its property tests use is implemented here: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! [`prop_oneof!`], `Just`, `any::<T>()`, integer-range strategies, tuple
+//! strategies, `prop::collection::{vec, hash_set}`, the `prop_assert*`
+//! macros, and `ProptestConfig::with_cases`.
+//!
+//! The big semantic difference from upstream: failing cases are reported
+//! with their seed but **not shrunk**. Every test is deterministic — the
+//! per-test RNG is seeded from the test's name, so a failure reproduces
+//! exactly under `cargo test`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of upstream's `prop::` paths (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob import the tests use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|rng: &mut $crate::test_runner::TestRng| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })(&mut rng);
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), case, config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::arm($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// panicking directly) so the harness can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), a, b
+                )),
+            );
+        }
+    }};
+}
+
+/// Asserts two values differ inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a != *b) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "{} (both {:?})",
+                    format!($($fmt)+), a
+                )),
+            );
+        }
+    }};
+}
