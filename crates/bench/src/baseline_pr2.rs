@@ -1,0 +1,76 @@
+//! The pre-refactor (seed) throughput baseline for the PR 2 cache-hot-path
+//! optimization, measured with [`crate::perf::quick_suite`] at the commit
+//! *before* the structure-of-arrays cache landed.
+//!
+//! `repro --bench-json` merges this record with a fresh measurement of the
+//! current build so `BENCH_PR2.json` always carries the before/after pair
+//! and their ratio. The wall-clock numbers are machine-specific — the
+//! ratio is only meaningful on the machine that recorded this baseline
+//! (the record itself was taken by running the seed engine and the SoA
+//! build interleaved in one session). On any other machine, rely on the
+//! `cache_hot_path_same_run` section of `BENCH_PR2.json`, which times
+//! both implementations inside the producing run.
+
+use crate::perf::{BenchRecord, CellTiming};
+
+/// (workload, scheduler, cores, events, instructions, wall_seconds)
+/// measured at the pre-refactor commit.
+const CELLS: &[(&str, &str, usize, u64, u64, f64)] = &[
+    ("TPC-C-1", "baseline", 2, 974694, 10586194, 0.142235105),
+    ("TPC-C-1", "baseline", 4, 974694, 10586194, 0.140574512),
+    ("TPC-C-1", "strex", 2, 974694, 10586194, 0.12935776),
+    ("TPC-C-1", "strex", 4, 974694, 10586194, 0.133122189),
+    ("TPC-C-1", "slicc", 2, 974694, 10586194, 0.143719182),
+    ("TPC-C-1", "slicc", 4, 974694, 10586194, 0.153704814),
+    ("TPC-C-1", "hybrid", 2, 974694, 10586194, 0.141361477),
+    ("TPC-C-1", "hybrid", 4, 974694, 10586194, 0.146293483),
+    ("TPC-C-10", "baseline", 2, 978621, 10618467, 0.128478663),
+    ("TPC-C-10", "baseline", 4, 978621, 10618467, 0.145654457),
+    ("TPC-C-10", "strex", 2, 978621, 10618467, 0.124710947),
+    ("TPC-C-10", "strex", 4, 978621, 10618467, 0.12363683),
+    ("TPC-C-10", "slicc", 2, 978621, 10618467, 0.140091087),
+    ("TPC-C-10", "slicc", 4, 978621, 10618467, 0.166797845),
+    ("TPC-C-10", "hybrid", 2, 978621, 10618467, 0.132735123),
+    ("TPC-C-10", "hybrid", 4, 978621, 10618467, 0.139941205),
+    ("TPC-E", "baseline", 2, 191514, 2105352, 0.021640475),
+    ("TPC-E", "baseline", 4, 191514, 2105352, 0.023915851),
+    ("TPC-E", "strex", 2, 191514, 2105352, 0.023563291),
+    ("TPC-E", "strex", 4, 191514, 2105352, 0.025984252),
+    ("TPC-E", "slicc", 2, 191514, 2105352, 0.024759977),
+    ("TPC-E", "slicc", 4, 191514, 2105352, 0.026691163),
+    ("TPC-E", "hybrid", 2, 191514, 2105352, 0.023394646),
+    ("TPC-E", "hybrid", 4, 191514, 2105352, 0.026421386),
+    ("MapReduce", "baseline", 2, 154241, 1596780, 0.007986093),
+    ("MapReduce", "baseline", 4, 154241, 1596780, 0.007571488),
+    ("MapReduce", "strex", 2, 154241, 1596780, 0.007596385),
+    ("MapReduce", "strex", 4, 154241, 1596780, 0.007686892),
+    ("MapReduce", "slicc", 2, 154241, 1596780, 0.008033579),
+    ("MapReduce", "slicc", 4, 154241, 1596780, 0.007852942),
+    ("MapReduce", "hybrid", 2, 154241, 1596780, 0.008070787),
+    ("MapReduce", "hybrid", 4, 154241, 1596780, 0.008119274),
+];
+
+/// Revision the baseline was recorded at (the commit before the SoA cache
+/// refactor).
+const REVISION: &str = "21f110e (pre-refactor seed engine, measured same-session as the SoA build)";
+
+/// The committed pre-refactor baseline record.
+pub fn seed_baseline() -> BenchRecord {
+    BenchRecord {
+        label: "seed baseline (pre-refactor)".to_string(),
+        revision: REVISION.to_string(),
+        cells: CELLS
+            .iter()
+            .map(
+                |&(workload, scheduler, cores, events, instructions, wall_seconds)| CellTiming {
+                    workload: workload.to_string(),
+                    scheduler,
+                    cores,
+                    events,
+                    instructions,
+                    wall_seconds,
+                },
+            )
+            .collect(),
+    }
+}

@@ -11,6 +11,11 @@
 //! a minute (used by CI); shapes are preserved, magnitudes are noisier.
 //! With `--json` the figure 5/6 scheduler campaign is additionally emitted
 //! as one JSON document (the `BENCH_*.json` trajectory format).
+//!
+//! `--bench-json` is a standalone mode: it times the quick reproduction
+//! suite cell by cell, merges the result with the committed pre-refactor
+//! baseline, and writes the before/after record to `BENCH_PR2.json` in the
+//! working directory (the perf trajectory CI uploads).
 
 use std::env;
 use std::process::ExitCode;
@@ -23,10 +28,19 @@ use strex_bench::experiments::{
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     for flag in args.iter().filter(|a| a.starts_with("--")) {
-        if flag != "--quick" && flag != "--json" {
-            eprintln!("unknown flag `{flag}`; known flags: --quick --json");
+        if flag != "--quick" && flag != "--json" && flag != "--bench-json" {
+            eprintln!("unknown flag `{flag}`; known flags: --quick --json --bench-json");
             return ExitCode::FAILURE;
         }
+    }
+    if args.iter().any(|a| a == "--bench-json") {
+        // Standalone mode: refuse positional targets rather than silently
+        // ignoring them.
+        if let Some(extra) = args.iter().find(|a| !a.starts_with("--")) {
+            eprintln!("--bench-json is standalone; unexpected target `{extra}`");
+            return ExitCode::FAILURE;
+        }
+        return bench_json_mode();
     }
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
@@ -100,5 +114,47 @@ fn main() -> ExitCode {
     if want("future") {
         println!("{}", future_work(effort).0);
     }
+    ExitCode::SUCCESS
+}
+
+/// Times the quick suite, merges with the committed baseline, and writes
+/// `BENCH_PR2.json`.
+fn bench_json_mode() -> ExitCode {
+    use strex_bench::{baseline_pr2, perf};
+
+    let revision = env::var("GITHUB_SHA").unwrap_or_else(|_| "working-tree".to_string());
+    println!("Timing the quick reproduction suite (sequential cells)...");
+    let current = perf::quick_suite("current", &revision);
+    let baseline = baseline_pr2::seed_baseline();
+    let micro = perf::cache_microbench();
+    let doc = perf::bench_json(&current, &baseline, &micro);
+    let path = "BENCH_PR2.json";
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let speedup = if baseline.events_per_sec() > 0.0 {
+        current.events_per_sec() / baseline.events_per_sec()
+    } else {
+        0.0
+    };
+    println!(
+        "{} cells, {} events in {:.2}s — {:.0} events/sec \
+         ({:.2}x the committed baseline's {:.0}; cross-machine ratios are \
+         indicative only — the same-run line below is portable)",
+        current.cells.len(),
+        current.total_events(),
+        current.total_wall_seconds(),
+        current.events_per_sec(),
+        speedup,
+        baseline.events_per_sec(),
+    );
+    println!(
+        "cache hot path (same-run): reference {:.1} ns/op vs SoA {:.1} ns/op — {:.2}x",
+        micro.reference_ns_per_op,
+        micro.soa_ns_per_op,
+        micro.speedup(),
+    );
+    println!("wrote {path}");
     ExitCode::SUCCESS
 }

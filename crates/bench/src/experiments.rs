@@ -29,22 +29,29 @@ pub enum Effort {
     Full,
 }
 
+/// Transaction-pool size the figure 5/6 matrix scales down from (also
+/// the quick suite `perf::quick_suite` times).
+pub const MATRIX_POOL: usize = 240;
+
 impl Effort {
-    fn pool(self, full: usize) -> usize {
+    /// Pool size at this effort, scaled down from the full-effort `full`.
+    pub fn pool(self, full: usize) -> usize {
         match self {
             Effort::Quick => (full / 8).max(8),
             Effort::Full => full,
         }
     }
 
-    fn workload(self, kind: WorkloadKind, size: usize, seed: u64) -> Workload {
+    /// The workload a figure uses at this effort.
+    pub fn workload(self, kind: WorkloadKind, size: usize, seed: u64) -> Workload {
         match self {
             Effort::Quick => Workload::preset_small(kind, self.pool(size), seed),
             Effort::Full => Workload::preset(kind, size, seed),
         }
     }
 
-    fn core_counts(self) -> Vec<usize> {
+    /// Core counts the run matrices sweep at this effort.
+    pub fn core_counts(self) -> Vec<usize> {
         match self {
             Effort::Quick => vec![2, 4],
             Effort::Full => vec![2, 4, 8, 16],
@@ -247,10 +254,9 @@ pub fn fig5_fig6_campaign(
         SchedulerKind::Strex,
         SchedulerKind::Hybrid,
     ];
-    let size = 240;
     let workloads: Vec<Workload> = WorkloadKind::ALL
         .into_iter()
-        .map(|wk| effort.workload(wk, size, SEED))
+        .map(|wk| effort.workload(wk, MATRIX_POOL, SEED))
         .collect();
     let core_counts = effort.core_counts();
 

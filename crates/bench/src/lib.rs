@@ -15,7 +15,9 @@
 //! the experiment index mapping each figure to the modules that implement
 //! its pieces.
 
+pub mod baseline_pr2;
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 pub use experiments::Effort;

@@ -1,0 +1,344 @@
+//! Simulation-throughput measurement — the `BENCH_*.json` trajectory.
+//!
+//! [`quick_suite`] replays the quick reproduction matrix (every workload ×
+//! every scheduler × the quick core counts, the same cells CI reproduces
+//! for Figures 5/6) through [`strex::driver::run`], timing each cell and
+//! counting the memory-reference events it simulates. The headline metric
+//! is **events per second**: how many L1 accesses the simulator retires
+//! per wall-clock second, aggregated over the whole suite.
+//!
+//! Records serialize to JSON via [`strex::json::JsonWriter`] (the
+//! workspace is offline, so no serde). [`bench_json`] merges a freshly
+//! measured record with the committed pre-refactor baseline
+//! ([`crate::baseline_pr2`]) and reports the speedup, producing the
+//! `BENCH_PR2.json` document the CI `bench-smoke` job uploads.
+
+use std::time::Instant;
+
+use strex::config::SchedulerKind;
+use strex::driver::run;
+use strex::json::JsonWriter;
+use strex_oltp::workload::{Workload, WorkloadKind};
+use strex_sim::addr::BlockAddr;
+use strex_sim::cache::{CacheGeometry, SetAssocCache};
+use strex_sim::refcache::RefSetAssocCache;
+use strex_sim::replacement::ReplacementKind;
+
+use crate::experiments::{Effort, MATRIX_POOL, SEED};
+
+/// Timing of one campaign cell.
+#[derive(Clone, Debug)]
+pub struct CellTiming {
+    /// Workload name.
+    pub workload: String,
+    /// Scheduler registry key.
+    pub scheduler: &'static str,
+    /// Core count.
+    pub cores: usize,
+    /// Memory-reference events simulated (L1-I + L1-D accesses).
+    pub events: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Wall-clock seconds the cell took.
+    pub wall_seconds: f64,
+}
+
+impl CellTiming {
+    /// Events simulated per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One full measurement of the quick suite.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// What was measured (e.g. `"seed baseline"`, `"current"`).
+    pub label: String,
+    /// Git revision or description of the code measured.
+    pub revision: String,
+    /// Per-cell timings.
+    pub cells: Vec<CellTiming>,
+}
+
+impl BenchRecord {
+    /// Total events across all cells.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events).sum()
+    }
+
+    /// Total wall-clock seconds across all cells.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_seconds).sum()
+    }
+
+    /// Aggregate events per second over the whole suite.
+    pub fn events_per_sec(&self) -> f64 {
+        let wall = self.total_wall_seconds();
+        if wall > 0.0 {
+            self.total_events() as f64 / wall
+        } else {
+            0.0
+        }
+    }
+
+    fn write_into(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("label");
+        w.string(&self.label);
+        w.key("revision");
+        w.string(&self.revision);
+        w.key("total_events");
+        w.number_u64(self.total_events());
+        w.key("total_wall_seconds");
+        w.float(self.total_wall_seconds());
+        w.key("events_per_sec");
+        w.float(self.events_per_sec());
+        w.key("cells");
+        w.begin_array();
+        for c in &self.cells {
+            w.begin_object();
+            w.key("workload");
+            w.string(&c.workload);
+            w.key("scheduler");
+            w.string(c.scheduler);
+            w.key("cores");
+            w.number_u64(c.cores as u64);
+            w.key("events");
+            w.number_u64(c.events);
+            w.key("instructions");
+            w.number_u64(c.instructions);
+            w.key("wall_seconds");
+            w.float(c.wall_seconds);
+            w.key("events_per_sec");
+            w.float(c.events_per_sec());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// This record alone as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_into(&mut w);
+        w.finish()
+    }
+}
+
+/// Measures the quick reproduction suite cell by cell.
+///
+/// Cells run sequentially (unlike the parallel [`strex::campaign`]
+/// executor) so each wall-clock measurement is unperturbed by sibling
+/// runs.
+pub fn quick_suite(label: &str, revision: &str) -> BenchRecord {
+    // The exact cells the quick fig5/6 reproduction runs, via the same
+    // Effort accessors, so the suite and the benchmark can't drift apart.
+    let workloads: Vec<Workload> = WorkloadKind::ALL
+        .into_iter()
+        .map(|wk| Effort::Quick.workload(wk, MATRIX_POOL, SEED))
+        .collect();
+    let core_counts = Effort::Quick.core_counts();
+    let mut cells = Vec::new();
+    for w in &workloads {
+        for kind in SchedulerKind::ALL {
+            for &cores in &core_counts {
+                let cfg = strex::config::SimConfig::builder()
+                    .cores(cores)
+                    .scheduler(kind)
+                    .build()
+                    .expect("bench configurations are valid");
+                let start = Instant::now();
+                let report = run(w, &cfg);
+                let wall_seconds = start.elapsed().as_secs_f64();
+                let agg = report.stats.aggregate();
+                cells.push(CellTiming {
+                    workload: w.name().to_string(),
+                    scheduler: kind.key(),
+                    cores,
+                    events: agg.i_accesses + agg.d_accesses,
+                    instructions: agg.instructions,
+                    wall_seconds,
+                });
+            }
+        }
+    }
+    BenchRecord {
+        label: label.to_string(),
+        revision: revision.to_string(),
+        cells,
+    }
+}
+
+/// Same-run microbenchmark of the cache hot path: one identical access
+/// stream (fetch-style accesses with interleaved victim peeks, STREX's
+/// per-fetch pattern) driven through the reference (seed) implementation
+/// and the SoA single-probe cache.
+#[derive(Copy, Clone, Debug)]
+pub struct CacheMicrobench {
+    /// Operations per implementation (one access + one peek each).
+    pub ops: u64,
+    /// Nanoseconds per operation, reference (seed) implementation.
+    pub reference_ns_per_op: f64,
+    /// Nanoseconds per operation, SoA single-probe implementation.
+    pub soa_ns_per_op: f64,
+}
+
+impl CacheMicrobench {
+    /// Reference time over SoA time.
+    pub fn speedup(&self) -> f64 {
+        if self.soa_ns_per_op > 0.0 {
+            self.reference_ns_per_op / self.soa_ns_per_op
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the cache hot-path microbenchmark (Table 2 L1-I geometry, LRU,
+/// a thrashing OLTP-like fetch stream). Panics if the two implementations
+/// ever disagree on an outcome — the benchmark doubles as a smoke-level
+/// differential test.
+pub fn cache_microbench() -> CacheMicrobench {
+    const OPS: u64 = 2_000_000;
+    let geom = CacheGeometry::new(32 * 1024, 8);
+
+    fn stream(i: u64) -> (BlockAddr, BlockAddr, u8) {
+        // Looping code footprint ~2x the cache, with a striding conflict
+        // probe for the victim monitor.
+        let access = BlockAddr::new((i * 7) % 1024);
+        let peek = BlockAddr::new(4096 + (i * 13) % 2048);
+        (access, peek, (i % 7) as u8)
+    }
+
+    let mut reference = RefSetAssocCache::new(geom, ReplacementKind::Lru);
+    let mut ref_hits = 0u64;
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        let (b, p, aux) = stream(i);
+        ref_hits += u64::from(reference.peek_victim(p).is_some());
+        ref_hits += u64::from(reference.access(b, aux).is_hit());
+    }
+    let ref_ns = t0.elapsed().as_nanos() as f64 / OPS as f64;
+
+    let mut soa = SetAssocCache::new(geom, ReplacementKind::Lru);
+    let mut soa_hits = 0u64;
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        let (b, p, aux) = stream(i);
+        soa_hits += u64::from(soa.peek_victim(p).is_some());
+        soa_hits += u64::from(soa.access(b, aux).is_hit());
+    }
+    let soa_ns = t0.elapsed().as_nanos() as f64 / OPS as f64;
+
+    assert_eq!(
+        ref_hits, soa_hits,
+        "reference and SoA cache diverged under the benchmark stream"
+    );
+    CacheMicrobench {
+        ops: OPS,
+        reference_ns_per_op: ref_ns,
+        soa_ns_per_op: soa_ns,
+    }
+}
+
+/// The full `BENCH_PR2.json` document: the committed pre-refactor
+/// baseline, a fresh measurement of the current build, the speedup
+/// between them, and a same-run microbenchmark of the cache hot path
+/// (reference vs SoA implementation, both timed by this very run).
+pub fn bench_json(
+    current: &BenchRecord,
+    baseline: &BenchRecord,
+    micro: &CacheMicrobench,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string("strex-sim quick reproduction suite");
+    w.key("metric");
+    w.string("memory-reference events simulated per wall-clock second");
+    w.key("baseline");
+    baseline.write_into(&mut w);
+    w.key("current");
+    current.write_into(&mut w);
+    w.key("speedup_vs_committed_baseline");
+    let b = baseline.events_per_sec();
+    w.float(if b > 0.0 {
+        current.events_per_sec() / b
+    } else {
+        0.0
+    });
+    w.key("baseline_note");
+    w.string(
+        "the committed baseline's wall-clock times are from the machine that \
+         recorded it; this ratio is only meaningful there — on other machines \
+         use cache_hot_path_same_run, which this run measured for both \
+         implementations",
+    );
+    w.key("cache_hot_path_same_run");
+    w.begin_object();
+    w.key("description");
+    w.string("identical access+peek stream through the seed (reference) and SoA cache implementations, timed in this run");
+    w.key("ops");
+    w.number_u64(micro.ops);
+    w.key("reference_ns_per_op");
+    w.float(micro.reference_ns_per_op);
+    w.key("soa_ns_per_op");
+    w.float(micro.soa_ns_per_op);
+    w.key("speedup");
+    w.float(micro.speedup());
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_record() -> BenchRecord {
+        BenchRecord {
+            label: "t".into(),
+            revision: "r".into(),
+            cells: vec![CellTiming {
+                workload: "w".into(),
+                scheduler: "baseline",
+                cores: 2,
+                events: 1000,
+                instructions: 5000,
+                wall_seconds: 0.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn events_per_sec_aggregates() {
+        let r = tiny_record();
+        assert_eq!(r.total_events(), 1000);
+        assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = tiny_record();
+        let j = r.to_json();
+        assert!(j.contains(r#""label":"t""#));
+        assert!(j.contains(r#""events":1000"#));
+        let micro = CacheMicrobench {
+            ops: 100,
+            reference_ns_per_op: 20.0,
+            soa_ns_per_op: 10.0,
+        };
+        assert!((micro.speedup() - 2.0).abs() < 1e-9);
+        let merged = bench_json(&r, &r, &micro);
+        assert!(merged.contains(r#""baseline":"#));
+        assert!(merged.contains(r#""current":"#));
+        assert!(merged.contains(r#""speedup_vs_committed_baseline":1"#));
+        assert!(merged.contains(r#""cache_hot_path_same_run""#));
+        assert!(merged.contains(r#""speedup":2"#), "microbench speedup");
+    }
+}

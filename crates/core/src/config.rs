@@ -251,7 +251,35 @@ impl SimConfig {
         if self.system.l2_bytes_per_core == 0 || self.system.l2_assoc == 0 {
             return Err(ConfigError::ZeroCacheGeometry { cache: "L2" });
         }
-        Ok(())
+        // The single-probe cache lookup indexes sets with a mask, so every
+        // level needs a power-of-two set count (all Table 2 shapes qualify).
+        for (cache, geom) in [("L1-I", l1i), ("L1-D", l1d)] {
+            if !geom.has_pow2_sets() {
+                return Err(ConfigError::NonPowerOfTwoSets {
+                    cache,
+                    sets: geom.sets(),
+                });
+            }
+        }
+        // The L2 geometry is derived here (per-slice caches are built
+        // later from these two fields), so run the full fallible
+        // constructor: uneven capacities must surface as an error now,
+        // not as a panic inside `SharedL2::new`.
+        match strex_sim::cache::CacheGeometry::try_new(
+            self.system.l2_bytes_per_core,
+            self.system.l2_assoc,
+        ) {
+            Ok(_) => Ok(()),
+            Err(strex_sim::cache::GeometryError::Degenerate) => {
+                Err(ConfigError::ZeroCacheGeometry { cache: "L2" })
+            }
+            Err(strex_sim::cache::GeometryError::UnevenSets { .. }) => {
+                Err(ConfigError::UnevenCacheCapacity { cache: "L2" })
+            }
+            Err(strex_sim::cache::GeometryError::NonPowerOfTwoSets { sets }) => {
+                Err(ConfigError::NonPowerOfTwoSets { cache: "L2", sets })
+            }
+        }
     }
 }
 
@@ -408,6 +436,21 @@ mod tests {
         assert_eq!(
             SimConfig::builder().system(degenerate).build(),
             Err(ConfigError::ZeroCacheGeometry { cache: "L2" })
+        );
+        // An L2 capacity that does not divide into sets is an error, not a
+        // later panic inside SharedL2 construction.
+        let mut uneven = SystemConfig::with_cores(2);
+        uneven.l2_bytes_per_core = 1000;
+        assert_eq!(
+            SimConfig::builder().system(uneven).build(),
+            Err(ConfigError::UnevenCacheCapacity { cache: "L2" })
+        );
+        // A divisible but non-power-of-two L2 set count is also an error.
+        let mut non_pow2 = SystemConfig::with_cores(2);
+        non_pow2.l2_bytes_per_core = 3 * 16 * 64; // 3 sets at 16 ways
+        assert_eq!(
+            SimConfig::builder().system(non_pow2).build(),
+            Err(ConfigError::NonPowerOfTwoSets { cache: "L2", sets: 3 })
         );
     }
 

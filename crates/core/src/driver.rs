@@ -109,12 +109,13 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
     scheduler.init(&threads, traces, n_cores);
 
     let mut cores = vec![Core::default(); n_cores];
+    let n_threads = threads.len();
     let mut completed = 0usize;
     // Min-heap of (next cycle, core index).
     let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> =
         (0..n_cores).map(|c| Reverse((0, c))).collect();
 
-    while completed < threads.len() {
+    while completed < n_threads {
         let Reverse((now, c)) = heap.pop().expect("cores outlive pending work");
         let core_id = CoreId::new(c as u16);
         cores[c].cycle = cores[c].cycle.max(now);
@@ -130,7 +131,7 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
                 }
                 None => {
                     // No runnable work: poll again later if work may appear.
-                    if scheduler.has_pending_work() || completed < threads.len() {
+                    if scheduler.has_pending_work() || completed < n_threads {
                         heap.push(Reverse((cores[c].cycle + IDLE_POLL, c)));
                     }
                     continue;
@@ -139,20 +140,33 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
         }
 
         let tid = cores[c].current.expect("assigned above");
-        let trace = &traces[threads[tid.as_usize()].trace_idx()];
+        // Hoist the thread and trace borrows out of the event batch: the
+        // scheduler and memory system never touch `threads`, so the inner
+        // loop indexes neither `threads` nor `traces` per event.
+        let thread = &mut threads[tid.as_usize()];
+        let trace = &traces[thread.trace_idx()];
+        // Local cycle accumulator; written back to `cores[c]` after the
+        // batch (and kept in sync at every scheduler callback).
+        let mut cycle = cores[c].cycle;
         let mut budget = BATCH_EVENTS;
         let mut reinsert_at: Option<Cycle> = None;
 
         while budget > 0 {
             budget -= 1;
-            let cursor = threads[tid.as_usize()].cursor();
-            match cursor.peek(trace) {
+            // Pipeline the memory model one event ahead: start pulling in
+            // the L2-slice lines the *next* instruction fetch will probe
+            // while the current event is simulated. Pure prefetch hint.
+            if let Some(MemRef::IFetch { block: next, .. }) = thread.cursor().peek_at(trace, 1)
+            {
+                mem.prefetch_fetch(next);
+            }
+            match thread.cursor().peek(trace) {
                 None => {
-                    threads[tid.as_usize()].mark_completed(cores[c].cycle);
+                    thread.mark_completed(cycle);
                     completed += 1;
-                    scheduler.on_done(core_id, tid, cores[c].cycle);
+                    scheduler.on_done(core_id, tid, cycle);
                     cores[c].current = None;
-                    reinsert_at = Some(cores[c].cycle);
+                    reinsert_at = Some(cycle);
                     break;
                 }
                 Some(MemRef::IFetch { block, instrs }) => {
@@ -160,57 +174,57 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
                     // would destroy the team's current-phase segment; the
                     // abandoned fetch re-executes when it is next scheduled.
                     if scheduler.pre_fetch(core_id, tid, block, &mem) == Decision::Switch {
-                        cores[c].cycle +=
-                            mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                        cycle += mem.context_transfer(core_id, config.strex.ctx_state_blocks);
                         scheduler.on_switch(core_id, tid);
                         cores[c].current = None;
-                        reinsert_at = Some(cores[c].cycle);
+                        reinsert_at = Some(cycle);
                         break;
                     }
                     let tag = scheduler.phase_tag(core_id);
-                    let fetch = mem.fetch_inst(core_id, block, tag, cores[c].cycle);
+                    let fetch = mem.fetch_inst(core_id, block, tag, cycle);
                     mem.add_instructions(core_id, instrs as u64);
-                    cores[c].cycle += instrs as u64 + fetch.stall;
-                    threads[tid.as_usize()].cursor_mut().advance();
+                    cycle += instrs as u64 + fetch.stall;
+                    thread.cursor_mut().advance();
                     match scheduler.on_fetch(core_id, tid, block, &fetch, &mem) {
                         Decision::Continue => {}
                         Decision::Switch => {
                             // Save the outgoing context to the L2.
-                            cores[c].cycle +=
+                            cycle +=
                                 mem.context_transfer(core_id, config.strex.ctx_state_blocks);
                             scheduler.on_switch(core_id, tid);
                             cores[c].current = None;
-                            reinsert_at = Some(cores[c].cycle);
+                            reinsert_at = Some(cycle);
                             break;
                         }
                         Decision::Migrate(dst) => {
-                            cores[c].cycle +=
+                            cycle +=
                                 mem.context_transfer(core_id, config.strex.ctx_state_blocks);
                             scheduler.on_migrate(tid, dst);
                             cores[c].current = None;
-                            reinsert_at = Some(cores[c].cycle);
+                            reinsert_at = Some(cycle);
                             // Wake the destination core if it went idle.
-                            heap.push(Reverse((cores[c].cycle, dst.as_usize())));
+                            heap.push(Reverse((cycle, dst.as_usize())));
                             break;
                         }
                     }
                 }
                 Some(MemRef::Load { addr }) => {
-                    let access = mem.access_data(core_id, addr, false, cores[c].cycle);
-                    cores[c].cycle += access.stall;
-                    threads[tid.as_usize()].cursor_mut().advance();
+                    let access = mem.access_data(core_id, addr, false, cycle);
+                    cycle += access.stall;
+                    thread.cursor_mut().advance();
                 }
                 Some(MemRef::Store { addr }) => {
                     // Stores retire through the store buffer; the miss is
                     // tracked (and occupies the hierarchy) but does not
                     // stall the core.
-                    let _ = mem.access_data(core_id, addr, true, cores[c].cycle);
-                    threads[tid.as_usize()].cursor_mut().advance();
+                    let _ = mem.access_data(core_id, addr, true, cycle);
+                    thread.cursor_mut().advance();
                 }
             }
         }
-        if completed < threads.len() {
-            heap.push(Reverse((reinsert_at.unwrap_or(cores[c].cycle), c)));
+        cores[c].cycle = cycle;
+        if completed < n_threads {
+            heap.push(Reverse((reinsert_at.unwrap_or(cycle), c)));
         }
     }
 

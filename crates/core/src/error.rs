@@ -33,6 +33,21 @@ pub enum ConfigError {
         /// Which cache: `"L1-I"`, `"L1-D"`, or `"L2"`.
         cache: &'static str,
     },
+    /// A cache level's capacity does not divide evenly into
+    /// `assoc`-way sets of 64-byte blocks.
+    UnevenCacheCapacity {
+        /// Which cache: `"L1-I"`, `"L1-D"`, or `"L2"`.
+        cache: &'static str,
+    },
+    /// A cache level's set count is not a power of two, which the
+    /// single-probe (mask-indexed) cache lookup requires. All of the
+    /// paper's geometries (Table 2) qualify.
+    NonPowerOfTwoSets {
+        /// Which cache: `"L1-I"`, `"L1-D"`, or `"L2"`.
+        cache: &'static str,
+        /// The rejected set count.
+        sets: usize,
+    },
     /// The scheduler name is not present in the registry consulted.
     UnknownScheduler {
         /// The name that failed to resolve.
@@ -57,6 +72,14 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroCacheGeometry { cache } => {
                 write!(f, "{cache} cache has zero capacity or associativity")
             }
+            ConfigError::UnevenCacheCapacity { cache } => write!(
+                f,
+                "{cache} cache capacity does not divide evenly into sets"
+            ),
+            ConfigError::NonPowerOfTwoSets { cache, sets } => write!(
+                f,
+                "{cache} cache has {sets} sets; set counts must be powers of two"
+            ),
             ConfigError::UnknownScheduler { name } => {
                 write!(f, "scheduler {name:?} is not registered")
             }
@@ -85,6 +108,15 @@ mod tests {
         assert!(ConfigError::ZeroCacheGeometry { cache: "L2" }
             .to_string()
             .contains("L2"));
+        assert!(ConfigError::NonPowerOfTwoSets {
+            cache: "L1-I",
+            sets: 3
+        }
+        .to_string()
+        .contains("3 sets"));
+        assert!(ConfigError::UnevenCacheCapacity { cache: "L2" }
+            .to_string()
+            .contains("divide evenly"));
         assert!(ConfigError::UnknownScheduler {
             name: "nope".into()
         }

@@ -166,8 +166,18 @@ impl TraceCursor {
     }
 
     /// The next event to replay, or `None` at end of trace.
+    #[inline]
     pub fn peek(self, trace: &TxnTrace) -> Option<MemRef> {
         trace.refs.get(self.pos).copied()
+    }
+
+    /// Looks `ahead` events past the current one (`peek_at(trace, 0)` is
+    /// [`peek`](TraceCursor::peek)). Used by the driver to issue memory
+    /// prefetch hints for the upcoming event while the current one is
+    /// still being simulated.
+    #[inline]
+    pub fn peek_at(self, trace: &TxnTrace, ahead: usize) -> Option<MemRef> {
+        trace.refs.get(self.pos + ahead).copied()
     }
 
     /// Moves past the current event.

@@ -12,9 +12,47 @@
 //! carried out by the memory hierarchy, which owns the caches.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::addr::BlockAddr;
 use crate::ids::CoreId;
+
+/// Deterministic multiply-mix hasher for block addresses.
+///
+/// The directory performs one map lookup per data access, which makes the
+/// default SipHash a measurable cost on the simulation hot path. Block
+/// addresses are simulator-internal (no untrusted input, no DoS surface),
+/// and the directory never iterates the map, so the bucket layout is
+/// unobservable: swapping the hasher cannot change any simulation result.
+#[derive(Clone, Default)]
+struct BlockAddrHasher {
+    hash: u64,
+}
+
+impl Hasher for BlockAddrHasher {
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiply, then fold the strong high bits back down so
+        // bucket indices (low bits) are well mixed too.
+        let h = (self.hash ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.hash = h ^ (h >> 32);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type BlockMap<V> = HashMap<BlockAddr, V, BuildHasherDefault<BlockAddrHasher>>;
 
 /// Sharer bitmask; supports up to 64 cores (the paper uses at most 16).
 pub type SharerMask = u64;
@@ -67,7 +105,7 @@ impl CoherenceAction {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Directory {
-    lines: HashMap<BlockAddr, LineState>,
+    lines: BlockMap<LineState>,
     n_cores: usize,
 }
 
@@ -80,7 +118,7 @@ impl Directory {
     pub fn new(n_cores: usize) -> Self {
         assert!(n_cores <= 64, "sharer mask supports at most 64 cores");
         Directory {
-            lines: HashMap::new(),
+            lines: BlockMap::default(),
             n_cores,
         }
     }

@@ -94,7 +94,7 @@ impl MemorySystem {
                 cfg.l2_assoc,
                 cfg.l2_hit_latency,
                 cfg.l2_replacement,
-                torus,
+                torus.clone(),
                 Dram::new(cfg.dram),
             ),
             torus,
@@ -143,9 +143,10 @@ impl MemorySystem {
         let c = core.as_usize();
         self.stats.cores[c].i_accesses += 1;
 
-        if self.l1i[c].contains(block) {
-            // Hit: update replacement state and retag with the current phase.
-            self.l1i[c].access(block, phase_tag);
+        // Single probe: hit bookkeeping (replacement update + phase retag)
+        // or miss fill, and the fill's victim, all from one tag scan.
+        let probe = self.l1i[c].access(block, phase_tag);
+        if probe.hit {
             return InstFetch {
                 stall: 0,
                 hit: true,
@@ -161,16 +162,16 @@ impl MemorySystem {
             self.stats.cores[c].i_misses += 1;
         }
         let l2_latency = self.l2.access(core, block, now);
-        let evicted = self.l1i[c].fill(block, phase_tag);
+        let evicted = probe.evicted;
         self.note_l1i_fill(core, block, evicted.as_ref());
 
         // Sequential prefetch, optimistically timely.
         for target in self.cfg.prefetcher.prefetch_targets(block) {
-            if !self.l1i[c].contains(target) {
+            let pf = self.l1i[c].fill_if_absent(target, phase_tag);
+            if !pf.hit {
                 self.stats.cores[c].prefetches += 1;
                 let _ = self.l2.access(core, target, now);
-                let pf_evicted = self.l1i[c].fill(target, phase_tag);
-                self.note_l1i_fill(core, target, pf_evicted.as_ref());
+                self.note_l1i_fill(core, target, pf.evicted.as_ref());
             }
         }
 
@@ -183,12 +184,24 @@ impl MemorySystem {
         }
     }
 
+    /// Prefetch hint for an upcoming [`fetch_inst`](MemorySystem::fetch_inst)
+    /// of `block`: starts pulling in the L2-slice tag lines a demand miss
+    /// would probe. The driver calls this one trace event ahead, so the
+    /// (L3-resident) slice metadata loads overlap with simulating the
+    /// current event instead of serializing behind it. No architectural
+    /// effect whatsoever.
+    #[inline]
+    pub fn prefetch_fetch(&self, block: BlockAddr) {
+        self.l2.prefetch(block);
+    }
+
     fn note_l1i_fill(&mut self, core: CoreId, block: BlockAddr, evicted: Option<&Victim>) {
         let c = core.as_usize();
         self.signatures[c].insert(block);
         if evicted.is_some() && self.signatures[c].note_eviction() {
-            let resident: Vec<BlockAddr> = self.l1i[c].resident_blocks().collect();
-            self.signatures[c].rebuild(resident);
+            // Feed the resident set straight into the rebuild; no
+            // intermediate Vec on this (per-128-evictions) path.
+            self.signatures[c].rebuild(self.l1i[c].resident_blocks());
         }
     }
 
@@ -226,12 +239,12 @@ impl MemorySystem {
         }
 
         let l1d = &mut self.l1d[c];
-        let outcome = if is_write {
+        let probe = if is_write {
             l1d.access_write(block, 0)
         } else {
             l1d.access(block, 0)
         };
-        if outcome.is_hit() {
+        if probe.hit {
             let stall = self.cfg.l1_hit_extra + remote_penalty;
             self.stats.cores[c].d_stall_cycles += remote_penalty;
             return DataAccess {
@@ -247,7 +260,7 @@ impl MemorySystem {
         }
         // Miss: the block was installed by `access` above; the displaced
         // frame must leave the directory and write back if dirty.
-        if let Some(v) = outcome.evicted() {
+        if let Some(v) = probe.evicted {
             self.directory.on_evict(core, v.block);
             if v.dirty {
                 self.l2.writeback(core, v.block);

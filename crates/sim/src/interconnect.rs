@@ -9,6 +9,11 @@ use crate::ids::CoreId;
 
 /// A 2-D torus of `n` nodes arranged in the most square grid possible.
 ///
+/// Pairwise round-trip latencies are precomputed at construction: the
+/// coordinate arithmetic costs two integer divisions per endpoint, and the
+/// L2 consults the torus on every slice access, so the hot path is a
+/// single table load instead.
+///
 /// # Examples
 ///
 /// ```
@@ -19,11 +24,13 @@ use crate::ids::CoreId;
 /// assert_eq!(t.hops(CoreId::new(0), CoreId::new(0)), 0);
 /// assert_eq!(t.hops(CoreId::new(0), CoreId::new(15)), 2); // wraparound
 /// ```
-#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+#[derive(Clone, Eq, PartialEq, Debug)]
 pub struct Torus {
     width: usize,
     height: usize,
     hop_latency: u64,
+    /// `round_trip(a, b)` for every node pair, indexed `a * nodes + b`.
+    round_trips: std::sync::Arc<[u64]>,
 }
 
 impl Torus {
@@ -49,11 +56,29 @@ impl Torus {
             height -= 1;
         }
         let width = nodes / height.max(1);
-        Torus {
+        let mut t = Torus {
             width,
             height: height.max(1),
             hop_latency,
+            round_trips: std::sync::Arc::from(Vec::new()),
+        };
+        let n = t.nodes();
+        // Bound the table to sane on-chip sizes; beyond that, fall back to
+        // the coordinate arithmetic (the directory caps real systems at 64
+        // cores anyway).
+        if n <= 256 {
+            let mut table = Vec::with_capacity(n * n);
+            for a in 0..n {
+                for b in 0..n {
+                    table.push(
+                        2 * t.hops_computed(CoreId::new(a as u16), CoreId::new(b as u16))
+                            * hop_latency,
+                    );
+                }
+            }
+            t.round_trips = std::sync::Arc::from(table);
         }
+        t
     }
 
     /// Grid width.
@@ -76,8 +101,8 @@ impl Torus {
         (i % self.width, i / self.width)
     }
 
-    /// Minimal hop count between two nodes, with wraparound links.
-    pub fn hops(&self, a: CoreId, b: CoreId) -> u64 {
+    /// Coordinate-arithmetic hop count, used to build the table.
+    fn hops_computed(&self, a: CoreId, b: CoreId) -> u64 {
         let (ax, ay) = self.coords(a);
         let (bx, by) = self.coords(b);
         let dx = ax.abs_diff(bx);
@@ -87,14 +112,26 @@ impl Torus {
         (dx + dy) as u64
     }
 
+    /// Minimal hop count between two nodes, with wraparound links.
+    pub fn hops(&self, a: CoreId, b: CoreId) -> u64 {
+        self.hops_computed(a, b)
+    }
+
     /// One-way latency in cycles between two nodes.
     pub fn latency(&self, a: CoreId, b: CoreId) -> u64 {
         self.hops(a, b) * self.hop_latency
     }
 
-    /// Round-trip latency in cycles (request + response).
+    /// Round-trip latency in cycles (request + response): one table load
+    /// for on-chip node counts.
+    #[inline]
     pub fn round_trip(&self, a: CoreId, b: CoreId) -> u64 {
-        2 * self.latency(a, b)
+        let n = self.nodes();
+        if self.round_trips.len() == n * n {
+            self.round_trips[a.as_usize() * n + b.as_usize()]
+        } else {
+            2 * self.hops_computed(a, b) * self.hop_latency
+        }
     }
 }
 

@@ -30,6 +30,10 @@ pub struct SharedL2 {
     hit_latency: u64,
     dram: Dram,
     stats: SharedStats,
+    /// `slices.len() - 1` when the slice count is a power of two (the
+    /// common Table 2 core counts), letting `slice_of` mask instead of
+    /// divide; `None` falls back to the modulo.
+    slice_mask: Option<u64>,
 }
 
 impl SharedL2 {
@@ -62,18 +66,53 @@ impl SharedL2 {
         dram: Dram,
     ) -> Self {
         let geom = CacheGeometry::new(bytes_per_core, assoc);
+        // Power-of-two slice counts interleave on the low index bits, so
+        // those bits are constant within a slice and each slice can be
+        // built set-compressed (bit-identical, smaller probe footprint —
+        // see `SetAssocCache::new_sliced`). Other slice counts interleave
+        // by modulo and get full-size slices.
+        let slice_bits = if n_cores.is_power_of_two() {
+            let bits = n_cores.trailing_zeros();
+            if bits < geom.sets().trailing_zeros() {
+                bits
+            } else {
+                0
+            }
+        } else {
+            0
+        };
         SharedL2 {
-            slices: (0..n_cores).map(|_| SetAssocCache::new(geom, repl)).collect(),
+            slices: (0..n_cores)
+                .map(|_| SetAssocCache::new_sliced(geom, repl, slice_bits))
+                .collect(),
             torus,
             hit_latency,
             dram,
             stats: SharedStats::default(),
+            slice_mask: n_cores
+                .is_power_of_two()
+                .then(|| n_cores as u64 - 1),
         }
     }
 
     /// Which slice a block maps to.
+    #[inline]
     pub fn slice_of(&self, block: BlockAddr) -> CoreId {
-        CoreId::new((block.index() % self.slices.len() as u64) as u16)
+        let idx = match self.slice_mask {
+            Some(mask) => block.index() & mask,
+            None => block.index() % self.slices.len() as u64,
+        };
+        CoreId::new(idx as u16)
+    }
+
+    /// Prefetch hint: start pulling in the tag/metadata lines a demand
+    /// [`access`](SharedL2::access) of `block` would probe. No
+    /// architectural effect; lets the caller overlap the slice probe's
+    /// memory latency with its own L1 work.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        let slice = self.slice_of(block);
+        self.slices[slice.as_usize()].prefetch_probe(block);
     }
 
     /// Serves a demand access from `core` arriving at `now`; returns the
@@ -83,7 +122,9 @@ impl SharedL2 {
         let slice = self.slice_of(block);
         let net = self.torus.round_trip(core, slice);
         let cache = &mut self.slices[slice.as_usize()];
-        if cache.access(block, 0).is_hit() {
+        // Latency-only probe: the L2 keeps no aux tags or dirty bits and
+        // discards victims, so the untagged path is observably identical.
+        if cache.access_untagged(block) {
             net + self.hit_latency
         } else {
             self.stats.l2_misses += 1;
@@ -98,10 +139,8 @@ impl SharedL2 {
         let _ = core;
         self.stats.writebacks += 1;
         let slice = self.slice_of(block);
-        let cache = &mut self.slices[slice.as_usize()];
-        if !cache.contains(block) {
-            cache.fill(block, 0);
-        }
+        // Single probe: install unless already resident.
+        let _ = self.slices[slice.as_usize()].fill_if_absent(block, 0);
     }
 
     /// Returns `true` if the block is resident in its slice.

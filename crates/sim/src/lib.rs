@@ -48,12 +48,13 @@ pub mod interconnect;
 pub mod l2;
 pub mod memory;
 pub mod prefetch;
+pub mod refcache;
 pub mod replacement;
 pub mod signature;
 pub mod stats;
 
 pub use addr::{Addr, AddrRange, BlockAddr, BLOCK_SIZE};
-pub use cache::{AccessOutcome, CacheGeometry, SetAssocCache, Victim};
+pub use cache::{CacheGeometry, GeometryError, Probe, SetAssocCache, Victim};
 pub use config::SystemConfig;
 pub use hierarchy::{DataAccess, InstFetch, MemorySystem};
 pub use ids::{CoreId, Cycle, PhaseId, ThreadId, TxnTypeId};

@@ -80,6 +80,18 @@ pub struct Dram {
     cfg: DramConfig,
     banks: Vec<Bank>,
     stats: DramStats,
+    /// Shift/mask fast path for the bank/row mapping when both the row
+    /// size and the bank count are powers of two (the Table 2 defaults);
+    /// `None` falls back to division.
+    pow2: Option<DramPow2>,
+}
+
+/// Precomputed shifts/masks for power-of-two DRAM address mapping.
+#[derive(Copy, Clone, Debug)]
+struct DramPow2 {
+    row_shift: u32,
+    bank_mask: u64,
+    row_of_shift: u32,
 }
 
 impl Default for Dram {
@@ -99,10 +111,19 @@ impl Dram {
             cfg.channels > 0 && cfg.banks_per_channel > 0,
             "DRAM needs at least one bank"
         );
+        let total_banks = (cfg.channels * cfg.banks_per_channel) as u64;
+        let pow2 = (cfg.row_blocks.is_power_of_two() && total_banks.is_power_of_two()).then(
+            || DramPow2 {
+                row_shift: cfg.row_blocks.trailing_zeros(),
+                bank_mask: total_banks - 1,
+                row_of_shift: cfg.row_blocks.trailing_zeros() + total_banks.trailing_zeros(),
+            },
+        );
         Dram {
             cfg,
             banks: vec![Bank::default(); cfg.channels * cfg.banks_per_channel],
             stats: DramStats::default(),
+            pow2,
         }
     }
 
@@ -116,15 +137,25 @@ impl Dram {
         self.stats
     }
 
+    #[inline]
     fn bank_of(&self, block: BlockAddr) -> usize {
         // Channel interleaving on low block bits, bank on the next bits —
         // adjacent blocks spread over channels, rows stay within a bank.
-        let total = self.banks.len() as u64;
-        (block.index() / self.cfg.row_blocks % total) as usize
+        match self.pow2 {
+            Some(p) => ((block.index() >> p.row_shift) & p.bank_mask) as usize,
+            None => {
+                let total = self.banks.len() as u64;
+                (block.index() / self.cfg.row_blocks % total) as usize
+            }
+        }
     }
 
+    #[inline]
     fn row_of(&self, block: BlockAddr) -> u64 {
-        block.index() / (self.cfg.row_blocks * self.banks.len() as u64)
+        match self.pow2 {
+            Some(p) => block.index() >> p.row_of_shift,
+            None => block.index() / (self.cfg.row_blocks * self.banks.len() as u64),
+        }
     }
 
     /// Serves a block request arriving at `now`; returns the access latency

@@ -32,21 +32,27 @@ pub enum PrefetcherKind {
 impl PrefetcherKind {
     /// Blocks to prefetch after a demand miss on `block`.
     ///
+    /// Allocation-free (this sits on the per-miss hot path): the current
+    /// prefetchers produce at most one target, and the iterator form keeps
+    /// the signature open for multi-target prefetchers.
+    ///
     /// # Examples
     ///
     /// ```
     /// use strex_sim::addr::BlockAddr;
     /// use strex_sim::prefetch::PrefetcherKind;
     ///
-    /// let next = PrefetcherKind::NextLine.prefetch_targets(BlockAddr::new(7));
+    /// let next: Vec<_> = PrefetcherKind::NextLine.prefetch_targets(BlockAddr::new(7)).collect();
     /// assert_eq!(next, vec![BlockAddr::new(8)]);
-    /// assert!(PrefetcherKind::None.prefetch_targets(BlockAddr::new(7)).is_empty());
+    /// assert_eq!(PrefetcherKind::None.prefetch_targets(BlockAddr::new(7)).count(), 0);
     /// ```
-    pub fn prefetch_targets(self, block: BlockAddr) -> Vec<BlockAddr> {
+    #[inline]
+    pub fn prefetch_targets(self, block: BlockAddr) -> impl Iterator<Item = BlockAddr> {
         match self {
-            PrefetcherKind::None | PrefetcherKind::PifIdeal => Vec::new(),
-            PrefetcherKind::NextLine => vec![block.next()],
+            PrefetcherKind::None | PrefetcherKind::PifIdeal => None,
+            PrefetcherKind::NextLine => Some(block.next()),
         }
+        .into_iter()
     }
 
     /// Whether instruction-fetch stalls are entirely hidden (PIF-ideal).
@@ -72,18 +78,22 @@ mod tests {
 
     #[test]
     fn next_line_targets_successor() {
-        let t = PrefetcherKind::NextLine.prefetch_targets(BlockAddr::new(100));
+        let t: Vec<_> = PrefetcherKind::NextLine
+            .prefetch_targets(BlockAddr::new(100))
+            .collect();
         assert_eq!(t, vec![BlockAddr::new(101)]);
     }
 
     #[test]
     fn none_and_pif_issue_no_prefetches() {
-        assert!(PrefetcherKind::None
-            .prefetch_targets(BlockAddr::new(0))
-            .is_empty());
-        assert!(PrefetcherKind::PifIdeal
-            .prefetch_targets(BlockAddr::new(0))
-            .is_empty());
+        assert_eq!(
+            PrefetcherKind::None.prefetch_targets(BlockAddr::new(0)).count(),
+            0
+        );
+        assert_eq!(
+            PrefetcherKind::PifIdeal.prefetch_targets(BlockAddr::new(0)).count(),
+            0
+        );
     }
 
     #[test]

@@ -132,17 +132,28 @@ impl Replacement {
         self.assoc
     }
 
+    /// Raw pointer to the metadata byte at flat frame index `idx`
+    /// (prefetch hints only).
+    #[inline]
+    pub(crate) fn meta_ptr(&self, idx: usize) -> *const u8 {
+        debug_assert!(idx < self.meta.len());
+        unsafe { self.meta.as_ptr().add(idx) }
+    }
+
+    #[inline]
     fn set_meta(&mut self, set: usize) -> &mut [u8] {
         let base = set * self.assoc;
         &mut self.meta[base..base + self.assoc]
     }
 
+    #[inline]
     fn set_meta_ref(&self, set: usize) -> &[u8] {
         let base = set * self.assoc;
         &self.meta[base..base + self.assoc]
     }
 
     /// Records a hit on `way` of `set`.
+    #[inline]
     pub fn on_hit(&mut self, set: usize, way: usize) {
         match self.kind {
             ReplacementKind::Lru | ReplacementKind::Lip | ReplacementKind::Bip => {
@@ -155,6 +166,7 @@ impl Replacement {
     }
 
     /// Records that a new block was installed in `way` of `set`.
+    #[inline]
     pub fn on_fill(&mut self, set: usize, way: usize) {
         match self.kind {
             ReplacementKind::Lru => self.promote_to_mru(set, way),
@@ -182,6 +194,7 @@ impl Replacement {
     /// This is the *peek* operation STREX's victim monitor relies on: the way
     /// returned here is exactly the way [`evict`](Replacement::evict) will
     /// select next (assuming no intervening hits or fills in the set).
+    #[inline]
     pub fn victim_way(&self, set: usize) -> usize {
         let meta = self.set_meta_ref(set);
         match self.kind {
@@ -199,6 +212,7 @@ impl Replacement {
 
     /// Chooses and returns the victim way of `set`, applying any policy
     /// mutation that eviction implies (RRIP aging).
+    #[inline]
     pub fn evict(&mut self, set: usize) -> usize {
         let way = self.victim_way(set);
         if matches!(self.kind, ReplacementKind::Srrip | ReplacementKind::Brrip) {
@@ -234,6 +248,7 @@ impl Replacement {
         self.set_meta(set)[way] = init;
     }
 
+    #[inline]
     fn argmax(meta: &[u8]) -> usize {
         let mut best = 0;
         for (i, &m) in meta.iter().enumerate() {
@@ -245,9 +260,13 @@ impl Replacement {
     }
 
     /// Moves `way` to stack depth 0 and pushes shallower entries down.
+    #[inline]
     fn promote_to_mru(&mut self, set: usize, way: usize) {
         let meta = self.set_meta(set);
         let old = meta[way];
+        if old == 0 {
+            return; // already MRU: the pass below would change nothing
+        }
         for m in meta.iter_mut() {
             if *m < old {
                 *m += 1;
@@ -257,10 +276,14 @@ impl Replacement {
     }
 
     /// Moves `way` to the deepest stack position, pulling deeper entries up.
+    #[inline]
     fn demote_to_lru(&mut self, set: usize, way: usize) {
         let assoc = self.assoc as u8;
         let meta = self.set_meta(set);
         let old = meta[way];
+        if old == assoc - 1 {
+            return; // already LRU: the pass below would change nothing
+        }
         for m in meta.iter_mut() {
             if *m > old {
                 *m -= 1;

@@ -1,8 +1,11 @@
-//! Property-based tests of the replacement policies and cache invariants.
+//! Property-based tests of the replacement policies and cache invariants,
+//! including differential tests of the SoA single-probe cache against the
+//! reference (pre-optimization) implementation.
 
 use proptest::prelude::*;
 use strex_sim::addr::BlockAddr;
 use strex_sim::cache::{CacheGeometry, SetAssocCache};
+use strex_sim::refcache::RefSetAssocCache;
 use strex_sim::replacement::{Replacement, ReplacementKind};
 
 fn any_kind() -> impl Strategy<Value = ReplacementKind> {
@@ -117,6 +120,90 @@ proptest! {
             // so every recorded tag must be readable.
             for (&b, &expect) in &last {
                 prop_assert_eq!(cache.aux(BlockAddr::new(b)), Some(expect));
+            }
+        }
+    }
+
+    /// Differential bit-identity: arbitrary interleavings of accesses,
+    /// writes, conditional fills, invalidations, cleans and victim peeks
+    /// behave identically on the SoA single-probe cache and the reference
+    /// (seed) implementation, for every replacement kind.
+    #[test]
+    fn soa_cache_matches_reference(
+        kind in any_kind(),
+        ops in prop::collection::vec((0u8..6, 0u64..48, 0u8..16), 1..300),
+    ) {
+        let geom = CacheGeometry::new(2048, 4); // 8 sets x 4 ways
+        let mut soa = SetAssocCache::new(geom, kind);
+        let mut reference = RefSetAssocCache::new(geom, kind);
+        for (op, blk, aux) in ops {
+            let block = BlockAddr::new(blk);
+            match op {
+                0 => {
+                    let a = soa.access(block, aux);
+                    let b = reference.access(block, aux);
+                    prop_assert_eq!(a.is_hit(), b.is_hit());
+                    prop_assert_eq!(a.evicted(), b.evicted());
+                }
+                1 => {
+                    let a = soa.access_write(block, aux);
+                    let b = reference.access_write(block, aux);
+                    prop_assert_eq!(a.is_hit(), b.is_hit());
+                    prop_assert_eq!(a.evicted(), b.evicted());
+                }
+                2 => {
+                    // fill_if_absent vs the contains-then-fill idiom it
+                    // replaced.
+                    let a = soa.fill_if_absent(block, aux);
+                    let b = if reference.contains(block) {
+                        None
+                    } else {
+                        Some(reference.fill(block, aux))
+                    };
+                    prop_assert_eq!(a.is_hit(), b.is_none());
+                    prop_assert_eq!(a.evicted(), b.flatten());
+                }
+                3 => {
+                    prop_assert_eq!(soa.invalidate(block), reference.invalidate(block));
+                }
+                4 => {
+                    prop_assert_eq!(soa.clean(block), reference.clean(block));
+                }
+                _ => {
+                    prop_assert_eq!(soa.peek_victim(block), reference.peek_victim(block));
+                }
+            }
+            prop_assert_eq!(soa.aux(block), reference.aux(block));
+            prop_assert_eq!(soa.occupancy(), reference.occupancy());
+        }
+    }
+
+    /// The victim monitor contract under arbitrary traffic: whenever
+    /// `peek_victim` names a victim, the very next access of that block
+    /// evicts exactly it — for every replacement kind, with invalidations
+    /// interleaved.
+    #[test]
+    fn peek_victim_agrees_with_next_eviction(
+        kind in any_kind(),
+        ops in prop::collection::vec((0u8..4, 0u64..64, 0u8..8), 1..300),
+    ) {
+        let mut cache = SetAssocCache::new(CacheGeometry::new(1024, 4), kind);
+        for (op, blk, aux) in ops {
+            let block = BlockAddr::new(blk);
+            let peek = cache.peek_victim(block);
+            match op {
+                0 | 1 => {
+                    let got = cache.access(block, aux);
+                    prop_assert!(!got.is_hit() || peek.is_none());
+                    prop_assert_eq!(peek, got.evicted());
+                }
+                2 => {
+                    cache.invalidate(block);
+                }
+                _ => {
+                    // A pure peek must not disturb the next prediction.
+                    prop_assert_eq!(cache.peek_victim(block), peek);
+                }
             }
         }
     }

@@ -162,6 +162,39 @@ proptest! {
         prop_assert_eq!(all, expected, "not a partition");
     }
 
+    /// Non-power-of-two set counts are rejected by configuration
+    /// validation as a `ConfigError` — never a panic. (The single-probe
+    /// cache indexes sets with a mask, so only power-of-two set counts are
+    /// simulable; every Table 2 geometry qualifies.)
+    #[test]
+    fn non_pow2_sets_rejected_with_config_error(
+        sets in 2usize..512,
+        assoc in 1usize..16,
+    ) {
+        use strex::config::SimConfig;
+        use strex::error::ConfigError;
+        use strex_sim::config::SystemConfig;
+
+        // Construct an exactly divisible geometry with `sets` sets.
+        let size = (sets * assoc) as u64 * 64;
+        let geom = CacheGeometry::new(size, assoc);
+        prop_assert_eq!(geom.sets(), sets);
+
+        let mut system = SystemConfig::with_cores(2);
+        system.l1i_geometry = geom;
+        let result = SimConfig::builder().system(system).build();
+        if sets.is_power_of_two() {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert_eq!(
+                result.err(),
+                Some(ConfigError::NonPowerOfTwoSets { cache: "L1-I", sets })
+            );
+            // The fallible geometry constructor agrees.
+            prop_assert!(CacheGeometry::try_new(size, assoc).is_err());
+        }
+    }
+
     /// Address ranges: every block reported by `blocks()` overlaps the
     /// range, and the count matches the byte span.
     #[test]
