@@ -29,8 +29,7 @@ fn bench_cache_access(c: &mut Criterion) {
 
 fn bench_peek_victim(c: &mut Criterion) {
     c.bench_function("peek_victim", |b| {
-        let mut cache =
-            SetAssocCache::new(CacheGeometry::new(32 * 1024, 8), ReplacementKind::Lru);
+        let mut cache = SetAssocCache::new(CacheGeometry::new(32 * 1024, 8), ReplacementKind::Lru);
         for i in 0..1024u64 {
             cache.access(BlockAddr::new(i), 0);
         }
@@ -50,7 +49,7 @@ fn bench_coherence(c: &mut Criterion) {
             i += 1;
             let core = CoreId::new((i % 16) as u16);
             let block = BlockAddr::new(i % 64);
-            if i % 3 == 0 {
+            if i.is_multiple_of(3) {
                 black_box(dir.on_write(core, block))
             } else {
                 black_box(dir.on_read(core, block))
@@ -88,7 +87,7 @@ fn bench_hierarchy(c: &mut Criterion) {
             i += 1;
             let core = CoreId::new((i % 4) as u16);
             let addr = Addr::new(0x8000_0000 + (i % 4096) * 64);
-            black_box(mem.access_data(core, addr, i % 5 == 0, i))
+            black_box(mem.access_data(core, addr, i.is_multiple_of(5), i))
         });
     });
 }

@@ -55,5 +55,10 @@ fn bench_population(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_btree, bench_trace_generation, bench_population);
+criterion_group!(
+    benches,
+    bench_btree,
+    bench_trace_generation,
+    bench_population
+);
 criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Committed throughput baselines for the `BENCH_PR3.json` trajectory:
+//! the seed engine and the PR 2 (SoA-cache) engine, both re-measured in
+//! the PR 3 session on the machine that recorded `BENCH_PR3.json`.
+//!
+//! The three builds — seed (pre-SoA, `21f110e`), PR 2 (`dd07f8d`) and the
+//! PR 3 working tree — were run *interleaved in one session* (four rounds
+//! each, per-cell best-of), so the two committed records here and the
+//! fresh `current` record in `BENCH_PR3.json` share one machine and one
+//! load environment and their ratios are meaningful. On any other machine
+//! the absolute events/sec shift together; `repro --bench-json --check`
+//! therefore gates on the *ratio* of a fresh measurement to the seed
+//! record, not on absolute wall clock.
+//!
+//! All three builds simulate the exact same cells bit-identically (the
+//! `events`/`instructions` columns match row for row — the golden snapshot
+//! pins this), which is what makes events-per-second comparable at all.
+
+use crate::perf::{BenchRecord, CellTiming};
+
+/// (workload, scheduler, cores, events, instructions, wall_seconds).
+type Cell = (&'static str, &'static str, usize, u64, u64, f64);
+
+/// Seed-engine quick-suite cells (best-of-4, PR 3 session).
+const SEED_CELLS: &[Cell] = &[
+    ("TPC-C-1", "baseline", 2, 974694, 10586194, 0.125718991),
+    ("TPC-C-1", "baseline", 4, 974694, 10586194, 0.139732817),
+    ("TPC-C-1", "strex", 2, 974694, 10586194, 0.121408267),
+    ("TPC-C-1", "strex", 4, 974694, 10586194, 0.133850388),
+    ("TPC-C-1", "slicc", 2, 974694, 10586194, 0.148566157),
+    ("TPC-C-1", "slicc", 4, 974694, 10586194, 0.150473005),
+    ("TPC-C-1", "hybrid", 2, 974694, 10586194, 0.128706490),
+    ("TPC-C-1", "hybrid", 4, 974694, 10586194, 0.140463774),
+    ("TPC-C-10", "baseline", 2, 978621, 10618467, 0.126385788),
+    ("TPC-C-10", "baseline", 4, 978621, 10618467, 0.137864514),
+    ("TPC-C-10", "strex", 2, 978621, 10618467, 0.127344930),
+    ("TPC-C-10", "strex", 4, 978621, 10618467, 0.132482200),
+    ("TPC-C-10", "slicc", 2, 978621, 10618467, 0.148697083),
+    ("TPC-C-10", "slicc", 4, 978621, 10618467, 0.148486666),
+    ("TPC-C-10", "hybrid", 2, 978621, 10618467, 0.133421959),
+    ("TPC-C-10", "hybrid", 4, 978621, 10618467, 0.143045452),
+    ("TPC-E", "baseline", 2, 191514, 2105352, 0.023393155),
+    ("TPC-E", "baseline", 4, 191514, 2105352, 0.026402431),
+    ("TPC-E", "strex", 2, 191514, 2105352, 0.024356425),
+    ("TPC-E", "strex", 4, 191514, 2105352, 0.025953094),
+    ("TPC-E", "slicc", 2, 191514, 2105352, 0.026256177),
+    ("TPC-E", "slicc", 4, 191514, 2105352, 0.029121281),
+    ("TPC-E", "hybrid", 2, 191514, 2105352, 0.028057666),
+    ("TPC-E", "hybrid", 4, 191514, 2105352, 0.027936994),
+    ("MapReduce", "baseline", 2, 154241, 1596780, 0.008973109),
+    ("MapReduce", "baseline", 4, 154241, 1596780, 0.008931059),
+    ("MapReduce", "strex", 2, 154241, 1596780, 0.008777839),
+    ("MapReduce", "strex", 4, 154241, 1596780, 0.008221943),
+    ("MapReduce", "slicc", 2, 154241, 1596780, 0.008851044),
+    ("MapReduce", "slicc", 4, 154241, 1596780, 0.009215821),
+    ("MapReduce", "hybrid", 2, 154241, 1596780, 0.009237573),
+    ("MapReduce", "hybrid", 4, 154241, 1596780, 0.010233724),
+];
+
+/// PR 2 (SoA-cache) engine quick-suite cells (best-of-4, PR 3 session).
+const PR2_CELLS: &[Cell] = &[
+    ("TPC-C-1", "baseline", 2, 974694, 10586194, 0.096414049),
+    ("TPC-C-1", "baseline", 4, 974694, 10586194, 0.098685126),
+    ("TPC-C-1", "strex", 2, 974694, 10586194, 0.089695801),
+    ("TPC-C-1", "strex", 4, 974694, 10586194, 0.089011634),
+    ("TPC-C-1", "slicc", 2, 974694, 10586194, 0.114642297),
+    ("TPC-C-1", "slicc", 4, 974694, 10586194, 0.113455186),
+    ("TPC-C-1", "hybrid", 2, 974694, 10586194, 0.100994370),
+    ("TPC-C-1", "hybrid", 4, 974694, 10586194, 0.102221125),
+    ("TPC-C-10", "baseline", 2, 978621, 10618467, 0.088327295),
+    ("TPC-C-10", "baseline", 4, 978621, 10618467, 0.092183087),
+    ("TPC-C-10", "strex", 2, 978621, 10618467, 0.090451801),
+    ("TPC-C-10", "strex", 4, 978621, 10618467, 0.090959270),
+    ("TPC-C-10", "slicc", 2, 978621, 10618467, 0.113548839),
+    ("TPC-C-10", "slicc", 4, 978621, 10618467, 0.104376434),
+    ("TPC-C-10", "hybrid", 2, 978621, 10618467, 0.085158683),
+    ("TPC-C-10", "hybrid", 4, 978621, 10618467, 0.093290909),
+    ("TPC-E", "baseline", 2, 191514, 2105352, 0.016957657),
+    ("TPC-E", "baseline", 4, 191514, 2105352, 0.016565060),
+    ("TPC-E", "strex", 2, 191514, 2105352, 0.016059706),
+    ("TPC-E", "strex", 4, 191514, 2105352, 0.016616662),
+    ("TPC-E", "slicc", 2, 191514, 2105352, 0.018654640),
+    ("TPC-E", "slicc", 4, 191514, 2105352, 0.018982442),
+    ("TPC-E", "hybrid", 2, 191514, 2105352, 0.016863803),
+    ("TPC-E", "hybrid", 4, 191514, 2105352, 0.017574079),
+    ("MapReduce", "baseline", 2, 154241, 1596780, 0.006331466),
+    ("MapReduce", "baseline", 4, 154241, 1596780, 0.005822972),
+    ("MapReduce", "strex", 2, 154241, 1596780, 0.006535381),
+    ("MapReduce", "strex", 4, 154241, 1596780, 0.006114899),
+    ("MapReduce", "slicc", 2, 154241, 1596780, 0.006507957),
+    ("MapReduce", "slicc", 4, 154241, 1596780, 0.005892089),
+    ("MapReduce", "hybrid", 2, 154241, 1596780, 0.006491782),
+    ("MapReduce", "hybrid", 4, 154241, 1596780, 0.006219246),
+];
+
+fn record(label: &str, revision: &str, cells: &'static [Cell]) -> BenchRecord {
+    BenchRecord {
+        label: label.to_string(),
+        revision: revision.to_string(),
+        cells: cells
+            .iter()
+            .map(
+                |&(workload, scheduler, cores, events, instructions, wall_seconds)| CellTiming {
+                    workload: workload.to_string(),
+                    scheduler,
+                    cores,
+                    events,
+                    instructions,
+                    wall_seconds,
+                },
+            )
+            .collect(),
+    }
+}
+
+/// The committed seed-engine baseline — the 1.0x the trajectory ratios
+/// normalize to.
+pub fn seed_baseline() -> BenchRecord {
+    record(
+        "seed engine",
+        "21f110e (pre-SoA engine, re-measured interleaved in the PR 3 session)",
+        SEED_CELLS,
+    )
+}
+
+/// The committed PR 2 (SoA cache) record — the intermediate trajectory
+/// point between the seed and the current build.
+pub fn pr2_record() -> BenchRecord {
+    record(
+        "PR 2 SoA engine",
+        "dd07f8d (SoA cache hot path, re-measured interleaved in the PR 3 session)",
+        PR2_CELLS,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_cover_the_full_quick_matrix() {
+        let seed = seed_baseline();
+        let pr2 = pr2_record();
+        assert_eq!(
+            seed.cells.len(),
+            32,
+            "4 workloads x 4 schedulers x 2 core counts"
+        );
+        assert_eq!(pr2.cells.len(), 32);
+        // Bit-identical simulations: the work columns must match row for row.
+        for (a, b) in seed.cells.iter().zip(pr2.cells.iter()) {
+            assert_eq!(
+                (&a.workload, a.scheduler, a.cores),
+                (&b.workload, b.scheduler, b.cores)
+            );
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.instructions, b.instructions);
+        }
+        assert!(seed.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn trajectory_is_monotone() {
+        // The very claim the trajectory records: PR 2 beat the seed.
+        assert!(pr2_record().events_per_sec() > seed_baseline().events_per_sec());
+    }
+}

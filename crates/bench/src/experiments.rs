@@ -89,15 +89,30 @@ pub fn fig1() -> String {
         (
             "NewOrder",
             vec![
-                "begin", "R(WH)", "R(DIST)", "U(DIST)", "R(CUST)", "I(ORD)", "I(NORD)",
-                "loop x OL_CNT { R(ITEM)", "R(STOCK)+U(STOCK)", "I(OL) }", "commit",
+                "begin",
+                "R(WH)",
+                "R(DIST)",
+                "U(DIST)",
+                "R(CUST)",
+                "I(ORD)",
+                "I(NORD)",
+                "loop x OL_CNT { R(ITEM)",
+                "R(STOCK)+U(STOCK)",
+                "I(OL) }",
+                "commit",
             ],
         ),
         (
             "Payment",
             vec![
-                "begin", "R(WH)+U(WH)", "R(DIST)+U(DIST)", "IT(CUST)?", "R(CUST)",
-                "U(CUST)", "I(HIST)", "commit",
+                "begin",
+                "R(WH)+U(WH)",
+                "R(DIST)+U(DIST)",
+                "IT(CUST)?",
+                "R(CUST)",
+                "U(CUST)",
+                "I(HIST)",
+                "commit",
             ],
         ),
     ];
@@ -112,11 +127,7 @@ pub fn fig1() -> String {
             kind.footprint_units()
         ));
         for (action, region) in actions.iter().zip(code.actions(kind)) {
-            out.push_str(&format!(
-                "  {:28} {:>4} KB\n",
-                action,
-                region.len() / 1024
-            ));
+            out.push_str(&format!("  {:28} {:>4} KB\n", action, region.len() / 1024));
         }
         out.push('\n');
     }
@@ -460,11 +471,7 @@ pub fn fig9(effort: Effort) -> (String, Vec<ReplacementRow>) {
     }
     let mut t = TextTable::new(vec!["workload", "policy", "I-MPKI"]);
     for r in &rows {
-        t.row(vec![
-            r.workload.to_string(),
-            r.policy.clone(),
-            f1(r.i_mpki),
-        ]);
+        t.row(vec![r.workload.to_string(), r.policy.clone(), f1(r.i_mpki)]);
     }
     (
         format!(
@@ -474,7 +481,6 @@ pub fn fig9(effort: Effort) -> (String, Vec<ReplacementRow>) {
         rows,
     )
 }
-
 
 /// An ablation data point.
 #[derive(Clone, Debug)]
@@ -545,7 +551,6 @@ pub fn ablation(effort: Effort) -> (String, Vec<AblationRow>) {
     )
 }
 
-
 /// A future-work data point (Section 4.4.3).
 #[derive(Clone, Debug)]
 pub struct ComboRow {
@@ -584,9 +589,21 @@ pub fn future_work(effort: Effort) -> (String, Vec<ComboRow>) {
     push("Base", &base);
     for (label, sched, pf) in [
         ("STREX", SchedulerKind::Strex, PrefetcherKind::None),
-        ("Base+next-line", SchedulerKind::Baseline, PrefetcherKind::NextLine),
-        ("STREX+next-line", SchedulerKind::Strex, PrefetcherKind::NextLine),
-        ("Base+PIF", SchedulerKind::Baseline, PrefetcherKind::PifIdeal),
+        (
+            "Base+next-line",
+            SchedulerKind::Baseline,
+            PrefetcherKind::NextLine,
+        ),
+        (
+            "STREX+next-line",
+            SchedulerKind::Strex,
+            PrefetcherKind::NextLine,
+        ),
+        (
+            "Base+PIF",
+            SchedulerKind::Baseline,
+            PrefetcherKind::PifIdeal,
+        ),
         ("STREX+PIF", SchedulerKind::Strex, PrefetcherKind::PifIdeal),
     ] {
         let cfg = SimConfig::builder()
@@ -742,7 +759,7 @@ mod tests {
         assert_eq!(headline.len(), 2);
         for (ge5, samples) in headline {
             assert!(samples > 0.0);
-            assert!(ge5 >= 0.0 && ge5 <= 1.0);
+            assert!((0.0..=1.0).contains(&ge5));
         }
     }
 

@@ -15,8 +15,9 @@
 //! the experiment index mapping each figure to the modules that implement
 //! its pieces.
 
-pub mod baseline_pr2;
+pub mod baseline_seed;
 pub mod experiments;
+pub mod jsonread;
 pub mod perf;
 pub mod table;
 

@@ -9,15 +9,22 @@
 //!
 //! Records serialize to JSON via [`strex::json::JsonWriter`] (the
 //! workspace is offline, so no serde). [`bench_json`] merges a freshly
-//! measured record with the committed pre-refactor baseline
-//! ([`crate::baseline_pr2`]) and reports the speedup, producing the
-//! `BENCH_PR2.json` document the CI `bench-smoke` job uploads.
+//! measured record with the committed same-session baselines
+//! ([`crate::baseline_seed`]) and reports the trajectory ratios, producing
+//! the `BENCH_PR3.json` document the CI `bench-smoke` job gates on and
+//! uploads. Alongside the suite-level record, three *same-run*
+//! microbenches time each optimized hot path against its in-tree
+//! reference implementation inside the producing process — those ratios
+//! are portable across machines by construction.
 
 use std::time::Instant;
 
 use strex::config::SchedulerKind;
-use strex::driver::run;
+use strex::driver::{run, run_with, run_with_generic_loop};
 use strex::json::JsonWriter;
+use strex::report::Report;
+use strex::sched::BaselineSched;
+use strex_oltp::trace::{MemRef, PackedRef};
 use strex_oltp::workload::{Workload, WorkloadKind};
 use strex_sim::addr::BlockAddr;
 use strex_sim::cache::{CacheGeometry, SetAssocCache};
@@ -136,6 +143,16 @@ impl BenchRecord {
 /// executor) so each wall-clock measurement is unperturbed by sibling
 /// runs.
 pub fn quick_suite(label: &str, revision: &str) -> BenchRecord {
+    quick_suite_best_of(label, revision, 1)
+}
+
+/// Like [`quick_suite`] but replays the whole matrix `rounds` times and
+/// keeps each cell's *fastest* wall time. Taking per-cell minima over a
+/// few rounds strips one-sided scheduler/load noise from a shared runner,
+/// which is what keeps the `--check` regression gate from flaking; the
+/// committed baselines were recorded the same way, so the ratio compares
+/// like with like.
+pub fn quick_suite_best_of(label: &str, revision: &str, rounds: usize) -> BenchRecord {
     // The exact cells the quick fig5/6 reproduction runs, via the same
     // Effort accessors, so the suite and the benchmark can't drift apart.
     let workloads: Vec<Workload> = WorkloadKind::ALL
@@ -143,27 +160,44 @@ pub fn quick_suite(label: &str, revision: &str) -> BenchRecord {
         .map(|wk| Effort::Quick.workload(wk, MATRIX_POOL, SEED))
         .collect();
     let core_counts = Effort::Quick.core_counts();
-    let mut cells = Vec::new();
-    for w in &workloads {
-        for kind in SchedulerKind::ALL {
-            for &cores in &core_counts {
-                let cfg = strex::config::SimConfig::builder()
-                    .cores(cores)
-                    .scheduler(kind)
-                    .build()
-                    .expect("bench configurations are valid");
-                let start = Instant::now();
-                let report = run(w, &cfg);
-                let wall_seconds = start.elapsed().as_secs_f64();
-                let agg = report.stats.aggregate();
-                cells.push(CellTiming {
-                    workload: w.name().to_string(),
-                    scheduler: kind.key(),
-                    cores,
-                    events: agg.i_accesses + agg.d_accesses,
-                    instructions: agg.instructions,
-                    wall_seconds,
-                });
+    let mut cells: Vec<CellTiming> = Vec::new();
+    for round in 0..rounds.max(1) {
+        let mut idx = 0usize;
+        for w in &workloads {
+            for kind in SchedulerKind::ALL {
+                for &cores in &core_counts {
+                    let cfg = strex::config::SimConfig::builder()
+                        .cores(cores)
+                        .scheduler(kind)
+                        .build()
+                        .expect("bench configurations are valid");
+                    let start = Instant::now();
+                    let report = run(w, &cfg);
+                    let wall_seconds = start.elapsed().as_secs_f64();
+                    let agg = report.stats.aggregate();
+                    let cell = CellTiming {
+                        workload: w.name().to_string(),
+                        scheduler: kind.key(),
+                        cores,
+                        events: agg.i_accesses + agg.d_accesses,
+                        instructions: agg.instructions,
+                        wall_seconds,
+                    };
+                    if round == 0 {
+                        cells.push(cell);
+                    } else {
+                        let best = &mut cells[idx];
+                        assert_eq!(
+                            (best.events, best.instructions),
+                            (cell.events, cell.instructions),
+                            "nondeterministic simulation across rounds"
+                        );
+                        if cell.wall_seconds < best.wall_seconds {
+                            best.wall_seconds = cell.wall_seconds;
+                        }
+                    }
+                    idx += 1;
+                }
             }
         }
     }
@@ -246,14 +280,193 @@ pub fn cache_microbench() -> CacheMicrobench {
     }
 }
 
-/// The full `BENCH_PR2.json` document: the committed pre-refactor
-/// baseline, a fresh measurement of the current build, the speedup
-/// between them, and a same-run microbenchmark of the cache hot path
-/// (reference vs SoA implementation, both timed by this very run).
+/// Same-run microbenchmark of the trace-event representation: one real
+/// TPC-C trace pool replayed as the legacy 16-byte [`MemRef`] vector and
+/// as the packed 8-byte [`PackedRef`] stream, decoding and consuming every
+/// event both ways.
+#[derive(Copy, Clone, Debug)]
+pub struct TraceMicrobench {
+    /// Events replayed per representation.
+    pub events: u64,
+    /// Nanoseconds per event, legacy enum-vector stream.
+    pub legacy_ns_per_event: f64,
+    /// Nanoseconds per event, packed u64 stream.
+    pub packed_ns_per_event: f64,
+}
+
+impl TraceMicrobench {
+    /// Legacy time over packed time.
+    pub fn speedup(&self) -> f64 {
+        if self.packed_ns_per_event > 0.0 {
+            self.legacy_ns_per_event / self.packed_ns_per_event
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the trace-stream microbenchmark on real generated traces. Panics
+/// if the two representations ever disagree on a decoded event — the
+/// benchmark doubles as a smoke-level differential test of the packing.
+pub fn trace_microbench() -> TraceMicrobench {
+    const PASSES: usize = 8;
+    // The full matrix pool (240 transactions, ~2M events): large enough
+    // that the legacy stream (~32 MB) spills the host caches the packed
+    // stream (~16 MB) still straddles — the bandwidth effect the packing
+    // targets, not just decode arithmetic.
+    let w = Workload::preset_small(WorkloadKind::TpccW1, MATRIX_POOL, SEED);
+    let packed: Vec<&[PackedRef]> = w.txns().iter().map(|t| t.refs()).collect();
+    let legacy: Vec<Vec<MemRef>> = w.txns().iter().map(|t| t.decode_refs()).collect();
+    let events: u64 = packed.iter().map(|t| t.len() as u64).sum();
+
+    // The consumption mirrors the driver's per-event work: dispatch on the
+    // event kind and fold the payload into a checksum the optimizer cannot
+    // discard.
+    #[inline]
+    fn consume(r: MemRef, acc: &mut u64) {
+        match r {
+            MemRef::IFetch { block, instrs } => {
+                *acc = acc.wrapping_add(block.index() + instrs as u64)
+            }
+            MemRef::Load { addr } => *acc ^= addr.value(),
+            MemRef::Store { addr } => *acc = acc.rotate_left(1) ^ addr.value(),
+        }
+    }
+
+    let mut legacy_acc = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        for trace in &legacy {
+            for &r in trace {
+                consume(r, &mut legacy_acc);
+            }
+        }
+    }
+    let legacy_ns = t0.elapsed().as_nanos() as f64 / (events * PASSES as u64) as f64;
+
+    let mut packed_acc = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..PASSES {
+        for trace in &packed {
+            for &r in *trace {
+                consume(r.decode(), &mut packed_acc);
+            }
+        }
+    }
+    let packed_ns = t0.elapsed().as_nanos() as f64 / (events * PASSES as u64) as f64;
+
+    assert_eq!(
+        legacy_acc, packed_acc,
+        "packed and legacy trace streams decoded differently"
+    );
+    TraceMicrobench {
+        events,
+        legacy_ns_per_event: legacy_ns,
+        packed_ns_per_event: packed_ns,
+    }
+}
+
+/// Same-run microbenchmark of the driver dispatch: one baseline-scheduler
+/// cell simulated through the generic (per-event virtual dispatch) loop
+/// and through the monomorphized passive fast path.
+#[derive(Copy, Clone, Debug)]
+pub struct DriverMicrobench {
+    /// Memory-reference events simulated per run.
+    pub events: u64,
+    /// Nanoseconds per event through the generic loop.
+    pub generic_ns_per_event: f64,
+    /// Nanoseconds per event through the passive fast path.
+    pub passive_ns_per_event: f64,
+}
+
+impl DriverMicrobench {
+    /// Generic-loop time over fast-path time.
+    pub fn speedup(&self) -> f64 {
+        if self.passive_ns_per_event > 0.0 {
+            self.generic_ns_per_event / self.passive_ns_per_event
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the driver-dispatch microbenchmark (TPC-C-1 quick cell, baseline
+/// scheduler, 4 cores; best of three alternating runs per path). Panics if
+/// the two paths ever produce different results — it doubles as a
+/// differential test of the fast path.
+pub fn driver_microbench() -> DriverMicrobench {
+    let w = Workload::preset_small(WorkloadKind::TpccW1, MATRIX_POOL / 8, SEED);
+    let cfg = strex::config::SimConfig::builder()
+        .cores(4)
+        .scheduler(SchedulerKind::Baseline)
+        .build()
+        .expect("bench configuration is valid");
+
+    fn timed(run_once: &mut dyn FnMut() -> Report) -> (Report, f64) {
+        let t0 = Instant::now();
+        let r = run_once();
+        (r, t0.elapsed().as_secs_f64())
+    }
+
+    let mut generic_best = f64::INFINITY;
+    let mut passive_best = f64::INFINITY;
+    let mut reference: Option<Report> = None;
+    for _ in 0..3 {
+        let (rg, tg) = timed(&mut || run_with_generic_loop(&w, &cfg, &mut BaselineSched::new()));
+        let (rp, tp) = timed(&mut || run_with(&w, &cfg, &mut BaselineSched::new()));
+        assert_eq!(rg.makespan, rp.makespan, "fast path diverged from generic");
+        assert_eq!(
+            rg.latencies, rp.latencies,
+            "fast path diverged from generic"
+        );
+        if let Some(reference) = &reference {
+            assert_eq!(reference.makespan, rg.makespan, "nondeterministic run");
+        }
+        reference = Some(rg);
+        generic_best = generic_best.min(tg);
+        passive_best = passive_best.min(tp);
+    }
+    let r = reference.expect("three rounds ran");
+    let agg = r.stats.aggregate();
+    let events = agg.i_accesses + agg.d_accesses;
+    DriverMicrobench {
+        events,
+        generic_ns_per_event: generic_best * 1e9 / events as f64,
+        passive_ns_per_event: passive_best * 1e9 / events as f64,
+    }
+}
+
+/// The three same-run microbenches bundled for [`bench_json`].
+#[derive(Copy, Clone, Debug)]
+pub struct SameRunMicros {
+    /// Reference-vs-SoA cache hot path.
+    pub cache: CacheMicrobench,
+    /// Legacy-vs-packed trace stream.
+    pub trace: TraceMicrobench,
+    /// Generic-vs-passive driver loop.
+    pub driver: DriverMicrobench,
+}
+
+/// Measures all three same-run microbenches.
+pub fn same_run_micros() -> SameRunMicros {
+    SameRunMicros {
+        cache: cache_microbench(),
+        trace: trace_microbench(),
+        driver: driver_microbench(),
+    }
+}
+
+/// The full `BENCH_PR3.json` document: the committed same-session seed and
+/// PR 2 baselines, a fresh measurement of the current build, the
+/// trajectory ratios between them, and the three same-run hot-path
+/// microbenchmarks (each timing the optimized path against its in-tree
+/// reference inside this very run, so those ratios are portable across
+/// machines).
 pub fn bench_json(
     current: &BenchRecord,
     baseline: &BenchRecord,
-    micro: &CacheMicrobench,
+    pr2: &BenchRecord,
+    micros: &SameRunMicros,
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -263,34 +476,77 @@ pub fn bench_json(
     w.string("memory-reference events simulated per wall-clock second");
     w.key("baseline");
     baseline.write_into(&mut w);
+    w.key("pr2");
+    pr2.write_into(&mut w);
     w.key("current");
     current.write_into(&mut w);
-    w.key("speedup_vs_committed_baseline");
     let b = baseline.events_per_sec();
+    w.key("speedup_vs_committed_baseline");
     w.float(if b > 0.0 {
         current.events_per_sec() / b
     } else {
         0.0
     });
+    w.key("pr2_speedup_vs_committed_baseline");
+    w.float(if b > 0.0 {
+        pr2.events_per_sec() / b
+    } else {
+        0.0
+    });
     w.key("baseline_note");
     w.string(
-        "the committed baseline's wall-clock times are from the machine that \
-         recorded it; this ratio is only meaningful there — on other machines \
-         use cache_hot_path_same_run, which this run measured for both \
-         implementations",
+        "the committed baseline and pr2 records were measured interleaved \
+         with the current build in one session on the machine that recorded \
+         this file; absolute wall-clock numbers are machine-specific, the \
+         ratios are the trajectory. `repro --bench-json --check` recomputes \
+         the seed-vs-current ratio from a fresh best-of-3 measurement \
+         against this committed seed record and gates on it — meaningful \
+         on runners comparable to the recording machine; re-record the \
+         baseline if the runner class changes. The same_run section is \
+         measured entirely inside the producing run and is portable \
+         everywhere.",
     );
-    w.key("cache_hot_path_same_run");
+    w.key("same_run");
+    w.begin_object();
+    w.key("cache_hot_path");
     w.begin_object();
     w.key("description");
     w.string("identical access+peek stream through the seed (reference) and SoA cache implementations, timed in this run");
     w.key("ops");
-    w.number_u64(micro.ops);
+    w.number_u64(micros.cache.ops);
     w.key("reference_ns_per_op");
-    w.float(micro.reference_ns_per_op);
+    w.float(micros.cache.reference_ns_per_op);
     w.key("soa_ns_per_op");
-    w.float(micro.soa_ns_per_op);
+    w.float(micros.cache.soa_ns_per_op);
     w.key("speedup");
-    w.float(micro.speedup());
+    w.float(micros.cache.speedup());
+    w.end_object();
+    w.key("packed_trace");
+    w.begin_object();
+    w.key("description");
+    w.string("real TPC-C trace pool replayed as the legacy 16-byte enum vector vs the packed 8-byte stream, decoded event by event in this run");
+    w.key("events");
+    w.number_u64(micros.trace.events);
+    w.key("legacy_ns_per_event");
+    w.float(micros.trace.legacy_ns_per_event);
+    w.key("packed_ns_per_event");
+    w.float(micros.trace.packed_ns_per_event);
+    w.key("speedup");
+    w.float(micros.trace.speedup());
+    w.end_object();
+    w.key("passive_driver");
+    w.begin_object();
+    w.key("description");
+    w.string("baseline-scheduler cell simulated through the generic per-event-dyn-dispatch loop vs the monomorphized passive fast path, both in this run");
+    w.key("events");
+    w.number_u64(micros.driver.events);
+    w.key("generic_ns_per_event");
+    w.float(micros.driver.generic_ns_per_event);
+    w.key("passive_ns_per_event");
+    w.float(micros.driver.passive_ns_per_event);
+    w.key("speedup");
+    w.float(micros.driver.speedup());
+    w.end_object();
     w.end_object();
     w.end_object();
     w.finish()
@@ -322,23 +578,58 @@ mod tests {
         assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
     }
 
+    fn tiny_micros() -> SameRunMicros {
+        SameRunMicros {
+            cache: CacheMicrobench {
+                ops: 100,
+                reference_ns_per_op: 20.0,
+                soa_ns_per_op: 10.0,
+            },
+            trace: TraceMicrobench {
+                events: 100,
+                legacy_ns_per_event: 3.0,
+                packed_ns_per_event: 2.0,
+            },
+            driver: DriverMicrobench {
+                events: 100,
+                generic_ns_per_event: 90.0,
+                passive_ns_per_event: 60.0,
+            },
+        }
+    }
+
     #[test]
     fn json_shape() {
         let r = tiny_record();
         let j = r.to_json();
         assert!(j.contains(r#""label":"t""#));
         assert!(j.contains(r#""events":1000"#));
-        let micro = CacheMicrobench {
-            ops: 100,
-            reference_ns_per_op: 20.0,
-            soa_ns_per_op: 10.0,
-        };
-        assert!((micro.speedup() - 2.0).abs() < 1e-9);
-        let merged = bench_json(&r, &r, &micro);
+        let micros = tiny_micros();
+        assert!((micros.cache.speedup() - 2.0).abs() < 1e-9);
+        assert!((micros.trace.speedup() - 1.5).abs() < 1e-9);
+        assert!((micros.driver.speedup() - 1.5).abs() < 1e-9);
+        let merged = bench_json(&r, &r, &r, &micros);
         assert!(merged.contains(r#""baseline":"#));
+        assert!(merged.contains(r#""pr2":"#));
         assert!(merged.contains(r#""current":"#));
         assert!(merged.contains(r#""speedup_vs_committed_baseline":1"#));
-        assert!(merged.contains(r#""cache_hot_path_same_run""#));
+        assert!(merged.contains(r#""same_run""#));
+        assert!(merged.contains(r#""cache_hot_path""#));
+        assert!(merged.contains(r#""packed_trace""#));
+        assert!(merged.contains(r#""passive_driver""#));
         assert!(merged.contains(r#""speedup":2"#), "microbench speedup");
+    }
+
+    #[test]
+    fn same_run_micros_agree_and_measure() {
+        // Small but real: each microbench validates its two paths against
+        // each other (they panic on divergence) and must produce positive
+        // timings.
+        let t = trace_microbench();
+        assert!(t.events > 10_000);
+        assert!(t.legacy_ns_per_event > 0.0 && t.packed_ns_per_event > 0.0);
+        let d = driver_microbench();
+        assert!(d.events > 100_000);
+        assert!(d.generic_ns_per_event > 0.0 && d.passive_ns_per_event > 0.0);
     }
 }

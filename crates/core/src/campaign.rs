@@ -202,8 +202,7 @@ impl<'w> Campaign<'w> {
             })
             .min(cells.len().max(1));
 
-        let slots: Vec<Mutex<Option<Report>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Report>>> = cells.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
@@ -218,8 +217,7 @@ impl<'w> Campaign<'w> {
                         .create(&key.scheduler, cfg)
                         .expect("cells() checked registration");
                     let report = run_with(workload, cfg, sched.as_mut());
-                    *slots[i].lock().expect("worker never panics holding slot") =
-                        Some(report);
+                    *slots[i].lock().expect("worker never panics holding slot") = Some(report);
                 });
             }
         });
@@ -304,19 +302,14 @@ impl CampaignResult {
         self.cells
             .iter()
             .find(|c| {
-                c.key.workload == workload
-                    && c.key.scheduler == scheduler
-                    && c.key.cores == cores
+                c.key.workload == workload && c.key.scheduler == scheduler && c.key.cores == cores
             })
             .map(|c| &c.report)
     }
 
     /// The report for an exact key.
     pub fn get(&self, key: &CellKey) -> Option<&Report> {
-        self.cells
-            .iter()
-            .find(|c| &c.key == key)
-            .map(|c| &c.report)
+        self.cells.iter().find(|c| &c.key == key).map(|c| &c.report)
     }
 
     /// Serializes every cell — key and full report — as one JSON object,

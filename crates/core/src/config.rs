@@ -46,7 +46,9 @@ impl Default for StrexParams {
 pub struct SliccParams {
     /// Missed-tag queue length (Table 4: 60 bits ≈ 5 tags).
     pub mtq_len: usize,
-    /// Miss shift-vector length in fetches (Table 4: 100 bits).
+    /// Miss shift-vector length in fetches (Table 4: 100 bits). At most
+    /// 128: the history is kept in a 128-bit shift register, and
+    /// [`SimConfig::validate`] rejects wider windows.
     pub window: usize,
     /// Misses within the window that signal a segment change.
     pub miss_burst: usize,
@@ -240,6 +242,11 @@ impl SimConfig {
                 team_size: self.strex.team_size,
             });
         }
+        if self.slicc.window > 128 {
+            return Err(ConfigError::SliccWindowTooWide {
+                window: self.slicc.window,
+            });
+        }
         let l1i = self.system.l1i_geometry;
         if l1i.size_bytes() == 0 || l1i.assoc() == 0 {
             return Err(ConfigError::ZeroCacheGeometry { cache: "L1-I" });
@@ -425,12 +432,32 @@ mod tests {
             Err(ConfigError::ZeroTeamSize)
         );
         assert_eq!(
-            SimConfig::builder().team_size(12).formation_window(4).build(),
+            SimConfig::builder()
+                .team_size(12)
+                .formation_window(4)
+                .build(),
             Err(ConfigError::FormationWindowTooSmall {
                 window: 4,
                 team_size: 12
             })
         );
+        // SLICC's miss history is a 128-bit shift register; a wider
+        // window must be rejected here, not silently truncated.
+        let wide = SliccParams {
+            window: 129,
+            ..SliccParams::default()
+        };
+        assert_eq!(
+            SimConfig::builder().slicc(wide).build(),
+            Err(ConfigError::SliccWindowTooWide { window: 129 })
+        );
+        assert!(SimConfig::builder()
+            .slicc(SliccParams {
+                window: 128,
+                ..SliccParams::default()
+            })
+            .build()
+            .is_ok());
         let mut degenerate = SystemConfig::with_cores(2);
         degenerate.l2_bytes_per_core = 0;
         assert_eq!(
@@ -450,7 +477,10 @@ mod tests {
         non_pow2.l2_bytes_per_core = 3 * 16 * 64; // 3 sets at 16 ways
         assert_eq!(
             SimConfig::builder().system(non_pow2).build(),
-            Err(ConfigError::NonPowerOfTwoSets { cache: "L2", sets: 3 })
+            Err(ConfigError::NonPowerOfTwoSets {
+                cache: "L2",
+                sets: 3
+            })
         );
     }
 

@@ -84,8 +84,7 @@ impl CostBreakdown {
             + params.team_id_bits
             + params.team_index_bits;
         let team_formation_bits = params.team_table_entries * team_entry;
-        let slicc_monitor_bits =
-            params.mtq_bits + params.shift_vector_bits + params.signature_bits;
+        let slicc_monitor_bits = params.mtq_bits + params.shift_vector_bits + params.signature_bits;
         CostBreakdown {
             thread_scheduler_bits,
             team_formation_bits,
@@ -143,8 +142,10 @@ mod tests {
 
     #[test]
     fn cost_scales_with_team_size() {
-        let mut p = CostParams::default();
-        p.thread_queue_entries = 10;
+        let p = CostParams {
+            thread_queue_entries: 10,
+            ..CostParams::default()
+        };
         let small = CostBreakdown::compute(&p);
         let big = CostBreakdown::compute(&CostParams::default());
         assert!(small.thread_scheduler_bits < big.thread_scheduler_bits);

@@ -7,12 +7,27 @@
 //! global cycle order through a priority queue, with shared-resource timing
 //! (L2 slices, DRAM banks) keyed by each request's arrival cycle. The same
 //! 1-IPC model underlies the paper's own motivation analysis (Section 2.2).
+//!
+//! # The passive fast path
+//!
+//! The inner event loop is monomorphized over a `PASSIVE` const: for
+//! schedulers that declare [`Scheduler::is_passive`] (they never interpose
+//! on individual events — no victim monitoring, no switch/migrate
+//! decisions, phase tag always zero), the per-event virtual calls
+//! (`pre_fetch`, `phase_tag`, `on_fetch`) and the `Decision` handling
+//! compile away entirely. Scheduling-boundary calls (`next_thread`,
+//! `on_sched_in`, `on_done`) still reach the scheduler, so queue policy is
+//! preserved. Both instantiations replay the same packed event stream with
+//! the same core batching and the same cycle-ordered heap, so results are
+//! bit-identical between the two paths (pinned by
+//! `passive_fast_path_matches_generic` below and the golden snapshot).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use strex_oltp::trace::MemRef;
+use strex_oltp::trace::{MemRef, PackedRef};
 use strex_oltp::workload::Workload;
+use strex_sim::addr::BlockAddr;
 use strex_sim::hierarchy::MemorySystem;
 use strex_sim::ids::{CoreId, Cycle, ThreadId};
 
@@ -73,11 +88,7 @@ pub fn run(workload: &Workload, config: &SimConfig) -> Report {
 /// # Panics
 ///
 /// Panics if `config.scheduler.key()` is not registered in `reg`.
-pub fn run_registered(
-    workload: &Workload,
-    config: &SimConfig,
-    reg: &SchedulerRegistry,
-) -> Report {
+pub fn run_registered(workload: &Workload, config: &SimConfig, reg: &SchedulerRegistry) -> Report {
     let key = config.scheduler.key();
     let mut scheduler = reg
         .create(key, config)
@@ -87,6 +98,10 @@ pub fn run_registered(
 
 /// Runs with a caller-provided scheduler (ablations, custom policies).
 ///
+/// Dispatches to the monomorphized passive loop when the scheduler (after
+/// `init`) declares [`Scheduler::is_passive`]; otherwise runs the generic
+/// loop. The two are bit-identical in results.
+///
 /// # Panics
 ///
 /// Panics if `config` violates a [`SimConfig::validate`] invariant —
@@ -95,18 +110,60 @@ pub fn run_registered(
 /// core count beyond the `u16` `CoreId` space fails loudly instead of
 /// silently aliasing cores.
 pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Scheduler) -> Report {
+    run_dispatch(workload, config, scheduler, true)
+}
+
+/// Like [`run_with`] but always takes the generic (per-event virtual
+/// dispatch) loop, even for passive schedulers. Exists so differential
+/// tests and the same-run driver benchmark can compare the two paths on
+/// identical inputs; results are bit-identical with [`run_with`].
+pub fn run_with_generic_loop(
+    workload: &Workload,
+    config: &SimConfig,
+    scheduler: &mut dyn Scheduler,
+) -> Report {
+    run_dispatch(workload, config, scheduler, false)
+}
+
+fn run_dispatch(
+    workload: &Workload,
+    config: &SimConfig,
+    scheduler: &mut dyn Scheduler,
+    allow_passive: bool,
+) -> Report {
     if let Err(e) = config.validate() {
         panic!("invalid SimConfig: {e}");
     }
     let traces = workload.txns();
     let n_cores = config.system.n_cores;
-    let mut mem = MemorySystem::new(config.system);
     let mut threads: Vec<TxnThread> = traces
         .iter()
         .enumerate()
         .map(|(i, t)| TxnThread::new(ThreadId::new(i as u32), i, t.txn_type(), 0))
         .collect();
     scheduler.init(&threads, traces, n_cores);
+    // `is_passive` is meaningful only after `init` (the hybrid picks its
+    // delegate there), so the dispatch happens here, not at the call site.
+    if allow_passive && scheduler.is_passive() {
+        sim_loop::<true>(workload, config, scheduler, &mut threads)
+    } else {
+        sim_loop::<false>(workload, config, scheduler, &mut threads)
+    }
+}
+
+/// The simulation loop, monomorphized over the passive fast path. With
+/// `PASSIVE = true` the per-event scheduler interactions are compile-time
+/// constants (`pre_fetch`/`on_fetch` → [`Decision::Continue`], `phase_tag`
+/// → 0) and every `Decision` branch folds away.
+fn sim_loop<const PASSIVE: bool>(
+    workload: &Workload,
+    config: &SimConfig,
+    scheduler: &mut dyn Scheduler,
+    threads: &mut [TxnThread],
+) -> Report {
+    let traces = workload.txns();
+    let n_cores = config.system.n_cores;
+    let mut mem = MemorySystem::new(config.system);
 
     let mut cores = vec![Core::default(); n_cores];
     let n_threads = threads.len();
@@ -125,8 +182,7 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
                 Some(tid) => {
                     cores[c].current = Some(tid);
                     // Restore the incoming context from the L2.
-                    cores[c].cycle +=
-                        mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                    cores[c].cycle += mem.context_transfer(core_id, config.strex.ctx_state_blocks);
                     scheduler.on_sched_in(core_id, tid);
                 }
                 None => {
@@ -142,9 +198,13 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
         let tid = cores[c].current.expect("assigned above");
         // Hoist the thread and trace borrows out of the event batch: the
         // scheduler and memory system never touch `threads`, so the inner
-        // loop indexes neither `threads` nor `traces` per event.
+        // loop indexes neither `threads` nor `traces` per event. The packed
+        // event stream is walked with a local index (written back to the
+        // thread's cursor after the batch), so per-event bookkeeping is one
+        // bounds-checked 8-byte load.
         let thread = &mut threads[tid.as_usize()];
-        let trace = &traces[thread.trace_idx()];
+        let refs: &[PackedRef] = traces[thread.trace_idx()].refs();
+        let mut pos = thread.cursor().position();
         // Local cycle accumulator; written back to `cores[c]` after the
         // batch (and kept in sync at every scheduler callback).
         let mut cycle = cores[c].cycle;
@@ -156,11 +216,12 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
             // Pipeline the memory model one event ahead: start pulling in
             // the L2-slice lines the *next* instruction fetch will probe
             // while the current event is simulated. Pure prefetch hint.
-            if let Some(MemRef::IFetch { block: next, .. }) = thread.cursor().peek_at(trace, 1)
-            {
-                mem.prefetch_fetch(next);
+            if let Some(next) = refs.get(pos + 1) {
+                if next.is_fetch() {
+                    mem.prefetch_fetch(BlockAddr::new(next.payload()));
+                }
             }
-            match thread.cursor().peek(trace) {
+            match refs.get(pos).map(|r| r.decode()) {
                 None => {
                     thread.mark_completed(cycle);
                     completed += 1;
@@ -173,55 +234,64 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
                     // Victim monitor: a thread stops *before* a fill that
                     // would destroy the team's current-phase segment; the
                     // abandoned fetch re-executes when it is next scheduled.
-                    if scheduler.pre_fetch(core_id, tid, block, &mem) == Decision::Switch {
+                    if !PASSIVE
+                        && scheduler.pre_fetch(core_id, tid, block, &mem) == Decision::Switch
+                    {
                         cycle += mem.context_transfer(core_id, config.strex.ctx_state_blocks);
                         scheduler.on_switch(core_id, tid);
                         cores[c].current = None;
                         reinsert_at = Some(cycle);
                         break;
                     }
-                    let tag = scheduler.phase_tag(core_id);
+                    let tag = if PASSIVE {
+                        0
+                    } else {
+                        scheduler.phase_tag(core_id)
+                    };
                     let fetch = mem.fetch_inst(core_id, block, tag, cycle);
                     mem.add_instructions(core_id, instrs as u64);
                     cycle += instrs as u64 + fetch.stall;
-                    thread.cursor_mut().advance();
-                    match scheduler.on_fetch(core_id, tid, block, &fetch, &mem) {
-                        Decision::Continue => {}
-                        Decision::Switch => {
-                            // Save the outgoing context to the L2.
-                            cycle +=
-                                mem.context_transfer(core_id, config.strex.ctx_state_blocks);
-                            scheduler.on_switch(core_id, tid);
-                            cores[c].current = None;
-                            reinsert_at = Some(cycle);
-                            break;
-                        }
-                        Decision::Migrate(dst) => {
-                            cycle +=
-                                mem.context_transfer(core_id, config.strex.ctx_state_blocks);
-                            scheduler.on_migrate(tid, dst);
-                            cores[c].current = None;
-                            reinsert_at = Some(cycle);
-                            // Wake the destination core if it went idle.
-                            heap.push(Reverse((cycle, dst.as_usize())));
-                            break;
+                    pos += 1;
+                    if !PASSIVE {
+                        match scheduler.on_fetch(core_id, tid, block, &fetch, &mem) {
+                            Decision::Continue => {}
+                            Decision::Switch => {
+                                // Save the outgoing context to the L2.
+                                cycle +=
+                                    mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                                scheduler.on_switch(core_id, tid);
+                                cores[c].current = None;
+                                reinsert_at = Some(cycle);
+                                break;
+                            }
+                            Decision::Migrate(dst) => {
+                                cycle +=
+                                    mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                                scheduler.on_migrate(tid, dst);
+                                cores[c].current = None;
+                                reinsert_at = Some(cycle);
+                                // Wake the destination core if it went idle.
+                                heap.push(Reverse((cycle, dst.as_usize())));
+                                break;
+                            }
                         }
                     }
                 }
                 Some(MemRef::Load { addr }) => {
                     let access = mem.access_data(core_id, addr, false, cycle);
                     cycle += access.stall;
-                    thread.cursor_mut().advance();
+                    pos += 1;
                 }
                 Some(MemRef::Store { addr }) => {
                     // Stores retire through the store buffer; the miss is
                     // tracked (and occupies the hierarchy) but does not
                     // stall the core.
                     let _ = mem.access_data(core_id, addr, true, cycle);
-                    thread.cursor_mut().advance();
+                    pos += 1;
                 }
             }
         }
+        thread.cursor_mut().set_position(pos);
         cores[c].cycle = cycle;
         if completed < n_threads {
             heap.push(Reverse((reinsert_at.unwrap_or(cycle), c)));
@@ -255,6 +325,7 @@ pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Sch
 mod tests {
     use super::*;
     use crate::config::SchedulerKind;
+    use crate::sched::BaselineSched;
     use strex_oltp::workload::WorkloadKind;
 
     fn small_workload() -> Workload {
@@ -328,5 +399,27 @@ mod tests {
         let b = run(&w, &cfg);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.latencies, b.latencies);
+    }
+
+    /// The monomorphized passive loop and the generic loop must produce
+    /// bit-identical results for a passive scheduler.
+    #[test]
+    fn passive_fast_path_matches_generic() {
+        for (pool, seed, cores) in [(6usize, 11u64, 2usize), (8, 3, 4)] {
+            let w = Workload::preset_small(WorkloadKind::TpccW1, pool, seed);
+            let cfg = cfg(cores, SchedulerKind::Baseline);
+            let mut fast_sched = BaselineSched::new();
+            let mut slow_sched = BaselineSched::new();
+            assert!(fast_sched.is_passive());
+            let fast = run_with(&w, &cfg, &mut fast_sched);
+            let slow = run_with_generic_loop(&w, &cfg, &mut slow_sched);
+            assert_eq!(fast.makespan, slow.makespan);
+            assert_eq!(fast.latencies, slow.latencies);
+            assert_eq!(
+                fast.stats.aggregate().i_misses,
+                slow.stats.aggregate().i_misses
+            );
+            assert_eq!(fast.stats.shared, slow.stats.shared);
+        }
     }
 }

@@ -28,6 +28,12 @@ pub enum ConfigError {
         /// The configured team size it must cover.
         team_size: usize,
     },
+    /// SLICC's miss shift-vector is a 128-bit register; wider windows
+    /// cannot be represented.
+    SliccWindowTooWide {
+        /// The rejected window length in fetches.
+        window: usize,
+    },
     /// A cache level has zero capacity or zero associativity.
     ZeroCacheGeometry {
         /// Which cache: `"L1-I"`, `"L1-D"`, or `"L2"`.
@@ -69,13 +75,16 @@ impl fmt::Display for ConfigError {
                 f,
                 "formation window {window} cannot cover a team of {team_size}"
             ),
+            ConfigError::SliccWindowTooWide { window } => write!(
+                f,
+                "SLICC miss window {window} exceeds the 128-bit shift register"
+            ),
             ConfigError::ZeroCacheGeometry { cache } => {
                 write!(f, "{cache} cache has zero capacity or associativity")
             }
-            ConfigError::UnevenCacheCapacity { cache } => write!(
-                f,
-                "{cache} cache capacity does not divide evenly into sets"
-            ),
+            ConfigError::UnevenCacheCapacity { cache } => {
+                write!(f, "{cache} cache capacity does not divide evenly into sets")
+            }
             ConfigError::NonPowerOfTwoSets { cache, sets } => write!(
                 f,
                 "{cache} cache has {sets} sets; set counts must be powers of two"

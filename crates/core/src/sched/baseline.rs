@@ -81,6 +81,12 @@ impl Scheduler for BaselineSched {
     fn has_pending_work(&self) -> bool {
         !self.queue.is_empty()
     }
+
+    // Run-to-completion: never switches, never migrates, never tags — the
+    // driver may run its monomorphized fast path.
+    fn is_passive(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -222,6 +222,15 @@ impl Scheduler for HybridSched {
             Inner::Slicc(_) => Some("SLICC"),
         }
     }
+
+    fn is_passive(&self) -> bool {
+        // Forward the delegate's answer once one is chosen; before `init`
+        // the placeholder must not claim the fast path.
+        match &self.inner {
+            Inner::Unset(_) => false,
+            _ => self.inner_ref().is_passive(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,7 +274,7 @@ mod tests {
     #[test]
     fn decision_follows_mean_rule() {
         let traces = vec![
-            trace_with_footprint(0, 6 * 512), // 6 units
+            trace_with_footprint(0, 6 * 512),  // 6 units
             trace_with_footprint(1, 10 * 512), // 10 units
         ];
         let fp = FpTable::profile(&traces, 32 * 1024);
@@ -279,11 +288,7 @@ mod tests {
     fn hybrid_selects_strex_on_few_cores() {
         let traces = vec![trace_with_footprint(0, 10 * 512)]; // 10 units
         let threads = vec![TxnThread::new(ThreadId::new(0), 0, TxnTypeId::new(0), 0)];
-        let mut h = HybridSched::new(
-            StrexParams::default(),
-            SliccParams::default(),
-            32 * 1024,
-        );
+        let mut h = HybridSched::new(StrexParams::default(), SliccParams::default(), 32 * 1024);
         h.init(&threads, &traces, 4);
         assert_eq!(h.selected(), "STREX");
     }
@@ -292,11 +297,7 @@ mod tests {
     fn hybrid_selects_slicc_on_many_cores() {
         let traces = vec![trace_with_footprint(0, 10 * 512)]; // 10 units
         let threads = vec![TxnThread::new(ThreadId::new(0), 0, TxnTypeId::new(0), 0)];
-        let mut h = HybridSched::new(
-            StrexParams::default(),
-            SliccParams::default(),
-            32 * 1024,
-        );
+        let mut h = HybridSched::new(StrexParams::default(), SliccParams::default(), 32 * 1024);
         h.init(&threads, &traces, 16);
         assert_eq!(h.selected(), "SLICC");
     }

@@ -96,6 +96,24 @@ pub trait Scheduler {
     /// driver to decide whether idle cores should poll again).
     fn has_pending_work(&self) -> bool;
 
+    /// `true` if this policy never interposes on individual events, letting
+    /// the driver take its monomorphized fast path (no per-event virtual
+    /// dispatch, no `Decision` handling).
+    ///
+    /// Contract — a scheduler may return `true` only if, for every possible
+    /// input, [`pre_fetch`](Scheduler::pre_fetch) and
+    /// [`on_fetch`](Scheduler::on_fetch) always return
+    /// [`Decision::Continue`], [`phase_tag`](Scheduler::phase_tag) is
+    /// always `0`, and none of the three has side effects. The driver then
+    /// skips those calls entirely; scheduling-boundary callbacks
+    /// (`next_thread`, `on_sched_in`, `on_done`) are still delivered. The
+    /// answer is only consulted *after* [`init`](Scheduler::init), so
+    /// policies that pick a delegate at init time (the hybrid) can forward
+    /// to it. Defaults to `false`, which is always safe.
+    fn is_passive(&self) -> bool {
+        false
+    }
+
     /// Context switches performed (STREX; 0 for others).
     fn context_switches(&self) -> u64 {
         0

@@ -36,8 +36,13 @@ use crate::thread::TxnThread;
 struct ThreadState {
     /// Recently missed blocks (missed-tag queue).
     mtq: VecDeque<BlockAddr>,
-    /// Hit/miss history of the last `window` fetches (miss shift-vector).
-    shift: VecDeque<bool>,
+    /// Hit/miss history of recent fetches (miss shift-vector), newest
+    /// outcome in bit 0 — a literal shift register, as in the SLICC
+    /// hardware. Only the low `window` bits are ever consulted, so the
+    /// register simply shifts on every fetch; this runs on the per-event
+    /// path, where the former `VecDeque<bool>` paid a push *and* a pop per
+    /// fetch and a 100-element walk per count.
+    shift: u128,
     /// Fetches executed since the thread landed on its current core.
     residency: usize,
     /// L1-I fills performed since landing (segment-built detector).
@@ -80,7 +85,19 @@ pub struct SliccSched {
 
 impl SliccSched {
     /// Creates the scheduler with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.window > 128` — the miss history is a 128-bit
+    /// shift register. Configurations built through `SimConfig::builder`
+    /// reject such windows with a `ConfigError` before reaching this
+    /// point; the assert guards direct construction.
     pub fn new(params: SliccParams) -> Self {
+        assert!(
+            params.window <= 128,
+            "SLICC miss window {} exceeds the 128-bit shift register",
+            params.window
+        );
         SliccSched {
             params,
             threads: Vec::new(),
@@ -96,12 +113,17 @@ impl SliccSched {
         self.migrations
     }
 
+    /// Misses among the last `window` fetches: a masked popcount of the
+    /// shift register (bits older than the window are simply not counted,
+    /// exactly as the former bounded deque forgot them).
     fn miss_count(&self, thread: ThreadId) -> usize {
-        self.threads[thread.as_usize()]
-            .shift
-            .iter()
-            .filter(|&&m| m)
-            .count()
+        let window = self.params.window;
+        let mask = if window >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << window) - 1
+        };
+        (self.threads[thread.as_usize()].shift & mask).count_ones() as usize
     }
 
     /// The remote core whose signature covers the most missed tags, if any
@@ -113,17 +135,14 @@ impl SliccSched {
         mem: &MemorySystem,
     ) -> Option<CoreId> {
         let ts = &self.threads[thread.as_usize()];
-        let mtq: Vec<_> = ts.mtq.iter().copied().collect();
         let mut best: Option<(usize, CoreId)> = None;
         for c in 0..self.cores.len() {
             let core = CoreId::new(c as u16);
             if core == current {
                 continue;
             }
-            let cov = mem.l1i_signature(core).coverage(mtq.iter());
-            if cov >= self.params.coverage_threshold
-                && best.map(|(b, _)| cov > b).unwrap_or(true)
-            {
+            let cov = mem.l1i_signature(core).coverage(ts.mtq.iter());
+            if cov >= self.params.coverage_threshold && best.map(|(b, _)| cov > b).unwrap_or(true) {
                 best = Some((cov, core));
             }
         }
@@ -229,14 +248,10 @@ impl Scheduler for SliccSched {
         fetch: &InstFetch,
         mem: &MemorySystem,
     ) -> Decision {
-        let window = self.params.window;
         {
             let ts = &mut self.threads[thread.as_usize()];
             ts.residency += 1;
-            ts.shift.push_back(!fetch.hit);
-            if ts.shift.len() > window {
-                ts.shift.pop_front();
-            }
+            ts.shift = (ts.shift << 1) | u128::from(!fetch.hit);
             if !fetch.hit {
                 ts.mtq.push_back(block);
                 if ts.mtq.len() > self.params.mtq_len {
@@ -286,7 +301,7 @@ impl Scheduler for SliccSched {
         self.feed_clock += 1;
         // Clear detection state: history belongs to the old cache.
         let ts = &mut self.threads[thread.as_usize()];
-        ts.shift.clear();
+        ts.shift = 0;
         ts.mtq.clear();
         ts.residency = 0;
         ts.fills = 0;
@@ -366,12 +381,12 @@ mod tests {
         let mut s = SliccSched::new(SliccParams::default());
         s.init(&threads(2), &[], 2);
         let t = s.next_thread(CoreId::new(0), 0).unwrap();
-        s.threads[t.as_usize()].shift.push_back(true);
-        s.threads[t.as_usize()]
-            .mtq
-            .push_back(BlockAddr::new(9));
+        s.threads[t.as_usize()].shift = 0b101;
+        s.threads[t.as_usize()].mtq.push_back(BlockAddr::new(9));
+        assert_eq!(s.miss_count(t), 2);
         s.on_migrate(t, CoreId::new(1));
-        assert!(s.threads[t.as_usize()].shift.is_empty());
+        assert_eq!(s.threads[t.as_usize()].shift, 0);
+        assert_eq!(s.miss_count(t), 0);
         assert!(s.threads[t.as_usize()].mtq.is_empty());
     }
 

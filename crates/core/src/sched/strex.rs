@@ -100,8 +100,12 @@ impl Scheduler for StrexSched {
 
     fn init(&mut self, threads: &[TxnThread], _traces: &[TxnTrace], n_cores: usize) {
         let arrivals: Vec<_> = threads.iter().map(|t| (t.id(), t.txn_type())).collect();
-        self.waiting_teams =
-            form_teams(&arrivals, self.params.team_size, self.params.formation_window).into();
+        self.waiting_teams = form_teams(
+            &arrivals,
+            self.params.team_size,
+            self.params.formation_window,
+        )
+        .into();
         self.cores = vec![CoreState::default(); n_cores];
         for core in 0..n_cores {
             self.take_next_team(core);
@@ -263,8 +267,10 @@ mod tests {
 
     #[test]
     fn current_phase_victim_triggers_switch() {
-        let mut params = StrexParams::default();
-        params.min_quantum_fetches = 0;
+        let params = StrexParams {
+            min_quantum_fetches: 0,
+            ..StrexParams::default()
+        };
         let mut s = StrexSched::new(params);
         s.init(&threads(&[0, 0]), &[], 1);
         let lead = s.next_thread(CoreId::new(0), 0).unwrap();
@@ -279,15 +285,22 @@ mod tests {
         // A resident block never triggers the monitor.
         let geom = mem.config().l1i_geometry;
         assert_eq!(
-            s.pre_fetch(CoreId::new(0), lead, BlockAddr::new(geom.sets() as u64), &mem),
+            s.pre_fetch(
+                CoreId::new(0),
+                lead,
+                BlockAddr::new(geom.sets() as u64),
+                &mem
+            ),
             Decision::Continue
         );
     }
 
     #[test]
     fn min_progress_guard_delays_switch() {
-        let mut params = StrexParams::default();
-        params.min_quantum_fetches = 5;
+        let params = StrexParams {
+            min_quantum_fetches: 5,
+            ..StrexParams::default()
+        };
         let mut s = StrexSched::new(params);
         s.init(&threads(&[0, 0]), &[], 1);
         let lead = s.next_thread(CoreId::new(0), 0).unwrap();
@@ -316,8 +329,10 @@ mod tests {
     #[test]
     fn solo_thread_never_switches() {
         // With an empty queue there is nobody to yield to.
-        let mut params = StrexParams::default();
-        params.min_quantum_fetches = 0;
+        let params = StrexParams {
+            min_quantum_fetches: 0,
+            ..StrexParams::default()
+        };
         let mut s = StrexSched::new(params);
         s.init(&threads(&[0]), &[], 1);
         let t = s.next_thread(CoreId::new(0), 0).unwrap();

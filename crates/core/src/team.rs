@@ -119,7 +119,10 @@ mod tests {
     #[test]
     fn stray_becomes_singleton_team() {
         let teams = form_teams(&arrivals(&[0, 1, 0, 0]), 10, 30);
-        let stray = teams.iter().find(|t| t.txn_type == TxnTypeId::new(1)).unwrap();
+        let stray = teams
+            .iter()
+            .find(|t| t.txn_type == TxnTypeId::new(1))
+            .unwrap();
         assert_eq!(stray.len(), 1);
     }
 

@@ -100,9 +100,13 @@ impl TraceBuilder {
         let base = (self.stack.len() / 4).max(crate::trace::WORKSPACE_STRIDE);
         let span = self.stack.len() - base;
         for _ in 0..blocks {
-            let off = base + self.workspace_cursor.min(span - crate::trace::WORKSPACE_STRIDE);
+            let off = base
+                + self
+                    .workspace_cursor
+                    .min(span - crate::trace::WORKSPACE_STRIDE);
             self.workspace_cursor += crate::trace::WORKSPACE_STRIDE;
-            self.pending.push_back((self.stack.start().offset(off), true));
+            self.pending
+                .push_back((self.stack.start().offset(off), true));
         }
     }
 
@@ -231,7 +235,7 @@ mod tests {
         tb.walk(region(32), &mut rng);
         let t = tb.finish(TxnTypeId::new(0), "t");
         let blocks = t.unique_code_blocks() as f64;
-        let total = (32 * 1024 / BLOCK_SIZE as u64) as f64;
+        let total = (32 * 1024 / BLOCK_SIZE) as f64;
         let coverage = blocks / total;
         assert!(
             (0.85..=0.98).contains(&coverage),
@@ -249,20 +253,17 @@ mod tests {
         };
         let a = build(1);
         let b = build(2);
-        let set_a: std::collections::HashSet<_> = a
-            .refs()
-            .iter()
-            .filter_map(|r| r.fetch_block())
-            .collect();
-        let set_b: std::collections::HashSet<_> = b
-            .refs()
-            .iter()
-            .filter_map(|r| r.fetch_block())
-            .collect();
+        let set_a: std::collections::HashSet<_> =
+            a.refs().iter().filter_map(|r| r.fetch_block()).collect();
+        let set_b: std::collections::HashSet<_> =
+            b.refs().iter().filter_map(|r| r.fetch_block()).collect();
         let inter = set_a.intersection(&set_b).count() as f64;
         let union = set_a.union(&set_b).count() as f64;
         let jaccard = inter / union;
-        assert!(jaccard > 0.80, "same-type instances must overlap: {jaccard}");
+        assert!(
+            jaccard > 0.80,
+            "same-type instances must overlap: {jaccard}"
+        );
         assert!(jaccard < 1.0, "instances must not be identical");
     }
 
@@ -285,12 +286,14 @@ mod tests {
         tb.store(Addr::new(0x9000_0040));
         tb.walk(region(1), &mut rng);
         let t = tb.finish(TxnTypeId::new(0), "t");
-        let has_load = t.refs().iter().any(|r| {
-            matches!(r, MemRef::Load { addr } if addr.value() == 0x9000_0000)
-        });
-        let has_store = t.refs().iter().any(|r| {
-            matches!(r, MemRef::Store { addr } if addr.value() == 0x9000_0040)
-        });
+        let has_load = t
+            .refs()
+            .iter()
+            .any(|r| matches!(r.decode(), MemRef::Load { addr } if addr.value() == 0x9000_0000));
+        let has_store = t
+            .refs()
+            .iter()
+            .any(|r| matches!(r.decode(), MemRef::Store { addr } if addr.value() == 0x9000_0040));
         assert!(has_load && has_store);
         // Data appears after the first fetch, not before.
         assert!(t.refs()[0].fetch_block().is_some());
@@ -333,7 +336,7 @@ mod tests {
         let stack_stores = t
             .refs()
             .iter()
-            .filter(|r| matches!(r, MemRef::Store { addr } if stack().contains(*addr)))
+            .filter(|r| matches!(r.decode(), MemRef::Store { addr } if stack().contains(addr)))
             .count();
         assert!(stack_stores > 10, "stack traffic missing: {stack_stores}");
     }

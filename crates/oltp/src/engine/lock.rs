@@ -146,9 +146,8 @@ mod tests {
     #[test]
     fn different_keys_usually_differ() {
         let (lm, _a) = mgr();
-        let spread: std::collections::HashSet<u64> = (0..100)
-            .map(|k| lm.bucket_addr(0, k).value())
-            .collect();
+        let spread: std::collections::HashSet<u64> =
+            (0..100).map(|k| lm.bucket_addr(0, k).value()).collect();
         assert!(spread.len() > 50, "hash must spread keys");
     }
 

@@ -66,10 +66,7 @@ pub fn measure(txns: &[TxnTrace], l1i_bytes: u64) -> FootprintReport {
             }
         })
         .collect();
-    FootprintReport {
-        entries,
-        l1i_bytes,
-    }
+    FootprintReport { entries, l1i_bytes }
 }
 
 /// Jaccard overlap of the unique code blocks of two traces — the quantity

@@ -201,8 +201,7 @@ mod tests {
         let l = CodeLayout::new();
         // New Order: 14 units over 10 actions.
         let per_action = l.action_bytes_for_target(14, 10);
-        let touched = (10 * per_action) as f64 * COVERAGE
-            + l.lib().total_bytes() as f64 * COVERAGE;
+        let touched = (10 * per_action) as f64 * COVERAGE + l.lib().total_bytes() as f64 * COVERAGE;
         let units = touched / L1I_UNIT as f64;
         assert!(
             (units - 14.0).abs() < 1.0,

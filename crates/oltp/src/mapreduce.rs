@@ -14,9 +14,9 @@ use strex_sim::ids::TxnTypeId;
 
 use crate::codepath::{TraceBuilder, WalkConfig};
 use crate::layout::CodeLayout;
-use crate::trace::TxnTrace;
 #[cfg(test)]
 use crate::trace::MemRef;
+use crate::trace::TxnTrace;
 
 /// Private input-buffer bytes per task.
 const TASK_BUFFER: u64 = 256 * 1024;
@@ -93,10 +93,7 @@ impl MapReduceBuilder {
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
         let mut rng = StdRng::seed_from_u64(self.seed ^ ordinal.wrapping_mul(0x5851_F42D));
-        let stack = AddrRange::new(
-            Addr::new(0xFC00_0000 + ordinal * 8 * 1024),
-            8 * 1024,
-        );
+        let stack = AddrRange::new(Addr::new(0xFC00_0000 + ordinal * 8 * 1024), 8 * 1024);
         // Tight loops, almost no divergence: analytics kernels are regular.
         let walk = WalkConfig {
             skip_prob: 0.01,
@@ -185,7 +182,7 @@ mod tests {
         let stores = t
             .refs()
             .iter()
-            .filter(|r| matches!(r, MemRef::Store { addr } if addr.value() >= DATA_BASE && addr.value() < 0xF000_0000))
+            .filter(|r| matches!(r.decode(), MemRef::Store { addr } if addr.value() >= DATA_BASE && addr.value() < 0xF000_0000))
             .count();
         assert!(stores > 0, "reduce must write its buffer");
     }
@@ -198,10 +195,9 @@ mod tests {
         let bufs = |t: &TxnTrace| -> std::collections::HashSet<u64> {
             t.refs()
                 .iter()
-                .filter_map(|r| match r {
+                .filter_map(|r| match r.decode() {
                     MemRef::Load { addr }
-                        if addr.value() >= DATA_BASE + DICTIONARY
-                            && addr.value() < 0xF000_0000 =>
+                        if addr.value() >= DATA_BASE + DICTIONARY && addr.value() < 0xF000_0000 =>
                     {
                         Some(addr.value())
                     }

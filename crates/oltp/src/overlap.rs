@@ -179,11 +179,7 @@ mod tests {
         // 16-thread case; with 8 threads "2..=4" plus higher buckets still
         // dominate over singletons).
         let mid = &samples[samples.len() / 2];
-        assert!(
-            mid.one < 0.5,
-            "singleton fraction too high: {}",
-            mid.one
-        );
+        assert!(mid.one < 0.5, "singleton fraction too high: {}", mid.one);
     }
 
     #[test]
@@ -191,8 +187,7 @@ mod tests {
         let txns = same_type_txns(16);
         let samples = analyze(&txns, OverlapConfig::default());
         // Average ge5 share over the run: the paper's headline is > 70 %.
-        let avg: f64 =
-            samples.iter().map(OverlapSample::ge5).sum::<f64>() / samples.len() as f64;
+        let avg: f64 = samples.iter().map(OverlapSample::ge5).sum::<f64>() / samples.len() as f64;
         assert!(avg > 0.5, "≥5-sharer fraction too low: {avg}");
     }
 

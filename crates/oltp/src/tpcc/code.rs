@@ -105,8 +105,7 @@ impl TpccCode {
         let mut layout = CodeLayout::new();
         let mut actions: [Vec<AddrRange>; 5] = Default::default();
         for kind in TpccTxnKind::ALL {
-            let bytes =
-                layout.action_bytes_for_target(kind.footprint_units(), kind.n_actions());
+            let bytes = layout.action_bytes_for_target(kind.footprint_units(), kind.n_actions());
             let regions = (0..kind.n_actions())
                 .map(|_| layout.alloc_action(bytes))
                 .collect();
@@ -165,9 +164,7 @@ mod tests {
     #[test]
     fn bigger_targets_get_more_code() {
         let code = TpccCode::new();
-        let total = |k: TpccTxnKind| -> u64 {
-            code.actions(k).iter().map(|r| r.len()).sum()
-        };
+        let total = |k: TpccTxnKind| -> u64 { code.actions(k).iter().map(|r| r.len()).sum() };
         assert!(total(TpccTxnKind::NewOrder) > total(TpccTxnKind::StockLevel));
         assert!(total(TpccTxnKind::Payment) > total(TpccTxnKind::OrderStatus));
     }

@@ -301,10 +301,7 @@ mod tests {
         assert_eq!(db.district.heap.len(), 10);
         assert_eq!(db.customer.heap.len(), 10 * s.customers_per_district);
         assert_eq!(db.stock.heap.len(), s.items);
-        assert_eq!(
-            db.orders.heap.len(),
-            10 * s.initial_orders_per_district
-        );
+        assert_eq!(db.orders.heap.len(), 10 * s.initial_orders_per_district);
     }
 
     #[test]

@@ -103,10 +103,7 @@ mod tests {
     fn mixed_follows_spec_proportions() {
         let mut b = TpccWorkloadBuilder::new(TpccScale::mini(), 1);
         let txns = b.mixed(60);
-        let new_orders = txns
-            .iter()
-            .filter(|t| t.type_name() == "NewOrder")
-            .count();
+        let new_orders = txns.iter().filter(|t| t.type_name() == "NewOrder").count();
         let payments = txns.iter().filter(|t| t.type_name() == "Payment").count();
         // New Order + Payment dominate (≈ 88 %).
         assert!(

@@ -345,8 +345,8 @@ impl Cx<'_, '_> {
         self.tb.walk(a[0], self.rng);
         for d in 0..10 {
             // Oldest undelivered order for the district.
-            let oldest = self.db.scale().initial_orders_per_district / 2
-                + (TpccDb::district_key(w, d) % 7);
+            let oldest =
+                self.db.scale().initial_orders_per_district / 2 + (TpccDb::district_key(w, d) % 7);
             let okey = TpccDb::order_key(w, d, oldest);
             self.lookup(a[1], Table::NewOrder, okey);
             self.update(a[2], Table::Orders, okey);
@@ -431,8 +431,16 @@ mod tests {
     #[test]
     fn traces_contain_loads_and_stores() {
         let t = build(TpccTxnKind::NewOrder, 0, 1);
-        let loads = t.refs().iter().filter(|r| matches!(r, MemRef::Load { .. })).count();
-        let stores = t.refs().iter().filter(|r| matches!(r, MemRef::Store { .. })).count();
+        let loads = t
+            .refs()
+            .iter()
+            .filter(|r| matches!(r.decode(), MemRef::Load { .. }))
+            .count();
+        let stores = t
+            .refs()
+            .iter()
+            .filter(|r| matches!(r.decode(), MemRef::Store { .. }))
+            .count();
         assert!(loads > 100, "loads {loads}");
         assert!(stores > 50, "stores {stores}");
     }

@@ -189,12 +189,7 @@ impl TpceDb {
                 let acct = c * 4 + a;
                 Self::insert_into(&mut self.account, acct, &mut self.arena, &mut sink);
                 for h in 0..3 {
-                    Self::insert_into(
-                        &mut self.holding,
-                        acct * 16 + h,
-                        &mut self.arena,
-                        &mut sink,
-                    );
+                    Self::insert_into(&mut self.holding, acct * 16 + h, &mut self.arena, &mut sink);
                 }
             }
             // Initial trades.
@@ -253,8 +248,7 @@ impl TpceCode {
         let mut layout = CodeLayout::new();
         let mut actions: [Vec<AddrRange>; 7] = Default::default();
         for kind in TpceTxnKind::ALL {
-            let bytes =
-                layout.action_bytes_for_target(kind.footprint_units(), kind.n_actions());
+            let bytes = layout.action_bytes_for_target(kind.footprint_units(), kind.n_actions());
             actions[kind.type_id().as_usize()] = (0..kind.n_actions())
                 .map(|_| layout.alloc_action(bytes))
                 .collect();
@@ -312,13 +306,9 @@ impl TpceWorkloadBuilder {
     pub fn one(&mut self, kind: TpceTxnKind) -> TxnTrace {
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ ordinal.wrapping_mul(0xD134_2543_DE82_EF95),
-        );
-        let stack = AddrRange::new(
-            Addr::new(STACK_BASE + ordinal * STACK_BYTES),
-            STACK_BYTES,
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ ordinal.wrapping_mul(0xD134_2543_DE82_EF95));
+        let stack = AddrRange::new(Addr::new(STACK_BASE + ordinal * STACK_BYTES), STACK_BYTES);
         let mut cx = Cx {
             db: &mut self.db,
             code: &self.code,
@@ -490,7 +480,12 @@ impl Cx<'_, '_> {
                     self.lookup(a[1], Table::Security, (s + k * 17) % securities);
                     self.update(a[2], Table::Security, (s + k * 17) % securities);
                 }
-                self.scan(a[3], Table::Trade, self.db.next_trade_id.saturating_sub(8), 8);
+                self.scan(
+                    a[3],
+                    Table::Trade,
+                    self.db.next_trade_id.saturating_sub(8),
+                    8,
+                );
                 self.lookup(a[4], Table::Broker, 0);
                 self.tb.walk(a[5], self.rng);
                 self.commit(160);
@@ -557,9 +552,7 @@ mod tests {
     #[test]
     fn footprints_track_table3_ordering() {
         let mut b = TpceWorkloadBuilder::new(64, 2);
-        let fp = |k: TpceTxnKind, b: &mut TpceWorkloadBuilder| {
-            b.one(k).unique_code_blocks()
-        };
+        let fp = |k: TpceTxnKind, b: &mut TpceWorkloadBuilder| b.one(k).unique_code_blocks();
         let sec = fp(TpceTxnKind::Security, &mut b);
         let cust = fp(TpceTxnKind::Customer, &mut b);
         assert!(

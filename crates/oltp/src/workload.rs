@@ -141,12 +141,7 @@ impl Workload {
     }
 
     /// A pool of same-type TPC-C transactions (Figures 2, 4, 7).
-    pub fn tpcc_same_type(
-        kind: TpccTxnKind,
-        warehouses: u64,
-        n: usize,
-        seed: u64,
-    ) -> Workload {
+    pub fn tpcc_same_type(kind: TpccTxnKind, warehouses: u64, n: usize, seed: u64) -> Workload {
         let mut b = TpccWorkloadBuilder::new(TpccScale::new(warehouses), seed);
         Workload::new(kind.name(), b.same_type(kind, n))
     }
@@ -182,9 +177,7 @@ mod tests {
     fn presets_are_deterministic() {
         let a = Workload::preset_small(WorkloadKind::Tpce, 3, 9);
         let b = Workload::preset_small(WorkloadKind::Tpce, 3, 9);
-        let sig = |w: &Workload| -> Vec<u64> {
-            w.txns().iter().map(|t| t.instr_total()).collect()
-        };
+        let sig = |w: &Workload| -> Vec<u64> { w.txns().iter().map(|t| t.instr_total()).collect() };
         assert_eq!(sig(&a), sig(&b));
     }
 

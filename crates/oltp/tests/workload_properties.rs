@@ -31,9 +31,9 @@ proptest! {
         let sum: u64 = t.refs().iter().map(|r| r.instrs()).sum();
         prop_assert_eq!(sum, t.instr_total());
         for r in t.refs() {
-            match r {
+            match r.decode() {
                 MemRef::IFetch { block, instrs } => {
-                    prop_assert!(*instrs > 0, "empty fetch group");
+                    prop_assert!(instrs > 0, "empty fetch group");
                     // Code lives below the data arena.
                     prop_assert!(
                         block.base_addr().value()

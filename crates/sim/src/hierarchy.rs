@@ -22,7 +22,7 @@ use crate::interconnect::Torus;
 use crate::l2::SharedL2;
 use crate::memory::Dram;
 use crate::signature::CacheSignature;
-use crate::stats::{SystemStats, SharedStats};
+use crate::stats::{SharedStats, SystemStats};
 
 /// Outcome of one instruction-block fetch.
 #[derive(Copy, Clone, Debug)]

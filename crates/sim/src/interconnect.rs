@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn wraparound_shortens_paths() {
         let t = Torus::new(16); // 4x4
-        // Node 0 (0,0) to node 3 (3,0): direct 3 hops, wrap 1 hop.
+                                // Node 0 (0,0) to node 3 (3,0): direct 3 hops, wrap 1 hop.
         assert_eq!(t.hops(CoreId::new(0), CoreId::new(3)), 1);
         // Node 0 (0,0) to node 12 (0,3): wrap 1 hop.
         assert_eq!(t.hops(CoreId::new(0), CoreId::new(12)), 1);

@@ -81,17 +81,19 @@ impl SharedL2 {
         } else {
             0
         };
+        // The slices' tag metadata is the memory-bound part of the probe
+        // (megabytes of it, far beyond the host caches), so they scan
+        // short (u32) tags first and verify hits against the full tags —
+        // bit-identical outcomes, half the scanned footprint.
         SharedL2 {
             slices: (0..n_cores)
-                .map(|_| SetAssocCache::new_sliced(geom, repl, slice_bits))
+                .map(|_| SetAssocCache::new_sliced(geom, repl, slice_bits).with_short_tag_scan())
                 .collect(),
             torus,
             hit_latency,
             dram,
             stats: SharedStats::default(),
-            slice_mask: n_cores
-                .is_power_of_two()
-                .then(|| n_cores as u64 - 1),
+            slice_mask: n_cores.is_power_of_two().then(|| n_cores as u64 - 1),
         }
     }
 
@@ -155,10 +157,7 @@ impl SharedL2 {
 
     /// Aggregate capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        self.slices
-            .iter()
-            .map(|s| s.geometry().size_bytes())
-            .sum()
+        self.slices.iter().map(|s| s.geometry().size_bytes()).sum()
     }
 
     /// Number of slices (= cores).

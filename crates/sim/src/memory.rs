@@ -112,13 +112,12 @@ impl Dram {
             "DRAM needs at least one bank"
         );
         let total_banks = (cfg.channels * cfg.banks_per_channel) as u64;
-        let pow2 = (cfg.row_blocks.is_power_of_two() && total_banks.is_power_of_two()).then(
-            || DramPow2 {
+        let pow2 =
+            (cfg.row_blocks.is_power_of_two() && total_banks.is_power_of_two()).then(|| DramPow2 {
                 row_shift: cfg.row_blocks.trailing_zeros(),
                 bank_mask: total_banks - 1,
                 row_of_shift: cfg.row_blocks.trailing_zeros() + total_banks.trailing_zeros(),
-            },
-        );
+            });
         Dram {
             cfg,
             banks: vec![Bank::default(); cfg.channels * cfg.banks_per_channel],
@@ -187,7 +186,7 @@ impl Dram {
         };
 
         let start = now + queue_delay;
-        bank.busy_until = bank.busy_until.max(start) .min(now + queue_cap) + self.cfg.bank_occupancy;
+        bank.busy_until = bank.busy_until.max(start).min(now + queue_cap) + self.cfg.bank_occupancy;
         queue_delay + service
     }
 }

@@ -87,11 +87,15 @@ mod tests {
     #[test]
     fn none_and_pif_issue_no_prefetches() {
         assert_eq!(
-            PrefetcherKind::None.prefetch_targets(BlockAddr::new(0)).count(),
+            PrefetcherKind::None
+                .prefetch_targets(BlockAddr::new(0))
+                .count(),
             0
         );
         assert_eq!(
-            PrefetcherKind::PifIdeal.prefetch_targets(BlockAddr::new(0)).count(),
+            PrefetcherKind::PifIdeal
+                .prefetch_targets(BlockAddr::new(0))
+                .count(),
             0
         );
     }

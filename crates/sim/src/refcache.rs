@@ -10,9 +10,9 @@
 //!    unit-level half of the bit-identity guarantee the golden report
 //!    snapshot enforces end to end.
 //! 2. **Same-run benchmarking.** `repro --bench-json` times the same
-//!    access stream against both implementations, so `BENCH_PR2.json`
-//!    records the hot-path speedup measured on the machine that produced
-//!    it, not numbers imported from elsewhere.
+//!    access stream against both implementations, so the committed
+//!    `BENCH_*.json` records the hot-path speedup measured on the machine
+//!    that produced it, not numbers imported from elsewhere.
 //!
 //! The code is a frame-struct (array-of-structs) design whose operations
 //! scan the set multiple times (`contains` then `access`, `find` twice in

@@ -108,10 +108,9 @@ impl Replacement {
             // The LRU stack must be a permutation of 0..assoc per set even
             // before any access, so initialize each set as the identity
             // (the cache prefers invalid ways regardless).
-            ReplacementKind::Lru | ReplacementKind::Lip | ReplacementKind::Bip => (0..sets
-                * assoc)
-                .map(|i| (i % assoc) as u8)
-                .collect(),
+            ReplacementKind::Lru | ReplacementKind::Lip | ReplacementKind::Bip => {
+                (0..sets * assoc).map(|i| (i % assoc) as u8).collect()
+            }
             ReplacementKind::Srrip | ReplacementKind::Brrip => vec![RRPV_MAX; sets * assoc],
         };
         Replacement {
@@ -182,7 +181,11 @@ impl Replacement {
             ReplacementKind::Srrip => self.set_meta(set)[way] = RRPV_LONG,
             ReplacementKind::Brrip => {
                 self.bimodal_ctr = (self.bimodal_ctr + 1) % BIMODAL_PERIOD;
-                let rrpv = if self.bimodal_ctr == 0 { RRPV_LONG } else { RRPV_MAX };
+                let rrpv = if self.bimodal_ctr == 0 {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                };
                 self.set_meta(set)[way] = rrpv;
             }
         }

@@ -58,7 +58,10 @@ impl CacheSignature {
     }
 
     fn hash2(block: BlockAddr) -> usize {
-        let h = block.index().wrapping_mul(0xC2B2_AE3D_27D4_EB4F).rotate_left(31);
+        let h = block
+            .index()
+            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            .rotate_left(31);
         (h >> 53) as usize % SIGNATURE_BITS
     }
 
@@ -107,10 +110,7 @@ impl CacheSignature {
 
     /// How many blocks of `blocks` the signature claims to hold.
     pub fn coverage<'a, I: IntoIterator<Item = &'a BlockAddr>>(&self, blocks: I) -> usize {
-        blocks
-            .into_iter()
-            .filter(|&&b| self.may_contain(b))
-            .count()
+        blocks.into_iter().filter(|&&b| self.may_contain(b)).count()
     }
 }
 

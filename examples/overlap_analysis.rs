@@ -19,7 +19,10 @@ fn main() {
         let w = Workload::tpcc_same_type(kind, 1, 16, 7);
         let samples = analyze(w.txns(), OverlapConfig::default());
         println!("\n{kind}: 16 instances on 16 cores, 32 KB L1-I each");
-        println!("{:>8}  {:>5}  {}", "K-instr", ">=5", "fraction of touched blocks in >=5 caches");
+        println!(
+            "{:>8}  {:>5}  fraction of touched blocks in >=5 caches",
+            "K-instr", ">=5"
+        );
         let step = (samples.len() / 16).max(1);
         for s in samples.iter().step_by(step) {
             println!(

@@ -93,7 +93,10 @@ fn builder_surfaces_every_error_variant() {
     // Constructibility of each ConfigError through the public surface.
     let errs = [
         SimConfig::builder().cores(0).build().unwrap_err(),
-        SimConfig::builder().cores(MAX_CORES + 1).build().unwrap_err(),
+        SimConfig::builder()
+            .cores(MAX_CORES + 1)
+            .build()
+            .unwrap_err(),
         SimConfig::builder().team_size(0).build().unwrap_err(),
         SimConfig::builder()
             .team_size(8)
@@ -109,8 +112,14 @@ fn builder_surfaces_every_error_variant() {
     assert!(matches!(errs[0], ConfigError::ZeroCores));
     assert!(matches!(errs[1], ConfigError::TooManyCores { .. }));
     assert!(matches!(errs[2], ConfigError::ZeroTeamSize));
-    assert!(matches!(errs[3], ConfigError::FormationWindowTooSmall { .. }));
-    assert!(matches!(errs[4], ConfigError::ZeroCacheGeometry { cache: "L2" }));
+    assert!(matches!(
+        errs[3],
+        ConfigError::FormationWindowTooSmall { .. }
+    ));
+    assert!(matches!(
+        errs[4],
+        ConfigError::ZeroCacheGeometry { cache: "L2" }
+    ));
     // And the campaign surfaces the sixth (registry) variant.
     let w = Workload::preset_small(WorkloadKind::TpccW1, 4, 1);
     let err = Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
@@ -197,9 +206,7 @@ fn parse_value(b: &[u8], i: usize) -> usize {
         Some(b'n') => expect_lit(b, i, b"null"),
         Some(c) if c.is_ascii_digit() || *c == b'-' => {
             let mut j = i + 1;
-            while j < b.len()
-                && matches!(b[j], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-            {
+            while j < b.len() && matches!(b[j], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
                 j += 1;
             }
             j

@@ -49,8 +49,7 @@ fn render_all() -> String {
                 .expect("golden configuration is valid");
             let r = run(&workload, &cfg);
             let agg = r.stats.aggregate();
-            let latencies: Vec<String> =
-                r.latencies.iter().map(|l| l.to_string()).collect();
+            let latencies: Vec<String> = r.latencies.iter().map(|l| l.to_string()).collect();
             let _ = writeln!(
                 out,
                 "scheduler={} repl={repl} makespan={} latencies=[{}] \
@@ -93,7 +92,8 @@ fn reports_match_committed_snapshot() {
         // Report the first divergent line, which names the exact cell.
         for (line, (got, want)) in rendered.lines().zip(committed.lines()).enumerate() {
             assert_eq!(
-                got, want,
+                got,
+                want,
                 "snapshot diverged at line {} — results are no longer \
                  bit-identical to the committed baseline",
                 line + 1

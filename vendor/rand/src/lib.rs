@@ -163,10 +163,7 @@ impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
 
 impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
     fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
-        let (lo, hi) = (
-            self.start().to_ordered_u64(),
-            self.end().to_ordered_u64(),
-        );
+        let (lo, hi) = (self.start().to_ordered_u64(), self.end().to_ordered_u64());
         assert!(lo <= hi, "empty range");
         if hi - lo == u64::MAX {
             return T::from_ordered_u64(rng.next_u64());
