@@ -1,17 +1,18 @@
-//! Committed throughput baselines for the `BENCH_PR3.json` trajectory:
-//! the seed engine and the PR 2 (SoA-cache) engine, both re-measured in
-//! the PR 3 session on the machine that recorded `BENCH_PR3.json`.
+//! Committed throughput baselines for the `BENCH_PR4.json` trajectory:
+//! the seed engine, the PR 2 (SoA-cache) engine and the PR 3 (packed
+//! events + passive fast path + short-tag L2) engine, all re-measured in
+//! the PR 4 session on the machine that recorded `BENCH_PR4.json`.
 //!
-//! The three builds — seed (pre-SoA, `21f110e`), PR 2 (`dd07f8d`) and the
-//! PR 3 working tree — were run *interleaved in one session* (four rounds
-//! each, per-cell best-of), so the two committed records here and the
-//! fresh `current` record in `BENCH_PR3.json` share one machine and one
-//! load environment and their ratios are meaningful. On any other machine
-//! the absolute events/sec shift together; `repro --bench-json --check`
-//! therefore gates on the *ratio* of a fresh measurement to the seed
-//! record, not on absolute wall clock.
+//! The four builds — seed (pre-SoA, `21f110e`), PR 2 (`dd07f8d`), PR 3
+//! (`ef2f437`) and the PR 4 working tree — were run *interleaved in one
+//! session* (six rounds each, per-cell best-of), so the three committed
+//! records here and the fresh `current` record in `BENCH_PR4.json` share
+//! one machine and one load environment and their ratios are meaningful.
+//! On any other machine the absolute events/sec shift together; `repro
+//! --bench-json --check` therefore gates on the *ratio* of a fresh
+//! measurement to the seed record, not on absolute wall clock.
 //!
-//! All three builds simulate the exact same cells bit-identically (the
+//! All four builds simulate the exact same cells bit-identically (the
 //! `events`/`instructions` columns match row for row — the golden snapshot
 //! pins this), which is what makes events-per-second comparable at all.
 
@@ -20,76 +21,113 @@ use crate::perf::{BenchRecord, CellTiming};
 /// (workload, scheduler, cores, events, instructions, wall_seconds).
 type Cell = (&'static str, &'static str, usize, u64, u64, f64);
 
-/// Seed-engine quick-suite cells (best-of-4, PR 3 session).
+/// Seed-engine quick-suite cells (best-of-6, PR 4 session).
 const SEED_CELLS: &[Cell] = &[
-    ("TPC-C-1", "baseline", 2, 974694, 10586194, 0.125718991),
-    ("TPC-C-1", "baseline", 4, 974694, 10586194, 0.139732817),
-    ("TPC-C-1", "strex", 2, 974694, 10586194, 0.121408267),
-    ("TPC-C-1", "strex", 4, 974694, 10586194, 0.133850388),
-    ("TPC-C-1", "slicc", 2, 974694, 10586194, 0.148566157),
-    ("TPC-C-1", "slicc", 4, 974694, 10586194, 0.150473005),
-    ("TPC-C-1", "hybrid", 2, 974694, 10586194, 0.128706490),
-    ("TPC-C-1", "hybrid", 4, 974694, 10586194, 0.140463774),
-    ("TPC-C-10", "baseline", 2, 978621, 10618467, 0.126385788),
-    ("TPC-C-10", "baseline", 4, 978621, 10618467, 0.137864514),
-    ("TPC-C-10", "strex", 2, 978621, 10618467, 0.127344930),
-    ("TPC-C-10", "strex", 4, 978621, 10618467, 0.132482200),
-    ("TPC-C-10", "slicc", 2, 978621, 10618467, 0.148697083),
-    ("TPC-C-10", "slicc", 4, 978621, 10618467, 0.148486666),
-    ("TPC-C-10", "hybrid", 2, 978621, 10618467, 0.133421959),
-    ("TPC-C-10", "hybrid", 4, 978621, 10618467, 0.143045452),
-    ("TPC-E", "baseline", 2, 191514, 2105352, 0.023393155),
-    ("TPC-E", "baseline", 4, 191514, 2105352, 0.026402431),
-    ("TPC-E", "strex", 2, 191514, 2105352, 0.024356425),
-    ("TPC-E", "strex", 4, 191514, 2105352, 0.025953094),
-    ("TPC-E", "slicc", 2, 191514, 2105352, 0.026256177),
-    ("TPC-E", "slicc", 4, 191514, 2105352, 0.029121281),
-    ("TPC-E", "hybrid", 2, 191514, 2105352, 0.028057666),
-    ("TPC-E", "hybrid", 4, 191514, 2105352, 0.027936994),
-    ("MapReduce", "baseline", 2, 154241, 1596780, 0.008973109),
-    ("MapReduce", "baseline", 4, 154241, 1596780, 0.008931059),
-    ("MapReduce", "strex", 2, 154241, 1596780, 0.008777839),
-    ("MapReduce", "strex", 4, 154241, 1596780, 0.008221943),
-    ("MapReduce", "slicc", 2, 154241, 1596780, 0.008851044),
-    ("MapReduce", "slicc", 4, 154241, 1596780, 0.009215821),
-    ("MapReduce", "hybrid", 2, 154241, 1596780, 0.009237573),
-    ("MapReduce", "hybrid", 4, 154241, 1596780, 0.010233724),
+    ("TPC-C-1", "baseline", 2, 974694, 10586194, 0.123452756),
+    ("TPC-C-1", "baseline", 4, 974694, 10586194, 0.134583104),
+    ("TPC-C-1", "strex", 2, 974694, 10586194, 0.117811114),
+    ("TPC-C-1", "strex", 4, 974694, 10586194, 0.122888557),
+    ("TPC-C-1", "slicc", 2, 974694, 10586194, 0.139539833),
+    ("TPC-C-1", "slicc", 4, 974694, 10586194, 0.147358238),
+    ("TPC-C-1", "hybrid", 2, 974694, 10586194, 0.126766137),
+    ("TPC-C-1", "hybrid", 4, 974694, 10586194, 0.139159564),
+    ("TPC-C-10", "baseline", 2, 978621, 10618467, 0.115405008),
+    ("TPC-C-10", "baseline", 4, 978621, 10618467, 0.128810847),
+    ("TPC-C-10", "strex", 2, 978621, 10618467, 0.115413202),
+    ("TPC-C-10", "strex", 4, 978621, 10618467, 0.123369667),
+    ("TPC-C-10", "slicc", 2, 978621, 10618467, 0.138517159),
+    ("TPC-C-10", "slicc", 4, 978621, 10618467, 0.144416011),
+    ("TPC-C-10", "hybrid", 2, 978621, 10618467, 0.125693935),
+    ("TPC-C-10", "hybrid", 4, 978621, 10618467, 0.133594958),
+    ("TPC-E", "baseline", 2, 191514, 2105352, 0.022871936),
+    ("TPC-E", "baseline", 4, 191514, 2105352, 0.024571092),
+    ("TPC-E", "strex", 2, 191514, 2105352, 0.023002458),
+    ("TPC-E", "strex", 4, 191514, 2105352, 0.024712668),
+    ("TPC-E", "slicc", 2, 191514, 2105352, 0.025159129),
+    ("TPC-E", "slicc", 4, 191514, 2105352, 0.026783366),
+    ("TPC-E", "hybrid", 2, 191514, 2105352, 0.023120001),
+    ("TPC-E", "hybrid", 4, 191514, 2105352, 0.025622561),
+    ("MapReduce", "baseline", 2, 154241, 1596780, 0.008045343),
+    ("MapReduce", "baseline", 4, 154241, 1596780, 0.007574587),
+    ("MapReduce", "strex", 2, 154241, 1596780, 0.007789103),
+    ("MapReduce", "strex", 4, 154241, 1596780, 0.007474720),
+    ("MapReduce", "slicc", 2, 154241, 1596780, 0.008071219),
+    ("MapReduce", "slicc", 4, 154241, 1596780, 0.008192213),
+    ("MapReduce", "hybrid", 2, 154241, 1596780, 0.008941484),
+    ("MapReduce", "hybrid", 4, 154241, 1596780, 0.008650384),
 ];
 
-/// PR 2 (SoA-cache) engine quick-suite cells (best-of-4, PR 3 session).
+/// PR 2 (SoA-cache) engine quick-suite cells (best-of-6, PR 4 session).
 const PR2_CELLS: &[Cell] = &[
-    ("TPC-C-1", "baseline", 2, 974694, 10586194, 0.096414049),
-    ("TPC-C-1", "baseline", 4, 974694, 10586194, 0.098685126),
-    ("TPC-C-1", "strex", 2, 974694, 10586194, 0.089695801),
-    ("TPC-C-1", "strex", 4, 974694, 10586194, 0.089011634),
-    ("TPC-C-1", "slicc", 2, 974694, 10586194, 0.114642297),
-    ("TPC-C-1", "slicc", 4, 974694, 10586194, 0.113455186),
-    ("TPC-C-1", "hybrid", 2, 974694, 10586194, 0.100994370),
-    ("TPC-C-1", "hybrid", 4, 974694, 10586194, 0.102221125),
-    ("TPC-C-10", "baseline", 2, 978621, 10618467, 0.088327295),
-    ("TPC-C-10", "baseline", 4, 978621, 10618467, 0.092183087),
-    ("TPC-C-10", "strex", 2, 978621, 10618467, 0.090451801),
-    ("TPC-C-10", "strex", 4, 978621, 10618467, 0.090959270),
-    ("TPC-C-10", "slicc", 2, 978621, 10618467, 0.113548839),
-    ("TPC-C-10", "slicc", 4, 978621, 10618467, 0.104376434),
-    ("TPC-C-10", "hybrid", 2, 978621, 10618467, 0.085158683),
-    ("TPC-C-10", "hybrid", 4, 978621, 10618467, 0.093290909),
-    ("TPC-E", "baseline", 2, 191514, 2105352, 0.016957657),
-    ("TPC-E", "baseline", 4, 191514, 2105352, 0.016565060),
-    ("TPC-E", "strex", 2, 191514, 2105352, 0.016059706),
-    ("TPC-E", "strex", 4, 191514, 2105352, 0.016616662),
-    ("TPC-E", "slicc", 2, 191514, 2105352, 0.018654640),
-    ("TPC-E", "slicc", 4, 191514, 2105352, 0.018982442),
-    ("TPC-E", "hybrid", 2, 191514, 2105352, 0.016863803),
-    ("TPC-E", "hybrid", 4, 191514, 2105352, 0.017574079),
-    ("MapReduce", "baseline", 2, 154241, 1596780, 0.006331466),
-    ("MapReduce", "baseline", 4, 154241, 1596780, 0.005822972),
-    ("MapReduce", "strex", 2, 154241, 1596780, 0.006535381),
-    ("MapReduce", "strex", 4, 154241, 1596780, 0.006114899),
-    ("MapReduce", "slicc", 2, 154241, 1596780, 0.006507957),
-    ("MapReduce", "slicc", 4, 154241, 1596780, 0.005892089),
-    ("MapReduce", "hybrid", 2, 154241, 1596780, 0.006491782),
-    ("MapReduce", "hybrid", 4, 154241, 1596780, 0.006219246),
+    ("TPC-C-1", "baseline", 2, 974694, 10586194, 0.085823398),
+    ("TPC-C-1", "baseline", 4, 974694, 10586194, 0.087118966),
+    ("TPC-C-1", "strex", 2, 974694, 10586194, 0.082462241),
+    ("TPC-C-1", "strex", 4, 974694, 10586194, 0.084649987),
+    ("TPC-C-1", "slicc", 2, 974694, 10586194, 0.108266033),
+    ("TPC-C-1", "slicc", 4, 974694, 10586194, 0.106589763),
+    ("TPC-C-1", "hybrid", 2, 974694, 10586194, 0.092923840),
+    ("TPC-C-1", "hybrid", 4, 974694, 10586194, 0.091407434),
+    ("TPC-C-10", "baseline", 2, 978621, 10618467, 0.088604793),
+    ("TPC-C-10", "baseline", 4, 978621, 10618467, 0.089093550),
+    ("TPC-C-10", "strex", 2, 978621, 10618467, 0.082510908),
+    ("TPC-C-10", "strex", 4, 978621, 10618467, 0.087977841),
+    ("TPC-C-10", "slicc", 2, 978621, 10618467, 0.107120314),
+    ("TPC-C-10", "slicc", 4, 978621, 10618467, 0.111031462),
+    ("TPC-C-10", "hybrid", 2, 978621, 10618467, 0.088475528),
+    ("TPC-C-10", "hybrid", 4, 978621, 10618467, 0.094734244),
+    ("TPC-E", "baseline", 2, 191514, 2105352, 0.016714099),
+    ("TPC-E", "baseline", 4, 191514, 2105352, 0.016592169),
+    ("TPC-E", "strex", 2, 191514, 2105352, 0.016712719),
+    ("TPC-E", "strex", 4, 191514, 2105352, 0.016055372),
+    ("TPC-E", "slicc", 2, 191514, 2105352, 0.018140654),
+    ("TPC-E", "slicc", 4, 191514, 2105352, 0.019278076),
+    ("TPC-E", "hybrid", 2, 191514, 2105352, 0.016584049),
+    ("TPC-E", "hybrid", 4, 191514, 2105352, 0.017870981),
+    ("MapReduce", "baseline", 2, 154241, 1596780, 0.006024982),
+    ("MapReduce", "baseline", 4, 154241, 1596780, 0.005888329),
+    ("MapReduce", "strex", 2, 154241, 1596780, 0.006398452),
+    ("MapReduce", "strex", 4, 154241, 1596780, 0.005935976),
+    ("MapReduce", "slicc", 2, 154241, 1596780, 0.005983926),
+    ("MapReduce", "slicc", 4, 154241, 1596780, 0.005837504),
+    ("MapReduce", "hybrid", 2, 154241, 1596780, 0.006175698),
+    ("MapReduce", "hybrid", 4, 154241, 1596780, 0.006125793),
+];
+
+/// PR 3 (packed events + passive fast path + short-tag L2) engine
+/// quick-suite cells (best-of-6, PR 4 session).
+const PR3_CELLS: &[Cell] = &[
+    ("TPC-C-1", "baseline", 2, 974694, 10586194, 0.081017094),
+    ("TPC-C-1", "baseline", 4, 974694, 10586194, 0.084019277),
+    ("TPC-C-1", "strex", 2, 974694, 10586194, 0.083917766),
+    ("TPC-C-1", "strex", 4, 974694, 10586194, 0.087029018),
+    ("TPC-C-1", "slicc", 2, 974694, 10586194, 0.092991061),
+    ("TPC-C-1", "slicc", 4, 974694, 10586194, 0.095196048),
+    ("TPC-C-1", "hybrid", 2, 974694, 10586194, 0.083698392),
+    ("TPC-C-1", "hybrid", 4, 974694, 10586194, 0.089926482),
+    ("TPC-C-10", "baseline", 2, 978621, 10618467, 0.082711453),
+    ("TPC-C-10", "baseline", 4, 978621, 10618467, 0.086355227),
+    ("TPC-C-10", "strex", 2, 978621, 10618467, 0.084606529),
+    ("TPC-C-10", "strex", 4, 978621, 10618467, 0.083551627),
+    ("TPC-C-10", "slicc", 2, 978621, 10618467, 0.092238113),
+    ("TPC-C-10", "slicc", 4, 978621, 10618467, 0.096888769),
+    ("TPC-C-10", "hybrid", 2, 978621, 10618467, 0.090121909),
+    ("TPC-C-10", "hybrid", 4, 978621, 10618467, 0.091744688),
+    ("TPC-E", "baseline", 2, 191514, 2105352, 0.016028728),
+    ("TPC-E", "baseline", 4, 191514, 2105352, 0.015706689),
+    ("TPC-E", "strex", 2, 191514, 2105352, 0.015912217),
+    ("TPC-E", "strex", 4, 191514, 2105352, 0.016060207),
+    ("TPC-E", "slicc", 2, 191514, 2105352, 0.016306018),
+    ("TPC-E", "slicc", 4, 191514, 2105352, 0.016450733),
+    ("TPC-E", "hybrid", 2, 191514, 2105352, 0.016250814),
+    ("TPC-E", "hybrid", 4, 191514, 2105352, 0.017290887),
+    ("MapReduce", "baseline", 2, 154241, 1596780, 0.005312965),
+    ("MapReduce", "baseline", 4, 154241, 1596780, 0.005046525),
+    ("MapReduce", "strex", 2, 154241, 1596780, 0.006093455),
+    ("MapReduce", "strex", 4, 154241, 1596780, 0.006122294),
+    ("MapReduce", "slicc", 2, 154241, 1596780, 0.005611514),
+    ("MapReduce", "slicc", 4, 154241, 1596780, 0.005995639),
+    ("MapReduce", "hybrid", 2, 154241, 1596780, 0.005940208),
+    ("MapReduce", "hybrid", 4, 154241, 1596780, 0.005738519),
 ];
 
 fn record(label: &str, revision: &str, cells: &'static [Cell]) -> BenchRecord {
@@ -117,18 +155,28 @@ fn record(label: &str, revision: &str, cells: &'static [Cell]) -> BenchRecord {
 pub fn seed_baseline() -> BenchRecord {
     record(
         "seed engine",
-        "21f110e (pre-SoA engine, re-measured interleaved in the PR 3 session)",
+        "21f110e (pre-SoA engine, re-measured interleaved in the PR 4 session)",
         SEED_CELLS,
     )
 }
 
-/// The committed PR 2 (SoA cache) record — the intermediate trajectory
-/// point between the seed and the current build.
+/// The committed PR 2 (SoA cache) record — the first intermediate
+/// trajectory point between the seed and the current build.
 pub fn pr2_record() -> BenchRecord {
     record(
         "PR 2 SoA engine",
-        "dd07f8d (SoA cache hot path, re-measured interleaved in the PR 3 session)",
+        "dd07f8d (SoA cache hot path, re-measured interleaved in the PR 4 session)",
         PR2_CELLS,
+    )
+}
+
+/// The committed PR 3 (packed trace events, passive driver fast path,
+/// short-tag L2 scan) record — the second intermediate trajectory point.
+pub fn pr3_record() -> BenchRecord {
+    record(
+        "PR 3 packed-events engine",
+        "ef2f437 (packed events + passive fast path + short-tag L2, re-measured interleaved in the PR 4 session)",
+        PR3_CELLS,
     )
 }
 
@@ -140,27 +188,42 @@ mod tests {
     fn records_cover_the_full_quick_matrix() {
         let seed = seed_baseline();
         let pr2 = pr2_record();
+        let pr3 = pr3_record();
         assert_eq!(
             seed.cells.len(),
             32,
             "4 workloads x 4 schedulers x 2 core counts"
         );
         assert_eq!(pr2.cells.len(), 32);
+        assert_eq!(pr3.cells.len(), 32);
         // Bit-identical simulations: the work columns must match row for row.
-        for (a, b) in seed.cells.iter().zip(pr2.cells.iter()) {
+        for ((a, b), c) in seed
+            .cells
+            .iter()
+            .zip(pr2.cells.iter())
+            .zip(pr3.cells.iter())
+        {
             assert_eq!(
                 (&a.workload, a.scheduler, a.cores),
                 (&b.workload, b.scheduler, b.cores)
             );
+            assert_eq!(
+                (&a.workload, a.scheduler, a.cores),
+                (&c.workload, c.scheduler, c.cores)
+            );
             assert_eq!(a.events, b.events);
+            assert_eq!(a.events, c.events);
             assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.instructions, c.instructions);
         }
         assert!(seed.events_per_sec() > 0.0);
     }
 
     #[test]
     fn trajectory_is_monotone() {
-        // The very claim the trajectory records: PR 2 beat the seed.
+        // The very claims the trajectory records: each PR beat its
+        // predecessor on the session that measured all of them together.
         assert!(pr2_record().events_per_sec() > seed_baseline().events_per_sec());
+        assert!(pr3_record().events_per_sec() > pr2_record().events_per_sec());
     }
 }

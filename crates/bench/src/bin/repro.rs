@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! repro [fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|config|all] [--quick] [--json]
+//! repro scale
+//! repro --bench-json [--check [baseline.json]]
 //! ```
 //!
 //! `fig5`/`fig6` share one run matrix, as do `fig7`/`fig8`. With `--quick`
@@ -12,24 +14,36 @@
 //! With `--json` the figure 5/6 scheduler campaign is additionally emitted
 //! as one JSON document (the `BENCH_*.json` trajectory format).
 //!
+//! `scale` is the scale-out mode: it sweeps the sharded campaign
+//! executor's worker count over the quick matrix (1, 2, 4, … up to the
+//! host's parallelism), checks every sweep point bit-identical to the
+//! sequential run, and prints aggregate events/sec, events/sec-per-core
+//! and scaling efficiency per point. It always runs the quick matrix
+//! (the sweep multiplies it by the worker counts), so `--quick` and
+//! `--json` are rejected rather than silently ignored.
+//!
 //! `--bench-json` is a standalone mode: it times the quick reproduction
 //! suite cell by cell, merges the result with the committed same-session
-//! baselines (seed and PR 2 engines) and the same-run hot-path
-//! microbenches, and writes the trajectory record to
-//! `${BENCH_ARTIFACT}.json` (default `BENCH_PR3.json`) in the working
-//! directory (the perf document CI gates on and uploads).
+//! baselines (seed, PR 2 and PR 3 engines), the sharded-executor scaling
+//! section, the PGO-vs-plain ratio when CI exports `BENCH_PLAIN_EPS`, and
+//! the same-run hot-path microbenches, and writes the trajectory record
+//! to `${BENCH_ARTIFACT}.json` in the working directory (the perf
+//! document CI gates on and uploads). The artifact name is derived in
+//! exactly one place (`perf::bench_artifact`, default `BENCH_PR4`).
 //!
-//! `--bench-json --check <baseline.json>` additionally re-derives the
+//! `--bench-json --check [baseline.json]` additionally re-derives the
 //! seed-vs-current throughput ratio from the fresh measurement and fails
 //! (non-zero exit) if it regresses more than 10% below the ratio recorded
-//! in the committed document — the CI perf-regression gate. The fresh
-//! side is a per-cell best-of-3 minimum, which strips one-sided load
-//! noise on the runner; the seed side is the committed record's
-//! wall-times, which are from the machine that recorded the baseline, so
-//! the comparison is like-for-like on comparable runners but a runner
-//! class much slower than the recording machine will depress the ratio.
-//! If the gate trips on a runner change rather than a code change,
-//! re-record the baseline there (see `crates/bench/src/baseline_seed.rs`).
+//! in the committed document — the CI perf-regression gate. The baseline
+//! path defaults to the committed `${BENCH_ARTIFACT}.json`; a missing or
+//! malformed file is a clear error, not a panic. The fresh side is a
+//! per-cell best-of-3 minimum, which strips one-sided load noise on the
+//! runner; the seed side is the committed record's wall-times, which are
+//! from the machine that recorded the baseline, so the comparison is
+//! like-for-like on comparable runners but a runner class much slower
+//! than the recording machine will depress the ratio. If the gate trips
+//! on a runner change rather than a code change, re-record the baseline
+//! there (see `crates/bench/src/baseline_seed.rs`).
 
 use std::env;
 use std::process::ExitCode;
@@ -45,14 +59,16 @@ const CHECK_TOLERANCE: f64 = 0.9;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
-    // `--check <path>` takes a value: extract the pair before flag parsing.
+    // `--check [path]` takes an optional value: extract it before flag
+    // parsing. Without a value it defaults to the committed artifact,
+    // whose name comes from the same single source as the output filename.
     let check_path = match args.iter().position(|a| a == "--check") {
         Some(i) => {
-            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
-                eprintln!("--check requires a path to a committed BENCH_*.json");
-                return ExitCode::FAILURE;
-            }
-            let path = args.remove(i + 1);
+            let path = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                args.remove(i + 1)
+            } else {
+                strex_bench::perf::bench_artifact_path()
+            };
             args.remove(i);
             Some(path)
         }
@@ -61,7 +77,7 @@ fn main() -> ExitCode {
     for flag in args.iter().filter(|a| a.starts_with("--")) {
         if flag != "--quick" && flag != "--json" && flag != "--bench-json" {
             eprintln!(
-                "unknown flag `{flag}`; known flags: --quick --json --bench-json --check <path>"
+                "unknown flag `{flag}`; known flags: --quick --json --bench-json --check [path]"
             );
             return ExitCode::FAILURE;
         }
@@ -78,6 +94,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         return bench_json_mode(check_path.as_deref());
+    }
+    if args.iter().any(|a| a == "scale") {
+        // Standalone mode, same strictness as --bench-json: no silently
+        // ignored targets or flags (scale always runs the quick matrix
+        // and has no JSON form).
+        if let Some(extra) = args.iter().find(|a| a.as_str() != "scale") {
+            eprintln!("scale is standalone and always uses the quick matrix; unexpected `{extra}`");
+            return ExitCode::FAILURE;
+        }
+        return scale_mode();
     }
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
@@ -155,10 +181,51 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Sweeps the sharded campaign executor's worker count over the quick
+/// matrix and prints the scale-out table: aggregate events/sec,
+/// events/sec-per-core (per *effective* core), and scaling efficiency
+/// against the 1-worker point.
+fn scale_mode() -> ExitCode {
+    use strex_bench::perf;
+
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // 1, 2, 4, … up to the host's parallelism, plus 4 (the committed
+    // record's point) and the host maximum itself.
+    let mut sweep: Vec<usize> = std::iter::successors(Some(1usize), |w| Some(w * 2))
+        .take_while(|&w| w < avail)
+        .collect();
+    sweep.push(avail);
+    sweep.push(4);
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    println!("Sharded campaign executor scale-out — quick matrix, {avail} host cores");
+    println!(
+        "(one shared sequential baseline; every sweep point is checked bit-identical to it)\n"
+    );
+    println!("workers  eff.cores  events/sec  events/sec-per-core  efficiency");
+    for s in perf::campaign_scaling_sweep(&sweep) {
+        println!(
+            "{:>7}  {:>9}  {:>10.0}  {:>19.0}  {:>10.3}",
+            s.workers,
+            s.effective_cores,
+            s.events_per_sec,
+            s.events_per_sec_per_core(),
+            s.efficiency(),
+        );
+    }
+    println!(
+        "\nefficiency = events/sec over (1-worker events/sec x effective cores); \
+         effective cores = min(workers, host cores)."
+    );
+    ExitCode::SUCCESS
+}
+
 /// Times the quick suite, merges with the committed baselines, writes
-/// `${BENCH_ARTIFACT}.json` (default `BENCH_PR3.json`), and (with
-/// `--check`) gates the fresh seed-vs-current ratio against the committed
-/// one.
+/// `${BENCH_ARTIFACT}.json`, and (with `--check`) gates the fresh
+/// seed-vs-current ratio against the committed one.
 fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
     use strex_bench::{baseline_seed, perf};
 
@@ -169,25 +236,42 @@ fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => Some((path, text)),
             Err(e) => {
-                eprintln!("check: cannot read committed {path}: {e}");
+                eprintln!(
+                    "check: cannot read committed baseline {path}: {e}\n\
+                     check: the gate needs the committed ${{BENCH_ARTIFACT}}.json from the \
+                     repository root; if BENCH_ARTIFACT was bumped, commit the new record \
+                     (repro --bench-json) alongside the bump"
+                );
                 return ExitCode::FAILURE;
             }
         },
         None => None,
     };
     let revision = env::var("GITHUB_SHA").unwrap_or_else(|_| "working-tree".to_string());
-    println!("Timing the quick reproduction suite (sequential cells, best of 3 rounds)...");
-    let current = perf::quick_suite_best_of("current", &revision, 3);
+    // CI keeps the default of 3 rounds (bounded job time); the committed
+    // record is produced with BENCH_ROUNDS matching the committed
+    // baselines' best-of depth so the fresh side isn't systematically
+    // noisier than the cells it is compared against.
+    let rounds: usize = env::var("BENCH_ROUNDS")
+        .ok()
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(3);
+    println!("Timing the quick reproduction suite (sequential cells, best of {rounds} rounds)...");
+    let current = perf::quick_suite_best_of("current", &revision, rounds);
     let baseline = baseline_seed::seed_baseline();
     let pr2 = baseline_seed::pr2_record();
+    let pr3 = baseline_seed::pr3_record();
+    println!("Measuring the sharded executor (1 worker vs 4 workers)...");
+    let scaling = perf::campaign_scaling(4);
     println!("Running the same-run hot-path microbenches...");
     let micros = perf::same_run_micros();
-    let doc = perf::bench_json(&current, &baseline, &pr2, &micros);
-    // One source of truth with CI: the workflow exports BENCH_ARTIFACT and
-    // both the filename written here and the artifact uploaded there
-    // follow it; the default matches the committed record.
-    let artifact = env::var("BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_PR3".to_string());
-    let path = format!("{artifact}.json");
+    let pgo = perf::PgoComparison::from_env();
+    let doc = perf::bench_json(&current, &baseline, &pr2, &pr3, &micros, &scaling, pgo);
+    // One source of truth with CI: perf::bench_artifact reads the
+    // BENCH_ARTIFACT the workflow exports; the filename written here, the
+    // default --check path above and the artifact uploaded by CI all
+    // follow it. The default matches the committed record.
+    let path = perf::bench_artifact_path();
     if let Err(e) = std::fs::write(&path, &doc) {
         eprintln!("failed to write {path}: {e}");
         return ExitCode::FAILURE;
@@ -199,7 +283,7 @@ fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
     };
     println!(
         "{} cells, {} events in {:.2}s — {:.0} events/sec \
-         ({:.2}x the committed seed baseline's {:.0}; PR 2 was {:.2}x)",
+         ({:.2}x the committed seed baseline's {:.0}; PR 2 was {:.2}x, PR 3 {:.2}x)",
         current.cells.len(),
         current.total_events(),
         current.total_wall_seconds(),
@@ -207,7 +291,25 @@ fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
         speedup,
         baseline.events_per_sec(),
         pr2.events_per_sec() / baseline.events_per_sec(),
+        pr3.events_per_sec() / baseline.events_per_sec(),
     );
+    println!(
+        "campaign: {:.0} events/sec on {} workers ({} effective cores) — \
+         {:.0} events/sec-per-core, scaling efficiency {:.3}",
+        scaling.events_per_sec,
+        scaling.workers,
+        scaling.effective_cores,
+        scaling.events_per_sec_per_core(),
+        scaling.efficiency(),
+    );
+    if let Some(pgo) = pgo {
+        println!(
+            "pgo: {:.0} events/sec vs plain {:.0} — {:.3}x",
+            current.events_per_sec(),
+            pgo.plain_events_per_sec,
+            pgo.ratio(current.events_per_sec()),
+        );
+    }
     println!(
         "same-run: cache {:.1} vs {:.1} ns/op ({:.2}x) — trace {:.2} vs {:.2} ns/ev ({:.2}x) — driver {:.1} vs {:.1} ns/ev ({:.2}x)",
         micros.cache.reference_ns_per_op,

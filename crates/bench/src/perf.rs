@@ -11,14 +11,19 @@
 //! workspace is offline, so no serde). [`bench_json`] merges a freshly
 //! measured record with the committed same-session baselines
 //! ([`crate::baseline_seed`]) and reports the trajectory ratios, producing
-//! the `BENCH_PR3.json` document the CI `bench-smoke` job gates on and
-//! uploads. Alongside the suite-level record, three *same-run*
-//! microbenches time each optimized hot path against its in-tree
-//! reference implementation inside the producing process — those ratios
-//! are portable across machines by construction.
+//! the `BENCH_PR4.json` document the CI `bench-smoke` job gates on and
+//! uploads (the name comes from [`bench_artifact`], the single source CI
+//! and the binary share). Alongside the suite-level record, the document
+//! carries the sharded-executor scale-out section ([`campaign_scaling`]:
+//! aggregate events/sec, events/sec-per-core, scaling efficiency), the
+//! PGO-vs-plain ratio when CI provides one ([`PgoComparison`]), and three
+//! *same-run* microbenches timing each optimized hot path against its
+//! in-tree reference implementation inside the producing process — those
+//! ratios are portable across machines by construction.
 
 use std::time::Instant;
 
+use strex::campaign::{scaling_efficiency, Campaign};
 use strex::config::SchedulerKind;
 use strex::driver::{run, run_with, run_with_generic_loop};
 use strex::json::JsonWriter;
@@ -32,6 +37,21 @@ use strex_sim::refcache::RefSetAssocCache;
 use strex_sim::replacement::ReplacementKind;
 
 use crate::experiments::{Effort, MATRIX_POOL, SEED};
+
+/// The single source of truth for the bench record's base name: the
+/// `BENCH_ARTIFACT` environment variable (exported by CI) with the
+/// committed default. `repro --bench-json` derives its output filename
+/// *and* the default `--check` baseline path from here, and CI's upload
+/// step publishes the same name — bump the default (and the committed
+/// record) together, in one place each.
+pub fn bench_artifact() -> String {
+    std::env::var("BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_PR4".to_string())
+}
+
+/// `{bench_artifact()}.json` — the on-disk form of [`bench_artifact`].
+pub fn bench_artifact_path() -> String {
+    format!("{}.json", bench_artifact())
+}
 
 /// Timing of one campaign cell.
 #[derive(Clone, Debug)]
@@ -436,6 +456,134 @@ pub fn driver_microbench() -> DriverMicrobench {
     }
 }
 
+/// Scale-out measurement of the sharded campaign executor over the quick
+/// matrix: the same cells as [`quick_suite`], run once sequentially
+/// (1 worker) and once on `workers` workers, with the two results checked
+/// bit-identical before any number is reported.
+#[derive(Copy, Clone, Debug)]
+pub struct CampaignScaling {
+    /// Worker threads of the multi-worker run.
+    pub workers: usize,
+    /// `min(workers, available_parallelism)` — the parallelism the host
+    /// could actually grant, which scaling efficiency is judged against
+    /// (oversubscribing a small host is not a scaling failure of the
+    /// executor; see [`strex::campaign::scaling_efficiency`]).
+    pub effective_cores: usize,
+    /// Memory-reference events the matrix simulates (identical both runs).
+    pub total_events: u64,
+    /// Aggregate events/sec of the 1-worker (sequential) run.
+    pub single_events_per_sec: f64,
+    /// Aggregate events/sec of the `workers`-worker run.
+    pub events_per_sec: f64,
+}
+
+impl CampaignScaling {
+    /// Multi-worker throughput normalized per *effective* core.
+    pub fn events_per_sec_per_core(&self) -> f64 {
+        if self.effective_cores > 0 {
+            self.events_per_sec / self.effective_cores as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Scaling efficiency against the sequential run on the effective
+    /// cores (1.0 = perfect linear scaling).
+    pub fn efficiency(&self) -> f64 {
+        scaling_efficiency(
+            self.single_events_per_sec,
+            self.events_per_sec,
+            self.effective_cores,
+        )
+    }
+}
+
+/// Runs the quick matrix through the sharded executor at 1 worker and at
+/// `workers` workers, asserting the two results bit-identical (the
+/// executor's determinism guarantee doubles as a smoke test here) and
+/// returning the throughput comparison.
+pub fn campaign_scaling(workers: usize) -> CampaignScaling {
+    campaign_scaling_sweep(&[workers])
+        .pop()
+        .expect("one sweep point in, one out")
+}
+
+/// [`campaign_scaling`] for a whole worker-count sweep: the sequential
+/// (1-worker) run is measured **once** and every sweep point is judged
+/// against that same baseline — K points cost K+1 matrix executions, not
+/// 2K, and all efficiencies share one denominator instead of K noisy
+/// re-measurements of it.
+pub fn campaign_scaling_sweep(worker_counts: &[usize]) -> Vec<CampaignScaling> {
+    let workloads: Vec<Workload> = WorkloadKind::ALL
+        .into_iter()
+        .map(|wk| Effort::Quick.workload(wk, MATRIX_POOL, SEED))
+        .collect();
+    let base = strex::config::SimConfig::builder()
+        .build()
+        .expect("default configuration is valid");
+    let run_at = |parallelism: usize| {
+        Campaign::new(base.clone())
+            .over_schedulers(SchedulerKind::ALL)
+            .over_workloads(&workloads)
+            .over_cores(Effort::Quick.core_counts())
+            .parallelism(parallelism)
+            .run()
+            .expect("quick matrix is valid")
+    };
+    let single = run_at(1);
+    let single_json = single.to_json();
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let multi = run_at(workers);
+            assert_eq!(
+                single_json,
+                multi.to_json(),
+                "sharded executor diverged from sequential at {workers} workers"
+            );
+            CampaignScaling {
+                workers,
+                effective_cores: avail.min(workers).max(1),
+                total_events: multi.perf().total_events,
+                single_events_per_sec: single.perf().events_per_sec(),
+                events_per_sec: multi.perf().events_per_sec(),
+            }
+        })
+        .collect()
+}
+
+/// The PGO comparison CI records: the plain (non-PGO) build's aggregate
+/// quick-suite throughput, exported by the workflow through
+/// `BENCH_PLAIN_EPS` before the PGO-built gate run re-measures.
+#[derive(Copy, Clone, Debug)]
+pub struct PgoComparison {
+    /// `current.events_per_sec` of the plain build's record.
+    pub plain_events_per_sec: f64,
+}
+
+impl PgoComparison {
+    /// Reads the plain build's throughput from `BENCH_PLAIN_EPS`, if the
+    /// producing workflow exported one.
+    pub fn from_env() -> Option<PgoComparison> {
+        let eps: f64 = std::env::var("BENCH_PLAIN_EPS").ok()?.parse().ok()?;
+        (eps > 0.0).then_some(PgoComparison {
+            plain_events_per_sec: eps,
+        })
+    }
+
+    /// PGO-built throughput over plain-built throughput.
+    pub fn ratio(&self, pgo_events_per_sec: f64) -> f64 {
+        if self.plain_events_per_sec > 0.0 {
+            pgo_events_per_sec / self.plain_events_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The three same-run microbenches bundled for [`bench_json`].
 #[derive(Copy, Clone, Debug)]
 pub struct SameRunMicros {
@@ -456,17 +604,22 @@ pub fn same_run_micros() -> SameRunMicros {
     }
 }
 
-/// The full `BENCH_PR3.json` document: the committed same-session seed and
-/// PR 2 baselines, a fresh measurement of the current build, the
-/// trajectory ratios between them, and the three same-run hot-path
-/// microbenchmarks (each timing the optimized path against its in-tree
-/// reference inside this very run, so those ratios are portable across
-/// machines).
+/// The full `BENCH_PR4.json` document: the committed same-session seed,
+/// PR 2 and PR 3 baselines, a fresh measurement of the current build, the
+/// trajectory ratios between them, the sharded-executor scale-out section
+/// (aggregate events/sec, events/sec-per-core, scaling efficiency), the
+/// CI-recorded PGO-vs-plain ratio when available, and the three same-run
+/// hot-path microbenchmarks (each timing the optimized path against its
+/// in-tree reference inside this very run, so those ratios are portable
+/// across machines).
 pub fn bench_json(
     current: &BenchRecord,
     baseline: &BenchRecord,
     pr2: &BenchRecord,
+    pr3: &BenchRecord,
     micros: &SameRunMicros,
+    scaling: &CampaignScaling,
+    pgo: Option<PgoComparison>,
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -478,21 +631,60 @@ pub fn bench_json(
     baseline.write_into(&mut w);
     w.key("pr2");
     pr2.write_into(&mut w);
+    w.key("pr3");
+    pr3.write_into(&mut w);
     w.key("current");
     current.write_into(&mut w);
     let b = baseline.events_per_sec();
+    let ratio_vs_seed = |eps: f64| if b > 0.0 { eps / b } else { 0.0 };
     w.key("speedup_vs_committed_baseline");
-    w.float(if b > 0.0 {
-        current.events_per_sec() / b
-    } else {
-        0.0
-    });
+    w.float(ratio_vs_seed(current.events_per_sec()));
     w.key("pr2_speedup_vs_committed_baseline");
-    w.float(if b > 0.0 {
-        pr2.events_per_sec() / b
-    } else {
-        0.0
-    });
+    w.float(ratio_vs_seed(pr2.events_per_sec()));
+    w.key("pr3_speedup_vs_committed_baseline");
+    w.float(ratio_vs_seed(pr3.events_per_sec()));
+    w.key("campaign");
+    w.begin_object();
+    w.key("description");
+    w.string(
+        "the quick matrix executed by the sharded campaign executor, once \
+         sequentially and once on `workers` workers (bit-identical results \
+         asserted); scaling efficiency is judged against \
+         effective_cores = min(workers, available cores), so the committed \
+         record stays meaningful on small recording machines",
+    );
+    w.key("workers");
+    w.number_u64(scaling.workers as u64);
+    w.key("effective_cores");
+    w.number_u64(scaling.effective_cores as u64);
+    w.key("total_events");
+    w.number_u64(scaling.total_events);
+    w.key("single_worker_events_per_sec");
+    w.float(scaling.single_events_per_sec);
+    w.key("events_per_sec");
+    w.float(scaling.events_per_sec);
+    w.key("events_per_sec_per_core");
+    w.float(scaling.events_per_sec_per_core());
+    w.key("scaling_efficiency");
+    w.float(scaling.efficiency());
+    w.end_object();
+    if let Some(pgo) = pgo {
+        w.key("pgo");
+        w.begin_object();
+        w.key("description");
+        w.string(
+            "this record was produced by a PGO-built binary; \
+             plain_events_per_sec is the non-PGO build of the same source \
+             measured immediately before in the same CI job",
+        );
+        w.key("plain_events_per_sec");
+        w.float(pgo.plain_events_per_sec);
+        w.key("pgo_events_per_sec");
+        w.float(current.events_per_sec());
+        w.key("pgo_vs_plain");
+        w.float(pgo.ratio(current.events_per_sec()));
+        w.end_object();
+    }
     w.key("baseline_note");
     w.string(
         "the committed baseline and pr2 records were measured interleaved \
@@ -598,6 +790,16 @@ mod tests {
         }
     }
 
+    fn tiny_scaling() -> CampaignScaling {
+        CampaignScaling {
+            workers: 4,
+            effective_cores: 4,
+            total_events: 1000,
+            single_events_per_sec: 1000.0,
+            events_per_sec: 3200.0,
+        }
+    }
+
     #[test]
     fn json_shape() {
         let r = tiny_record();
@@ -608,16 +810,52 @@ mod tests {
         assert!((micros.cache.speedup() - 2.0).abs() < 1e-9);
         assert!((micros.trace.speedup() - 1.5).abs() < 1e-9);
         assert!((micros.driver.speedup() - 1.5).abs() < 1e-9);
-        let merged = bench_json(&r, &r, &r, &micros);
+        let scaling = tiny_scaling();
+        assert!((scaling.events_per_sec_per_core() - 800.0).abs() < 1e-9);
+        assert!((scaling.efficiency() - 0.8).abs() < 1e-9);
+        let merged = bench_json(&r, &r, &r, &r, &micros, &scaling, None);
         assert!(merged.contains(r#""baseline":"#));
         assert!(merged.contains(r#""pr2":"#));
+        assert!(merged.contains(r#""pr3":"#));
         assert!(merged.contains(r#""current":"#));
         assert!(merged.contains(r#""speedup_vs_committed_baseline":1"#));
+        assert!(merged.contains(r#""pr3_speedup_vs_committed_baseline":1"#));
+        assert!(merged.contains(r#""campaign":"#));
+        assert!(merged.contains(r#""events_per_sec_per_core":800"#));
+        assert!(merged.contains(r#""scaling_efficiency":0.8"#));
+        assert!(
+            !merged.contains(r#""pgo":"#),
+            "no pgo section without CI env"
+        );
         assert!(merged.contains(r#""same_run""#));
         assert!(merged.contains(r#""cache_hot_path""#));
         assert!(merged.contains(r#""packed_trace""#));
         assert!(merged.contains(r#""passive_driver""#));
         assert!(merged.contains(r#""speedup":2"#), "microbench speedup");
+    }
+
+    #[test]
+    fn pgo_section_records_the_ratio() {
+        let r = tiny_record();
+        let pgo = PgoComparison {
+            plain_events_per_sec: 1000.0,
+        };
+        // tiny_record: 1000 events in 0.5 s = 2000 events/sec → 2x plain.
+        assert!((pgo.ratio(tiny_record().events_per_sec()) - 2.0).abs() < 1e-9);
+        let merged = bench_json(&r, &r, &r, &r, &tiny_micros(), &tiny_scaling(), Some(pgo));
+        assert!(merged.contains(r#""pgo":"#));
+        assert!(merged.contains(r#""plain_events_per_sec":1000"#));
+        assert!(merged.contains(r#""pgo_vs_plain":2"#));
+    }
+
+    #[test]
+    fn artifact_name_has_a_committed_default() {
+        // Do not mutate the process environment here (tests run threaded);
+        // just pin the default's shape when CI has not exported an
+        // override.
+        let name = bench_artifact();
+        assert!(name.starts_with("BENCH_"), "{name}");
+        assert_eq!(bench_artifact_path(), format!("{name}.json"));
     }
 
     #[test]

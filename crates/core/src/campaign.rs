@@ -4,10 +4,32 @@
 //! The paper is evaluated entirely through matrices of simulations —
 //! scheduler × workload × core-count × team-size sweeps (Figures 5–9).
 //! [`Campaign`] declares such a matrix over one base [`SimConfig`],
-//! executes every cell on a [`std::thread::scope`] worker pool
+//! executes every cell on a sharded [`std::thread::scope`] worker pool
 //! (simulations are independent and deterministic, so the sweep is
 //! embarrassingly parallel), and yields a [`CampaignResult`] whose cells
 //! carry stable [`CellKey`]s and serialize to JSON.
+//!
+//! # The sharded executor
+//!
+//! Each worker owns its shard of the output outright: cells are claimed
+//! from one atomic cursor (dynamic load balancing — a slow STREX cell
+//! doesn't idle the other workers), every claimed cell runs through the
+//! factory's monomorphized typed driver loop with the worker's private
+//! reusable [`SimScratch`] (thread table, core states, cycle heap —
+//! allocated once per worker, not once per cell), and the finished
+//! `(index, Report)` pairs accumulate in a worker-local vector. No mutex,
+//! no per-cell slot: the main thread reassembles the shards by cell index
+//! after the scope joins, so the result is in matrix order and —
+//! because each simulation is itself deterministic — bit-identical to
+//! sequential execution at *any* worker count (property-tested in
+//! `tests/campaign_api.rs`).
+//!
+//! Alongside the cells, the executor measures itself: how many
+//! memory-reference events the matrix simulated, over how much wall time,
+//! on how many workers — surfaced as [`CampaignPerf`] (aggregate
+//! events/sec, events/sec-per-worker) and compared across worker counts
+//! with [`scaling_efficiency`]. This is the scale-out headline metric the
+//! `repro scale` subcommand and the `BENCH_*.json` trajectory report.
 //!
 //! ```no_run
 //! use strex::campaign::Campaign;
@@ -32,12 +54,12 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::time::Instant;
 
 use strex_oltp::workload::Workload;
 
 use crate::config::{SchedulerKind, SimConfig};
-use crate::driver::run_with;
+use crate::driver::{run_factory, SimScratch};
 use crate::error::ConfigError;
 use crate::json::JsonWriter;
 use crate::report::Report;
@@ -183,14 +205,17 @@ impl<'w> Campaign<'w> {
         self.run_on(registry::global())
     }
 
-    /// Executes the matrix, resolving scheduler names from `reg`.
+    /// Executes the matrix, resolving scheduler names from `reg`, on the
+    /// sharded executor (see the module docs).
     ///
     /// Every cell is validated before anything runs, so a bad matrix
-    /// costs nothing. Cells execute on a scoped worker pool; results are
-    /// reassembled in matrix order, so the outcome is independent of
-    /// worker interleaving — and, because each simulation is itself
-    /// deterministic, bit-identical to sequential [`run`](crate::driver::run)
-    /// calls.
+    /// costs nothing. Each worker claims cells from a shared cursor, runs
+    /// them through the factory's monomorphized typed loop with its own
+    /// reused [`SimScratch`], and keeps its results in a private shard;
+    /// the shards are reassembled in matrix order afterwards, so the
+    /// outcome is independent of worker interleaving — and, because each
+    /// simulation is itself deterministic, bit-identical to sequential
+    /// [`run`](crate::driver::run) calls.
     pub fn run_on(&self, reg: &SchedulerRegistry) -> Result<CampaignResult, ConfigError> {
         let cells = self.cells(reg)?;
         let workers = self
@@ -202,39 +227,121 @@ impl<'w> Campaign<'w> {
             })
             .min(cells.len().max(1));
 
-        let slots: Vec<Mutex<Option<Report>>> = cells.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((key, cfg)) = cells.get(i) else {
-                        break;
-                    };
-                    let workload = self.workloads[key.workload_idx];
-                    let mut sched = reg
-                        .create(&key.scheduler, cfg)
-                        .expect("cells() checked registration");
-                    let report = run_with(workload, cfg, sched.as_mut());
-                    *slots[i].lock().expect("worker never panics holding slot") = Some(report);
-                });
-            }
+        let start = Instant::now();
+        let shards: Vec<Vec<(usize, Report)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = SimScratch::new();
+                        let mut shard: Vec<(usize, Report)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((key, cfg)) = cells.get(i) else {
+                                break;
+                            };
+                            let workload = self.workloads[key.workload_idx];
+                            let factory = reg
+                                .get(&key.scheduler)
+                                .expect("cells() checked registration");
+                            shard.push((i, run_factory(factory, workload, cfg, &mut scratch)));
+                        }
+                        shard
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
         });
+        let wall_seconds = start.elapsed().as_secs_f64();
 
-        let cells = cells
+        let mut slots: Vec<Option<Report>> = cells.iter().map(|_| None).collect();
+        for (i, report) in shards.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "cell {i} executed twice");
+            slots[i] = Some(report);
+        }
+        let cells: Vec<CampaignCell> = cells
             .into_iter()
             .zip(slots)
             .map(|((key, _), slot)| CampaignCell {
                 key,
-                report: slot
-                    .into_inner()
-                    .expect("slot lock poisoned")
-                    .expect("every cell executed"),
+                report: slot.expect("every claimed cell landed in a shard"),
             })
             .collect();
-        Ok(CampaignResult { cells })
+        let total_events = cells
+            .iter()
+            .map(|c| {
+                let agg = c.report.stats.aggregate();
+                agg.i_accesses + agg.d_accesses
+            })
+            .sum();
+        Ok(CampaignResult {
+            cells,
+            perf: CampaignPerf {
+                workers,
+                wall_seconds,
+                total_events,
+            },
+        })
     }
+}
+
+/// The sharded executor's self-measurement for one campaign: how much
+/// simulation work the matrix did, over how much wall time, on how many
+/// workers. This is measurement metadata, *not* part of the simulated
+/// results — [`CampaignResult::to_json`] deliberately excludes it so the
+/// serialized cells stay bit-identical across worker counts and machines.
+#[derive(Copy, Clone, Debug)]
+pub struct CampaignPerf {
+    /// Worker threads the executor ran.
+    pub workers: usize,
+    /// Wall-clock seconds from first claim to last join.
+    pub wall_seconds: f64,
+    /// Memory-reference events (L1-I + L1-D accesses) simulated across
+    /// all cells.
+    pub total_events: u64,
+}
+
+impl CampaignPerf {
+    /// Aggregate simulation throughput: events per wall-clock second
+    /// across the whole matrix.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.total_events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput normalized per worker — the scale-out headline metric:
+    /// a perfectly scaling executor holds this flat as workers grow.
+    pub fn events_per_sec_per_worker(&self) -> f64 {
+        if self.workers > 0 {
+            self.events_per_sec() / self.workers as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Scaling efficiency of a multi-worker measurement against a single-worker
+/// baseline over the *same* matrix: `multi_eps / (single_eps ×
+/// effective_workers)`. `1.0` is perfect linear scaling; `0.5` means half
+/// of every added worker was lost to contention or serialization.
+///
+/// `effective_workers` should be the parallelism the machine could actually
+/// grant — `min(workers, available cores)` — so that oversubscribing a
+/// small host (e.g. 4 workers on 1 core, where aggregate throughput
+/// *cannot* rise) reads as the efficiency of the cores used, not as a
+/// phantom scaling failure. Callers that want the raw per-worker number
+/// pass the worker count itself. Returns 0 for degenerate inputs.
+pub fn scaling_efficiency(single_eps: f64, multi_eps: f64, effective_workers: usize) -> f64 {
+    if single_eps <= 0.0 || effective_workers == 0 {
+        return 0.0;
+    }
+    multi_eps / (single_eps * effective_workers as f64)
 }
 
 /// Stable identity of one matrix cell.
@@ -277,6 +384,7 @@ pub struct CampaignCell {
 #[derive(Clone, Debug)]
 pub struct CampaignResult {
     cells: Vec<CampaignCell>,
+    perf: CampaignPerf,
 }
 
 impl CampaignResult {
@@ -284,6 +392,14 @@ impl CampaignResult {
     /// [`Campaign::cells`]).
     pub fn cells(&self) -> &[CampaignCell] {
         &self.cells
+    }
+
+    /// The executor's own throughput measurement for this run (worker
+    /// count, wall time, events simulated). Excluded from
+    /// [`to_json`](CampaignResult::to_json), which serializes only the
+    /// deterministic cells.
+    pub fn perf(&self) -> CampaignPerf {
+        self.perf
     }
 
     /// Number of executed cells.
@@ -414,6 +530,69 @@ mod tests {
             .expect("empty is fine");
         assert!(result.is_empty());
         assert_eq!(result.to_json(), r#"{"cells":[]}"#);
+    }
+
+    #[test]
+    fn campaign_perf_and_scaling_efficiency_arithmetic() {
+        let single = CampaignPerf {
+            workers: 1,
+            wall_seconds: 2.0,
+            total_events: 1_000_000,
+        };
+        assert!((single.events_per_sec() - 500_000.0).abs() < 1e-9);
+        assert!((single.events_per_sec_per_worker() - 500_000.0).abs() < 1e-9);
+
+        let quad = CampaignPerf {
+            workers: 4,
+            wall_seconds: 0.625,
+            total_events: 1_000_000,
+        };
+        assert!((quad.events_per_sec() - 1_600_000.0).abs() < 1e-6);
+        assert!((quad.events_per_sec_per_worker() - 400_000.0).abs() < 1e-6);
+
+        // 3.2x on 4 effective workers = 0.8 efficiency.
+        let eff = scaling_efficiency(single.events_per_sec(), quad.events_per_sec(), 4);
+        assert!((eff - 0.8).abs() < 1e-9);
+        // Same measurement judged against 1 effective core (a 4-worker run
+        // on a 1-core host): the throughput ratio itself.
+        let eff1 = scaling_efficiency(single.events_per_sec(), quad.events_per_sec(), 1);
+        assert!((eff1 - 3.2).abs() < 1e-9);
+        // Degenerate inputs are 0, never NaN/inf.
+        assert_eq!(scaling_efficiency(0.0, 1.0, 4), 0.0);
+        assert_eq!(scaling_efficiency(1.0, 1.0, 0), 0.0);
+
+        let degenerate = CampaignPerf {
+            workers: 0,
+            wall_seconds: 0.0,
+            total_events: 0,
+        };
+        assert_eq!(degenerate.events_per_sec(), 0.0);
+        assert_eq!(degenerate.events_per_sec_per_worker(), 0.0);
+    }
+
+    #[test]
+    fn executor_reports_perf_metadata() {
+        let w = pool();
+        let result = Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
+            .over_schedulers([SchedulerKind::Baseline, SchedulerKind::Strex])
+            .over_workloads([&w])
+            .parallelism(2)
+            .run()
+            .expect("runs");
+        let perf = result.perf();
+        assert_eq!(perf.workers, 2);
+        assert!(perf.wall_seconds > 0.0);
+        // The executor's event count is the sum over the reports.
+        let expected: u64 = result
+            .cells()
+            .iter()
+            .map(|c| {
+                let agg = c.report.stats.aggregate();
+                agg.i_accesses + agg.d_accesses
+            })
+            .sum();
+        assert_eq!(perf.total_events, expected);
+        assert!(perf.events_per_sec() > 0.0);
     }
 
     #[test]

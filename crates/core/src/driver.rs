@@ -8,19 +8,36 @@
 //! (L2 slices, DRAM banks) keyed by each request's arrival cycle. The same
 //! 1-IPC model underlies the paper's own motivation analysis (Section 2.2).
 //!
-//! # The passive fast path
+//! # Monomorphized loops
 //!
-//! The inner event loop is monomorphized over a `PASSIVE` const: for
-//! schedulers that declare [`Scheduler::is_passive`] (they never interpose
-//! on individual events — no victim monitoring, no switch/migrate
-//! decisions, phase tag always zero), the per-event virtual calls
-//! (`pre_fetch`, `phase_tag`, `on_fetch`) and the `Decision` handling
-//! compile away entirely. Scheduling-boundary calls (`next_thread`,
-//! `on_sched_in`, `on_done`) still reach the scheduler, so queue policy is
-//! preserved. Both instantiations replay the same packed event stream with
-//! the same core batching and the same cycle-ordered heap, so results are
-//! bit-identical between the two paths (pinned by
-//! `passive_fast_path_matches_generic` below and the golden snapshot).
+//! The inner event loop [`sim_loop`] is generic over the scheduler type
+//! (`S: Scheduler + ?Sized`) and two `const` switches:
+//!
+//! * **Typed instantiation.** Through [`run_typed`] (reached from
+//!   [`run`]/[`run_registered`]/campaigns via
+//!   [`SchedulerFactory::run_typed`](crate::sched::registry::SchedulerFactory::run_typed))
+//!   the loop is instantiated *per concrete scheduler type* — every
+//!   per-event scheduler call (`pre_fetch_probed`, `phase_tag`,
+//!   `on_fetch`) is a static, inlinable call instead of a vtable load.
+//!   [`run_with`] keeps the `dyn Scheduler` instantiation for
+//!   caller-provided policies.
+//! * **`PASSIVE`**: for schedulers that declare [`Scheduler::is_passive`]
+//!   (they never interpose on individual events — no victim monitoring, no
+//!   switch/migrate decisions, phase tag always zero), the per-event calls
+//!   and the `Decision` handling compile away entirely.
+//!   Scheduling-boundary calls (`next_thread`, `on_sched_in`, `on_done`)
+//!   still reach the scheduler, so queue policy is preserved.
+//! * **`FUSED`**: active schedulers take the fused-probe fetch path — one
+//!   L1-I tag scan ([`MemorySystem::probe_fetch`]) serves both the victim
+//!   monitor ([`Scheduler::pre_fetch_probed`]) and the demand access
+//!   ([`MemorySystem::fetch_inst_probed`]), where the unfused path scans
+//!   the same set twice (STREX's `peek_victim` + `fetch_inst`).
+//!
+//! Every instantiation replays the same packed event stream with the same
+//! core batching and the same cycle-ordered heap, so results are
+//! bit-identical across all of them — pinned by
+//! `passive_fast_path_matches_generic` and `typed_loop_matches_generic`
+//! below, and by the golden snapshot.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -32,7 +49,7 @@ use strex_sim::hierarchy::MemorySystem;
 use strex_sim::ids::{CoreId, Cycle, ThreadId};
 
 use crate::report::Report;
-use crate::sched::registry::{self, SchedulerRegistry};
+use crate::sched::registry::{self, SchedulerFactory, SchedulerRegistry};
 use crate::sched::{Decision, Scheduler};
 use crate::thread::TxnThread;
 
@@ -51,6 +68,27 @@ const IDLE_POLL: Cycle = 200;
 struct Core {
     current: Option<ThreadId>,
     cycle: Cycle,
+}
+
+/// Reusable per-run buffers: the thread table, per-core state and the
+/// cycle-ordered heap. A campaign worker keeps one `SimScratch` and runs
+/// every cell of its shard through it, so those allocations happen once
+/// per worker instead of once per cell; all entry points that don't take a
+/// scratch create a fresh one. Contents are fully reset at the start of
+/// each run — reuse is invisible to results (the sharded-vs-sequential
+/// campaign tests pin this).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    threads: Vec<TxnThread>,
+    cores: Vec<Core>,
+    heap: BinaryHeap<Reverse<(Cycle, usize)>>,
+}
+
+impl SimScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
 }
 
 /// Runs `workload` under `config` and returns the measured [`Report`].
@@ -90,17 +128,64 @@ pub fn run(workload: &Workload, config: &SimConfig) -> Report {
 /// Panics if `config.scheduler.key()` is not registered in `reg`.
 pub fn run_registered(workload: &Workload, config: &SimConfig, reg: &SchedulerRegistry) -> Report {
     let key = config.scheduler.key();
-    let mut scheduler = reg
-        .create(key, config)
+    let factory = reg
+        .get(key)
         .unwrap_or_else(|| panic!("scheduler {key:?} is not registered"));
-    run_with(workload, config, scheduler.as_mut())
+    run_factory(factory, workload, config, &mut SimScratch::new())
+}
+
+/// Runs one simulation through `factory`, preferring its monomorphized
+/// typed loop ([`SchedulerFactory::run_typed`]) and falling back to the
+/// `dyn Scheduler` loop for factories that don't provide one. `scratch` is
+/// reused across calls — this is the campaign executor's per-cell entry
+/// point.
+pub fn run_factory(
+    factory: &dyn SchedulerFactory,
+    workload: &Workload,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+) -> Report {
+    match factory.run_typed(workload, config, scratch) {
+        Some(report) => report,
+        None => {
+            let mut scheduler = factory.create(config);
+            run_dispatch(workload, config, scheduler.as_mut(), true, true, scratch)
+        }
+    }
+}
+
+/// Runs with a concrete scheduler type: the whole event loop is
+/// monomorphized for `S`, so the per-event scheduler interactions are
+/// static calls LLVM can inline — this is the loop the built-in factories
+/// route [`run`] and campaign cells through. Results are bit-identical to
+/// [`run_with`] on the same scheduler (pinned by
+/// `typed_loop_matches_generic`).
+pub fn run_typed<S: Scheduler>(
+    workload: &Workload,
+    config: &SimConfig,
+    scheduler: &mut S,
+) -> Report {
+    run_typed_scratch(workload, config, scheduler, &mut SimScratch::new())
+}
+
+/// [`run_typed`] reusing caller-owned [`SimScratch`] buffers.
+pub fn run_typed_scratch<S: Scheduler>(
+    workload: &Workload,
+    config: &SimConfig,
+    scheduler: &mut S,
+    scratch: &mut SimScratch,
+) -> Report {
+    run_dispatch(workload, config, scheduler, true, true, scratch)
 }
 
 /// Runs with a caller-provided scheduler (ablations, custom policies).
 ///
-/// Dispatches to the monomorphized passive loop when the scheduler (after
-/// `init`) declares [`Scheduler::is_passive`]; otherwise runs the generic
-/// loop. The two are bit-identical in results.
+/// This is the `dyn Scheduler` instantiation of the loop: it still takes
+/// the passive fast path when the scheduler (after `init`) declares
+/// [`Scheduler::is_passive`] and the fused fetch path when it declares
+/// [`Scheduler::uses_victim_monitor`], but per-event scheduler calls go
+/// through the vtable. All instantiations are bit-identical in results;
+/// concrete types get the statically dispatched loop via [`run_typed`].
 ///
 /// # Panics
 ///
@@ -110,67 +195,102 @@ pub fn run_registered(workload: &Workload, config: &SimConfig, reg: &SchedulerRe
 /// core count beyond the `u16` `CoreId` space fails loudly instead of
 /// silently aliasing cores.
 pub fn run_with(workload: &Workload, config: &SimConfig, scheduler: &mut dyn Scheduler) -> Report {
-    run_dispatch(workload, config, scheduler, true)
+    run_dispatch(
+        workload,
+        config,
+        scheduler,
+        true,
+        true,
+        &mut SimScratch::new(),
+    )
 }
 
-/// Like [`run_with`] but always takes the generic (per-event virtual
-/// dispatch) loop, even for passive schedulers. Exists so differential
-/// tests and the same-run driver benchmark can compare the two paths on
-/// identical inputs; results are bit-identical with [`run_with`].
+/// Like [`run_with`] but always takes the generic loop — per-event virtual
+/// dispatch for passive schedulers, and the *unfused* fetch path (separate
+/// victim peek and demand probe) for active ones. Exists so differential
+/// tests and the same-run driver benchmark can compare the optimized paths
+/// against it on identical inputs; results are bit-identical with
+/// [`run_with`] and [`run_typed`].
 pub fn run_with_generic_loop(
     workload: &Workload,
     config: &SimConfig,
     scheduler: &mut dyn Scheduler,
 ) -> Report {
-    run_dispatch(workload, config, scheduler, false)
+    run_dispatch(
+        workload,
+        config,
+        scheduler,
+        false,
+        false,
+        &mut SimScratch::new(),
+    )
 }
 
-fn run_dispatch(
+fn run_dispatch<S: Scheduler + ?Sized>(
     workload: &Workload,
     config: &SimConfig,
-    scheduler: &mut dyn Scheduler,
+    scheduler: &mut S,
     allow_passive: bool,
+    fused: bool,
+    scratch: &mut SimScratch,
 ) -> Report {
     if let Err(e) = config.validate() {
         panic!("invalid SimConfig: {e}");
     }
     let traces = workload.txns();
     let n_cores = config.system.n_cores;
-    let mut threads: Vec<TxnThread> = traces
-        .iter()
-        .enumerate()
-        .map(|(i, t)| TxnThread::new(ThreadId::new(i as u32), i, t.txn_type(), 0))
-        .collect();
-    scheduler.init(&threads, traces, n_cores);
-    // `is_passive` is meaningful only after `init` (the hybrid picks its
-    // delegate there), so the dispatch happens here, not at the call site.
-    if allow_passive && scheduler.is_passive() {
-        sim_loop::<true>(workload, config, scheduler, &mut threads)
-    } else {
-        sim_loop::<false>(workload, config, scheduler, &mut threads)
+    scratch.threads.clear();
+    scratch.threads.extend(
+        traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TxnThread::new(ThreadId::new(i as u32), i, t.txn_type(), 0)),
+    );
+    scheduler.init(&scratch.threads, traces, n_cores);
+    // `is_passive`/`uses_victim_monitor` are meaningful only after `init`
+    // (the hybrid picks its delegate there), so the dispatch happens here,
+    // not at the call site. The passive loop never consults `pre_fetch`,
+    // so FUSED is moot there; and fusing for a scheduler that never peeks
+    // victims would thread probe state through the fetch for nothing, so
+    // the fused loop runs exactly for the policies that monitor victims.
+    match (
+        allow_passive && scheduler.is_passive(),
+        fused && scheduler.uses_victim_monitor(),
+    ) {
+        (true, _) => sim_loop::<S, true, true>(workload, config, scheduler, scratch),
+        (false, true) => sim_loop::<S, false, true>(workload, config, scheduler, scratch),
+        (false, false) => sim_loop::<S, false, false>(workload, config, scheduler, scratch),
     }
 }
 
-/// The simulation loop, monomorphized over the passive fast path. With
-/// `PASSIVE = true` the per-event scheduler interactions are compile-time
-/// constants (`pre_fetch`/`on_fetch` → [`Decision::Continue`], `phase_tag`
-/// → 0) and every `Decision` branch folds away.
-fn sim_loop<const PASSIVE: bool>(
+/// The simulation loop, monomorphized over the scheduler type and the two
+/// fast-path switches. With `PASSIVE = true` the per-event scheduler
+/// interactions are compile-time constants (`pre_fetch`/`on_fetch` →
+/// [`Decision::Continue`], `phase_tag` → 0) and every `Decision` branch
+/// folds away. With `FUSED = true` (active schedulers) the victim peek and
+/// the demand fetch share one L1-I tag scan.
+fn sim_loop<S: Scheduler + ?Sized, const PASSIVE: bool, const FUSED: bool>(
     workload: &Workload,
     config: &SimConfig,
-    scheduler: &mut dyn Scheduler,
-    threads: &mut [TxnThread],
+    scheduler: &mut S,
+    scratch: &mut SimScratch,
 ) -> Report {
     let traces = workload.txns();
     let n_cores = config.system.n_cores;
     let mut mem = MemorySystem::new(config.system);
 
-    let mut cores = vec![Core::default(); n_cores];
+    let SimScratch {
+        threads,
+        cores,
+        heap,
+    } = scratch;
+    cores.clear();
+    cores.resize(n_cores, Core::default());
     let n_threads = threads.len();
     let mut completed = 0usize;
     // Min-heap of (next cycle, core index).
-    let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> =
-        (0..n_cores).map(|c| Reverse((0, c))).collect();
+    heap.clear();
+    heap.extend((0..n_cores).map(|c| Reverse((0, c))));
 
     while completed < n_threads {
         let Reverse((now, c)) = heap.pop().expect("cores outlive pending work");
@@ -231,24 +351,38 @@ fn sim_loop<const PASSIVE: bool>(
                     break;
                 }
                 Some(MemRef::IFetch { block, instrs }) => {
+                    // Fused path: one read-only scan of the target L1-I set
+                    // answers both the victim monitor and the demand probe.
+                    let probe = if !PASSIVE && FUSED {
+                        Some(mem.probe_fetch(core_id, block))
+                    } else {
+                        None
+                    };
                     // Victim monitor: a thread stops *before* a fill that
                     // would destroy the team's current-phase segment; the
                     // abandoned fetch re-executes when it is next scheduled.
-                    if !PASSIVE
-                        && scheduler.pre_fetch(core_id, tid, block, &mem) == Decision::Switch
-                    {
-                        cycle += mem.context_transfer(core_id, config.strex.ctx_state_blocks);
-                        scheduler.on_switch(core_id, tid);
-                        cores[c].current = None;
-                        reinsert_at = Some(cycle);
-                        break;
+                    if !PASSIVE {
+                        let decision = match &probe {
+                            Some(p) => scheduler.pre_fetch_probed(core_id, tid, block, p, &mem),
+                            None => scheduler.pre_fetch(core_id, tid, block, &mem),
+                        };
+                        if decision == Decision::Switch {
+                            cycle += mem.context_transfer(core_id, config.strex.ctx_state_blocks);
+                            scheduler.on_switch(core_id, tid);
+                            cores[c].current = None;
+                            reinsert_at = Some(cycle);
+                            break;
+                        }
                     }
                     let tag = if PASSIVE {
                         0
                     } else {
                         scheduler.phase_tag(core_id)
                     };
-                    let fetch = mem.fetch_inst(core_id, block, tag, cycle);
+                    let fetch = match probe {
+                        Some(p) => mem.fetch_inst_probed(core_id, p, tag, cycle),
+                        None => mem.fetch_inst(core_id, block, tag, cycle),
+                    };
                     mem.add_instructions(core_id, instrs as u64);
                     cycle += instrs as u64 + fetch.stall;
                     pos += 1;

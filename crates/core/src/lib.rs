@@ -83,9 +83,11 @@ pub mod sched;
 pub mod team;
 pub mod thread;
 
-pub use campaign::{Campaign, CampaignCell, CampaignResult, CellKey};
+pub use campaign::{
+    scaling_efficiency, Campaign, CampaignCell, CampaignPerf, CampaignResult, CellKey,
+};
 pub use config::{SchedulerKind, SimConfig, SimConfigBuilder, SliccParams, StrexParams};
-pub use driver::{run, run_registered, run_with};
+pub use driver::{run, run_registered, run_typed, run_with, SimScratch};
 pub use error::ConfigError;
 pub use report::Report;
 pub use sched::registry::{SchedulerFactory, SchedulerRegistry};

@@ -31,7 +31,11 @@
 
 use std::sync::OnceLock;
 
+use strex_oltp::workload::Workload;
+
 use crate::config::{SchedulerKind, SimConfig};
+use crate::driver::{self, SimScratch};
+use crate::report::Report;
 use crate::sched::{BaselineSched, HybridSched, Scheduler, SliccSched, StrexSched};
 
 /// Builds scheduler instances from a configuration.
@@ -44,6 +48,28 @@ pub trait SchedulerFactory: Send + Sync {
 
     /// Creates a fresh scheduler for one simulation run.
     fn create(&self, config: &SimConfig) -> Box<dyn Scheduler>;
+
+    /// Runs one simulation through the driver loop *monomorphized for this
+    /// factory's concrete scheduler type*
+    /// ([`driver::run_typed_scratch`]), or `None` to let the caller fall
+    /// back to the `dyn Scheduler` loop via
+    /// [`create`](SchedulerFactory::create).
+    ///
+    /// The default returns `None`, which is always correct — the typed and
+    /// dyn loops are bit-identical — so custom policies only override this
+    /// when they want the per-event virtual calls compiled out. Every
+    /// built-in factory overrides it; [`driver::run`],
+    /// [`driver::run_registered`] and campaign cells all reach the typed
+    /// loop through here.
+    fn run_typed(
+        &self,
+        workload: &Workload,
+        config: &SimConfig,
+        scratch: &mut SimScratch,
+    ) -> Option<Report> {
+        let _ = (workload, config, scratch);
+        None
+    }
 }
 
 /// A name-keyed collection of [`SchedulerFactory`]s.
@@ -114,18 +140,46 @@ pub fn global() -> &'static SchedulerRegistry {
 /// Factory for the conventional run-to-completion baseline.
 pub struct BaselineFactory;
 
+impl BaselineFactory {
+    /// The one place this factory constructs its scheduler — both the
+    /// boxed `create` and the monomorphized `run_typed` go through it, so
+    /// the two driver paths cannot drift apart on construction.
+    fn build(_config: &SimConfig) -> BaselineSched {
+        BaselineSched::new()
+    }
+}
+
 impl SchedulerFactory for BaselineFactory {
     fn name(&self) -> &'static str {
         SchedulerKind::Baseline.key()
     }
 
-    fn create(&self, _config: &SimConfig) -> Box<dyn Scheduler> {
-        Box::new(BaselineSched::new())
+    fn create(&self, config: &SimConfig) -> Box<dyn Scheduler> {
+        Box::new(Self::build(config))
+    }
+
+    fn run_typed(
+        &self,
+        workload: &Workload,
+        config: &SimConfig,
+        scratch: &mut SimScratch,
+    ) -> Option<Report> {
+        let mut sched = Self::build(config);
+        Some(driver::run_typed_scratch(
+            workload, config, &mut sched, scratch,
+        ))
     }
 }
 
 /// Factory for STREX stratified execution.
 pub struct StrexFactory;
+
+impl StrexFactory {
+    /// Single construction point shared by `create` and `run_typed`.
+    fn build(config: &SimConfig) -> StrexSched {
+        StrexSched::new(config.strex)
+    }
+}
 
 impl SchedulerFactory for StrexFactory {
     fn name(&self) -> &'static str {
@@ -133,12 +187,31 @@ impl SchedulerFactory for StrexFactory {
     }
 
     fn create(&self, config: &SimConfig) -> Box<dyn Scheduler> {
-        Box::new(StrexSched::new(config.strex))
+        Box::new(Self::build(config))
+    }
+
+    fn run_typed(
+        &self,
+        workload: &Workload,
+        config: &SimConfig,
+        scratch: &mut SimScratch,
+    ) -> Option<Report> {
+        let mut sched = Self::build(config);
+        Some(driver::run_typed_scratch(
+            workload, config, &mut sched, scratch,
+        ))
     }
 }
 
 /// Factory for SLICC thread migration.
 pub struct SliccFactory;
+
+impl SliccFactory {
+    /// Single construction point shared by `create` and `run_typed`.
+    fn build(config: &SimConfig) -> SliccSched {
+        SliccSched::new(config.slicc)
+    }
+}
 
 impl SchedulerFactory for SliccFactory {
     fn name(&self) -> &'static str {
@@ -146,12 +219,37 @@ impl SchedulerFactory for SliccFactory {
     }
 
     fn create(&self, config: &SimConfig) -> Box<dyn Scheduler> {
-        Box::new(SliccSched::new(config.slicc))
+        Box::new(Self::build(config))
+    }
+
+    fn run_typed(
+        &self,
+        workload: &Workload,
+        config: &SimConfig,
+        scratch: &mut SimScratch,
+    ) -> Option<Report> {
+        let mut sched = Self::build(config);
+        Some(driver::run_typed_scratch(
+            workload, config, &mut sched, scratch,
+        ))
     }
 }
 
 /// Factory for the Section 5.5 footprint-profiled hybrid.
 pub struct HybridFactory;
+
+impl HybridFactory {
+    /// Single construction point shared by `create` and `run_typed` — the
+    /// three-argument constructor (and in particular the L1-I size source)
+    /// lives here once.
+    fn build(config: &SimConfig) -> HybridSched {
+        HybridSched::new(
+            config.strex,
+            config.slicc,
+            config.system.l1i_geometry.size_bytes(),
+        )
+    }
+}
 
 impl SchedulerFactory for HybridFactory {
     fn name(&self) -> &'static str {
@@ -159,10 +257,18 @@ impl SchedulerFactory for HybridFactory {
     }
 
     fn create(&self, config: &SimConfig) -> Box<dyn Scheduler> {
-        Box::new(HybridSched::new(
-            config.strex,
-            config.slicc,
-            config.system.l1i_geometry.size_bytes(),
+        Box::new(Self::build(config))
+    }
+
+    fn run_typed(
+        &self,
+        workload: &Workload,
+        config: &SimConfig,
+        scratch: &mut SimScratch,
+    ) -> Option<Report> {
+        let mut sched = Self::build(config);
+        Some(driver::run_typed_scratch(
+            workload, config, &mut sched, scratch,
         ))
     }
 }

@@ -56,6 +56,63 @@ fn parallel_campaign_matches_sequential_runs_bit_for_bit() {
     }
 }
 
+/// The sharded executor's determinism guarantee, property-tested: *any*
+/// worker count — 1 (sequential), 2, 7 (coprime with the cell count, so
+/// shards straddle every axis), `num_cpus`, or anything else the strategy
+/// draws — produces a `CampaignResult` bit-identical to the sequential
+/// one, per-worker scratch reuse and all.
+mod sharded_worker_counts {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    fn reference() -> &'static (Vec<Workload>, String) {
+        static REF: OnceLock<(Vec<Workload>, String)> = OnceLock::new();
+        REF.get_or_init(|| {
+            let workloads = vec![
+                Workload::preset_small(WorkloadKind::TpccW1, 8, 11),
+                Workload::preset_small(WorkloadKind::MapReduce, 8, 11),
+            ];
+            let sequential = build(&workloads, 1);
+            (workloads, sequential)
+        })
+    }
+
+    fn build(workloads: &[Workload], parallelism: usize) -> String {
+        Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
+            .over_schedulers([SchedulerKind::Strex, SchedulerKind::Slicc])
+            .over_workloads(workloads)
+            .over_cores([2, 4])
+            .parallelism(parallelism)
+            .run()
+            .expect("valid campaign")
+            .to_json()
+    }
+
+    fn worker_counts() -> impl Strategy<Value = usize> {
+        let num_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        prop_oneof![
+            Just(1usize),
+            Just(2usize),
+            Just(7usize),
+            Just(num_cpus),
+            // And arbitrary oversubscription beyond the cell count.
+            1usize..=16,
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn any_worker_count_is_bit_identical_to_sequential(workers in worker_counts()) {
+            let (workloads, sequential) = reference();
+            prop_assert_eq!(&build(workloads, workers), sequential);
+        }
+    }
+}
+
 #[test]
 fn campaign_result_order_is_independent_of_worker_count() {
     let workloads = pools();
