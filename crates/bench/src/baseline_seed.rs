@@ -1,4 +1,4 @@
-//! Committed throughput baselines for the `BENCH_PR4.json` trajectory:
+//! Committed throughput baselines for the `BENCH_*.json` trajectory:
 //! the seed engine, the PR 2 (SoA-cache) engine and the PR 3 (packed
 //! events + passive fast path + short-tag L2) engine, all re-measured in
 //! the PR 4 session on the machine that recorded `BENCH_PR4.json`.

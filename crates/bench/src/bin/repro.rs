@@ -5,6 +5,8 @@
 //! ```text
 //! repro [fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|config|all] [--quick] [--json]
 //! repro scale
+//! repro dist [--procs N]
+//! repro shard I/N [--pin CORE]
 //! repro --bench-json [--check [baseline.json]]
 //! ```
 //!
@@ -22,14 +24,32 @@
 //! (the sweep multiplies it by the worker counts), so `--quick` and
 //! `--json` are rejected rather than silently ignored.
 //!
+//! `dist` is `scale`'s multi-**process** sibling: it re-executes this
+//! very binary as `repro shard i/N` child processes (deterministic
+//! key-hash shards of the quick matrix), collects each child's JSON
+//! shard over stdout, merges them, checks the merged campaign
+//! bit-identical to the in-process sequential run, and prints the same
+//! scale-out table — pinned (each child under `sched_setaffinity` on
+//! core `i mod host cores`) and unpinned. Process fan-out sidesteps the
+//! shared allocator and LLC contention that caps thread scaling, and the
+//! same JSON wire format crosses a socket to another machine.
+//!
+//! `shard I/N` is the child half of `dist`: it executes shard `I` of `N`
+//! of the quick matrix sequentially (cells workload-major, so the packed
+//! trace stream stays LLC-hot across cells sharing a workload) and
+//! prints exactly one JSON document — the shard — to stdout. `--pin C`
+//! pins the process to core `C` first (best-effort; a no-op off Linux).
+//!
 //! `--bench-json` is a standalone mode: it times the quick reproduction
 //! suite cell by cell, merges the result with the committed same-session
 //! baselines (seed, PR 2 and PR 3 engines), the sharded-executor scaling
-//! section, the PGO-vs-plain ratio when CI exports `BENCH_PLAIN_EPS`, and
-//! the same-run hot-path microbenches, and writes the trajectory record
-//! to `${BENCH_ARTIFACT}.json` in the working directory (the perf
-//! document CI gates on and uploads). The artifact name is derived in
-//! exactly one place (`perf::bench_artifact`, default `BENCH_PR4`).
+//! section, the multi-process `dist` fan-out grid (1/2/4 shard children,
+//! pinned vs unpinned), the host core count, the PGO-vs-plain ratio when
+//! CI exports `BENCH_PLAIN_EPS`, and the same-run hot-path microbenches,
+//! and writes the trajectory record to `${BENCH_ARTIFACT}.json` in the
+//! working directory (the perf document CI gates on and uploads). The
+//! artifact name is derived in exactly one place (`perf::bench_artifact`,
+//! default `BENCH_PR5`).
 //!
 //! `--bench-json --check [baseline.json]` additionally re-derives the
 //! seed-vs-current throughput ratio from the fresh measurement and fails
@@ -59,6 +79,14 @@ const CHECK_TOLERANCE: f64 = 0.9;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
+    // `shard` and `dist` carry their own value-taking flags (`--pin`,
+    // `--procs`), so they dispatch before the generic flag check below
+    // would reject those. Both require the subcommand word first.
+    match args.first().map(String::as_str) {
+        Some("shard") => return shard_mode(&args[1..]),
+        Some("dist") => return dist_mode(&args[1..]),
+        _ => {}
+    }
     // `--check [path]` takes an optional value: extract it before flag
     // parsing. Without a value it defaults to the committed artifact,
     // whose name comes from the same single source as the output filename.
@@ -223,6 +251,125 @@ fn scale_mode() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The child half of `dist`: executes one deterministic shard of the
+/// quick matrix and prints the shard JSON — and nothing else — to stdout,
+/// so the parent can pipe it straight into `CampaignShard::from_json`.
+fn shard_mode(rest: &[String]) -> ExitCode {
+    let mut spec: Option<strex::campaign::ShardSpec> = None;
+    let mut pin: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--pin" {
+            pin = match it.next().and_then(|v| v.parse().ok()) {
+                Some(core) => Some(core),
+                None => {
+                    eprintln!("--pin needs a core index");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else if spec.is_none() {
+            let parsed = arg
+                .split_once('/')
+                .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+            spec = match parsed.and_then(|(i, n)| strex::campaign::ShardSpec::new(i, n).ok()) {
+                Some(s) => Some(s),
+                None => {
+                    eprintln!("`{arg}` is not a valid shard spec (expected I/N with I < N)");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else {
+            eprintln!("shard takes one I/N spec and optionally --pin CORE; unexpected `{arg}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(spec) = spec else {
+        eprintln!("usage: repro shard I/N [--pin CORE]");
+        return ExitCode::FAILURE;
+    };
+    if let Some(core) = pin {
+        // Best-effort by design: an unpinnable child still computes the
+        // right answer, it just floats (and the parent's "pinned" label
+        // stays honest only on Linux — which is where dist runs in CI).
+        if !strex::affinity::pin_to_core(core) {
+            eprintln!("note: could not pin to core {core}; running unpinned");
+        }
+    }
+    println!("{}", strex_bench::perf::run_quick_shard(spec).to_json());
+    ExitCode::SUCCESS
+}
+
+/// Multi-process scale-out: fans the quick matrix out to `--procs` child
+/// processes (pinned and unpinned), merges their JSON shards, checks the
+/// merged campaign bit-identical to the in-process sequential run, and
+/// prints the scale-out table next to what `scale` prints for threads.
+fn dist_mode(rest: &[String]) -> ExitCode {
+    use strex_bench::perf;
+
+    let mut procs: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--procs" {
+            procs = match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => Some(n),
+                _ => {
+                    eprintln!("--procs needs a positive process count");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else {
+            eprintln!("dist takes only --procs N; unexpected `{arg}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    let avail = perf::host_cores();
+    // Even a 1-core host demonstrates the fan-out with 2 processes; the
+    // efficiency framing against effective cores keeps the table honest.
+    let procs = procs.unwrap_or_else(|| avail.max(2));
+    let exe = match env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("cannot locate the repro binary to re-execute: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "Multi-process campaign fan-out — quick matrix, {procs} shard processes, \
+         {avail} host cores"
+    );
+    println!(
+        "(children re-execute this binary as `repro shard i/{procs}`; every merged \
+         result is checked bit-identical to the sequential run)\n"
+    );
+    let mut sweep = vec![1, procs];
+    sweep.dedup();
+    let scaling = match perf::dist_scaling(&exe, &sweep, None) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dist fan-out failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("  procs  pinned  eff.cores  events/sec  events/sec-per-core  efficiency");
+    for p in &scaling.points {
+        println!(
+            "{:>7}  {:>6}  {:>9}  {:>10.0}  {:>19.0}  {:>10.3}",
+            p.procs,
+            if p.pinned { "yes" } else { "no" },
+            p.effective_cores,
+            p.events_per_sec(),
+            p.events_per_sec_per_core(),
+            p.efficiency(),
+        );
+    }
+    println!(
+        "\nefficiency = events/sec over (same-flavor 1-process events/sec x effective \
+         cores); wall time includes process startup, workload regeneration and JSON \
+         transport. pinned = children under sched_setaffinity on core i mod host cores."
+    );
+    ExitCode::SUCCESS
+}
+
 /// Times the quick suite, merges with the committed baselines, writes
 /// `${BENCH_ARTIFACT}.json`, and (with `--check`) gates the fresh
 /// seed-vs-current ratio against the committed one.
@@ -262,11 +409,26 @@ fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
     let pr2 = baseline_seed::pr2_record();
     let pr3 = baseline_seed::pr3_record();
     println!("Measuring the sharded executor (1 worker vs 4 workers)...");
-    let scaling = perf::campaign_scaling(4);
+    // The sweep's sequential run doubles as the dist grid's golden, so
+    // the matrix is simulated once for both references.
+    let (mut scalings, golden) = perf::campaign_scaling_sweep_with_golden(&[4]);
+    let scaling = scalings.pop().expect("one sweep point in, one out");
+    println!("Measuring the multi-process fan-out (1/2/4 procs, pinned and unpinned)...");
+    let dist = match env::current_exe()
+        .and_then(|exe| perf::dist_scaling(&exe, &[1, 2, 4], Some(&golden)))
+    {
+        Ok(dist) => dist,
+        Err(e) => {
+            eprintln!("dist fan-out measurement failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("Running the same-run hot-path microbenches...");
     let micros = perf::same_run_micros();
     let pgo = perf::PgoComparison::from_env();
-    let doc = perf::bench_json(&current, &baseline, &pr2, &pr3, &micros, &scaling, pgo);
+    let doc = perf::bench_json(
+        &current, &baseline, &pr2, &pr3, &micros, &scaling, &dist, pgo,
+    );
     // One source of truth with CI: perf::bench_artifact reads the
     // BENCH_ARTIFACT the workflow exports; the filename written here, the
     // default --check path above and the artifact uploaded by CI all
@@ -302,6 +464,15 @@ fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
         scaling.events_per_sec_per_core(),
         scaling.efficiency(),
     );
+    for p in &dist.points {
+        println!(
+            "dist: {} procs ({}) — {:.0} events/sec, efficiency {:.3}",
+            p.procs,
+            if p.pinned { "pinned" } else { "unpinned" },
+            p.events_per_sec(),
+            p.efficiency(),
+        );
+    }
     if let Some(pgo) = pgo {
         println!(
             "pgo: {:.0} events/sec vs plain {:.0} — {:.3}x",

@@ -1,347 +1,11 @@
-//! Minimal JSON reader for the perf-regression gate.
+//! Compatibility shim: the JSON reader moved to [`strex::jsonval`].
 //!
-//! The workspace is offline (no serde), and the only JSON the tooling ever
-//! *reads* is the committed `BENCH_*.json` it itself wrote through
-//! [`strex::json::JsonWriter`]. This is a small recursive-descent parser
-//! for exactly that need: strict enough to reject malformed documents
-//! loudly, with path-based accessors (`doc.get("baseline.total_events")`)
-//! so the `--check` gate stays readable.
-//!
-//! Not supported (none of it appears in our documents): `\u` escapes are
-//! kept verbatim, and numbers outside `f64` range lose precision.
+//! The parser started life here as a perf-gate convenience (reading the
+//! committed `BENCH_*.json` back for `repro --bench-json --check`). When
+//! campaign shards started crossing process boundaries it was promoted
+//! into `strex` — parse fidelity became a correctness requirement of the
+//! `repro dist` wire format, including full `\uXXXX` escape decoding —
+//! and this module now just re-exports it for the gate's existing
+//! `crate::jsonread::JsonValue` callers.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (parsed as `f64`).
-    Number(f64),
-    /// A string (escapes resolved, except `\u`).
-    String(String),
-    /// An array.
-    Array(Vec<JsonValue>),
-    /// An object. Key order is not preserved (irrelevant to the gate).
-    Object(BTreeMap<String, JsonValue>),
-}
-
-/// Why parsing failed: byte offset and message.
-#[derive(Clone, Debug, PartialEq)]
-pub struct JsonError {
-    /// Byte offset of the error.
-    pub offset: usize,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-impl JsonValue {
-    /// Parses a complete JSON document (trailing whitespace allowed,
-    /// trailing garbage rejected).
-    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after the document"));
-        }
-        Ok(v)
-    }
-
-    /// Walks a dot-separated path of object keys (`"baseline.total_events"`).
-    /// Returns `None` if any component is missing or not an object.
-    pub fn get(&self, path: &str) -> Option<&JsonValue> {
-        let mut cur = self;
-        for key in path.split('.') {
-            match cur {
-                JsonValue::Object(map) => cur = map.get(key)?,
-                _ => return None,
-            }
-        }
-        Some(cur)
-    }
-
-    /// The value as a number, if it is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Number(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a string slice, if it is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array, if it is one.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Array(a) => Some(a),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, message: &str) -> JsonError {
-        JsonError {
-            offset: self.pos,
-            message: message.to_string(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected `{lit}`")))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, JsonError> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JsonValue::String(self.string()?)),
-            Some(b't') => self.literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let v = self.value()?;
-            map.insert(key, v);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(map));
-                }
-                _ => return Err(self.err("expected `,` or `}` in object")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return Err(self.err("expected `,` or `]` in array")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        // Keep \uXXXX verbatim; our writer never emits it.
-                        b'u' => out.push_str("\\u"),
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                Some(_) => {
-                    // Copy one UTF-8 scalar (the input is a &str, so byte
-                    // boundaries are valid).
-                    let start = self.pos;
-                    let mut end = self.pos + 1;
-                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
-                        end += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..end])
-                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
-                    );
-                    self.pos = end;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number bytes"))?;
-        text.parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.err("malformed number"))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_scalars() {
-        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
-        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
-        assert_eq!(
-            JsonValue::parse("-1.5e2").unwrap(),
-            JsonValue::Number(-150.0)
-        );
-        assert_eq!(
-            JsonValue::parse(r#""a\nb""#).unwrap(),
-            JsonValue::String("a\nb".into())
-        );
-    }
-
-    #[test]
-    fn parses_nested_structures_and_paths() {
-        let doc = JsonValue::parse(
-            r#"{"baseline":{"total_events":123,"cells":[{"w":"x"},{"w":"y"}]},"ratio":1.25}"#,
-        )
-        .unwrap();
-        assert_eq!(
-            doc.get("baseline.total_events").unwrap().as_f64(),
-            Some(123.0)
-        );
-        assert_eq!(doc.get("ratio").unwrap().as_f64(), Some(1.25));
-        let cells = doc.get("baseline.cells").unwrap().as_array().unwrap();
-        assert_eq!(cells.len(), 2);
-        assert_eq!(cells[1].get("w").unwrap().as_str(), Some("y"));
-        assert!(doc.get("missing.path").is_none());
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        assert!(JsonValue::parse("{").is_err());
-        assert!(JsonValue::parse("[1,]").is_err());
-        assert!(JsonValue::parse("12 34").is_err());
-        assert!(JsonValue::parse(r#"{"a" 1}"#).is_err());
-        assert!(JsonValue::parse("tru").is_err());
-    }
-
-    #[test]
-    fn round_trips_a_writer_document() {
-        // The exact producer this reader exists for.
-        let mut w = strex::json::JsonWriter::new();
-        w.begin_object();
-        w.key("label");
-        w.string("seed \"quoted\"");
-        w.key("events_per_sec");
-        w.float(7.49e6);
-        w.key("cells");
-        w.begin_array();
-        w.begin_object();
-        w.key("n");
-        w.number_u64(42);
-        w.end_object();
-        w.end_array();
-        w.end_object();
-        let doc = JsonValue::parse(&w.finish()).unwrap();
-        assert_eq!(doc.get("label").unwrap().as_str(), Some("seed \"quoted\""));
-        assert_eq!(doc.get("events_per_sec").unwrap().as_f64(), Some(7.49e6));
-        assert_eq!(
-            doc.get("cells").unwrap().as_array().unwrap()[0]
-                .get("n")
-                .unwrap()
-                .as_f64(),
-            Some(42.0)
-        );
-    }
-}
+pub use strex::jsonval::{JsonError, JsonValue};

@@ -11,19 +11,28 @@
 //! workspace is offline, so no serde). [`bench_json`] merges a freshly
 //! measured record with the committed same-session baselines
 //! ([`crate::baseline_seed`]) and reports the trajectory ratios, producing
-//! the `BENCH_PR4.json` document the CI `bench-smoke` job gates on and
+//! the `BENCH_PR5.json` document the CI `bench-smoke` job gates on and
 //! uploads (the name comes from [`bench_artifact`], the single source CI
 //! and the binary share). Alongside the suite-level record, the document
 //! carries the sharded-executor scale-out section ([`campaign_scaling`]:
 //! aggregate events/sec, events/sec-per-core, scaling efficiency), the
-//! PGO-vs-plain ratio when CI provides one ([`PgoComparison`]), and three
-//! *same-run* microbenches timing each optimized hot path against its
-//! in-tree reference implementation inside the producing process — those
-//! ratios are portable across machines by construction.
+//! multi-process fan-out grid ([`dist_scaling`]: `repro shard` children
+//! at 1/2/4 processes, pinned vs unpinned, merged results verified
+//! bit-identical before any number is recorded), the measuring host's
+//! core count, the PGO-vs-plain ratio when CI provides one
+//! ([`PgoComparison`]), and three *same-run* microbenches timing each
+//! optimized hot path against its in-tree reference implementation inside
+//! the producing process — those ratios are portable across machines by
+//! construction.
 
+use std::io;
+use std::path::Path;
+use std::process::{Command, Stdio};
 use std::time::Instant;
 
-use strex::campaign::{scaling_efficiency, Campaign};
+use strex::campaign::{
+    merge, scaling_efficiency, Campaign, CampaignResult, CampaignShard, ShardSpec,
+};
 use strex::config::SchedulerKind;
 use strex::driver::{run, run_with, run_with_generic_loop};
 use strex::json::JsonWriter;
@@ -45,7 +54,30 @@ use crate::experiments::{Effort, MATRIX_POOL, SEED};
 /// step publishes the same name — bump the default (and the committed
 /// record) together, in one place each.
 pub fn bench_artifact() -> String {
-    std::env::var("BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_PR4".to_string())
+    std::env::var("BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_PR5".to_string())
+}
+
+/// The host's available parallelism — recorded into the bench JSON so
+/// cross-run comparisons know what machine class produced a record.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Whether this host would actually grant the core pinning a `procs`-way
+/// pinned fan-out requests (Linux, with cores `0..min(procs, host
+/// cores)` allowed by the process's cpuset). Probed from scratch threads
+/// so the caller's own affinity is never touched. [`dist_scaling`] skips
+/// the pinned grid flavor when this is false, so a recorded
+/// `pinned: true` point always means the pin really happened.
+pub fn pinning_available(procs: usize) -> bool {
+    let cores = host_cores();
+    (0..procs.min(cores).max(1)).all(|core| {
+        std::thread::spawn(move || strex::affinity::pin_to_core(core))
+            .join()
+            .unwrap_or(false)
+    })
 }
 
 /// `{bench_artifact()}.json` — the on-disk form of [`bench_artifact`].
@@ -508,34 +540,67 @@ pub fn campaign_scaling(workers: usize) -> CampaignScaling {
         .expect("one sweep point in, one out")
 }
 
+/// The quick reproduction matrix's workloads — one source shared by the
+/// suite timer, the in-process scaling sweep, and every `repro shard`
+/// child (all processes of a fan-out must agree on the matrix cell for
+/// cell, which they do because each rebuilds it from this function and
+/// the fixed [`SEED`]).
+pub fn quick_matrix_workloads() -> Vec<Workload> {
+    WorkloadKind::ALL
+        .into_iter()
+        .map(|wk| Effort::Quick.workload(wk, MATRIX_POOL, SEED))
+        .collect()
+}
+
+/// The quick matrix (every workload × every scheduler × the quick core
+/// counts) as a campaign over `workloads`.
+pub fn quick_campaign(workloads: &[Workload]) -> Campaign<'_> {
+    let base = strex::config::SimConfig::builder()
+        .build()
+        .expect("default configuration is valid");
+    Campaign::new(base)
+        .over_schedulers(SchedulerKind::ALL)
+        .over_workloads(workloads)
+        .over_cores(Effort::Quick.core_counts())
+}
+
+/// Executes shard `spec` of the quick matrix — the body of a
+/// `repro shard i/N` child process.
+pub fn run_quick_shard(spec: ShardSpec) -> CampaignShard {
+    let workloads = quick_matrix_workloads();
+    quick_campaign(&workloads)
+        .run_shard(spec)
+        .expect("quick matrix is valid")
+}
+
 /// [`campaign_scaling`] for a whole worker-count sweep: the sequential
 /// (1-worker) run is measured **once** and every sweep point is judged
 /// against that same baseline — K points cost K+1 matrix executions, not
 /// 2K, and all efficiencies share one denominator instead of K noisy
 /// re-measurements of it.
 pub fn campaign_scaling_sweep(worker_counts: &[usize]) -> Vec<CampaignScaling> {
-    let workloads: Vec<Workload> = WorkloadKind::ALL
-        .into_iter()
-        .map(|wk| Effort::Quick.workload(wk, MATRIX_POOL, SEED))
-        .collect();
-    let base = strex::config::SimConfig::builder()
-        .build()
-        .expect("default configuration is valid");
+    campaign_scaling_sweep_with_golden(worker_counts).0
+}
+
+/// [`campaign_scaling_sweep`] that also hands back the sequential run's
+/// serialized campaign — the golden every sweep point was checked
+/// against. `repro --bench-json` feeds it to [`dist_scaling`] so the
+/// multi-process grid reuses this run instead of re-simulating the whole
+/// matrix for its own reference.
+pub fn campaign_scaling_sweep_with_golden(
+    worker_counts: &[usize],
+) -> (Vec<CampaignScaling>, String) {
+    let workloads = quick_matrix_workloads();
     let run_at = |parallelism: usize| {
-        Campaign::new(base.clone())
-            .over_schedulers(SchedulerKind::ALL)
-            .over_workloads(&workloads)
-            .over_cores(Effort::Quick.core_counts())
+        quick_campaign(&workloads)
             .parallelism(parallelism)
             .run()
             .expect("quick matrix is valid")
     };
     let single = run_at(1);
     let single_json = single.to_json();
-    let avail = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    worker_counts
+    let avail = host_cores();
+    let points = worker_counts
         .iter()
         .map(|&workers| {
             let multi = run_at(workers);
@@ -552,7 +617,230 @@ pub fn campaign_scaling_sweep(worker_counts: &[usize]) -> Vec<CampaignScaling> {
                 events_per_sec: multi.perf().events_per_sec(),
             }
         })
-        .collect()
+        .collect();
+    (points, single_json)
+}
+
+/// One multi-process fan-out measurement: the quick matrix split into
+/// `procs` shards, each executed by a freshly spawned `repro shard`
+/// child, the JSON shards merged back and verified bit-identical to the
+/// sequential run before any number is reported.
+#[derive(Copy, Clone, Debug)]
+pub struct DistPoint {
+    /// Child processes the matrix was fanned out to.
+    pub procs: usize,
+    /// Whether each child was pinned to a core (`--pin i mod host
+    /// cores`). Only ever `true` when [`pinning_available`] confirmed the
+    /// host grants the affinity, so the flag records what happened, not
+    /// what was asked for.
+    pub pinned: bool,
+    /// `min(procs, host cores)` — what efficiency is judged against.
+    pub effective_cores: usize,
+    /// Memory-reference events the matrix simulates.
+    pub total_events: u64,
+    /// Parent-measured wall seconds, first spawn to last shard parsed —
+    /// process startup, workload regeneration and JSON transport all
+    /// included, because a real fan-out pays all of them.
+    pub wall_seconds: f64,
+    /// The same flavor's 1-process fan-out throughput (the baseline its
+    /// efficiency is judged against — also a child process, so spawn
+    /// overhead cancels out of the ratio).
+    pub single_events_per_sec: f64,
+}
+
+impl DistPoint {
+    /// Aggregate events per parent-measured wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.total_events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput normalized per *effective* core.
+    pub fn events_per_sec_per_core(&self) -> f64 {
+        if self.effective_cores > 0 {
+            self.events_per_sec() / self.effective_cores as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Scaling efficiency against the same-flavor 1-process fan-out on
+    /// the effective cores (1.0 = perfect linear scaling).
+    pub fn efficiency(&self) -> f64 {
+        scaling_efficiency(
+            self.single_events_per_sec,
+            self.events_per_sec(),
+            self.effective_cores,
+        )
+    }
+}
+
+/// A full multi-process scaling measurement: the pinned and unpinned
+/// fan-out grids over one process-count list, plus the host's core count
+/// (recorded so a committed record says what machine class produced it).
+#[derive(Clone, Debug)]
+pub struct DistScaling {
+    /// `std::thread::available_parallelism` of the measuring host.
+    pub host_cores: usize,
+    /// Pinned points first (in `procs_list` order), then unpinned.
+    pub points: Vec<DistPoint>,
+}
+
+/// Spawns `procs` children of `exe` (`repro shard i/procs`, plus
+/// `--pin i mod host cores` when `pin`), collects and parses their JSON
+/// shards from stdout, and merges them. Returns the merged result and the
+/// parent-measured wall seconds. Child failures, unparseable output and
+/// incomplete shard sets are `io::Error`s, not panics.
+pub fn dist_fan_out(exe: &Path, procs: usize, pin: bool) -> io::Result<(CampaignResult, f64)> {
+    // Kills and reaps already-spawned children when a later spawn fails —
+    // no zombies (or whole shards burning CPU for a result nobody will
+    // read) behind a library call. After the spawn loop, each child is
+    // waited on by its own drain thread instead.
+    fn reap(children: impl Iterator<Item = std::process::Child>) {
+        for mut child in children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    let cores = host_cores();
+    let start = Instant::now();
+    let mut children = Vec::with_capacity(procs);
+    for i in 0..procs {
+        let mut cmd = Command::new(exe);
+        cmd.arg("shard").arg(format!("{i}/{procs}"));
+        if pin {
+            cmd.arg("--pin").arg((i % cores).to_string());
+        }
+        cmd.stdout(Stdio::piped());
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                reap(children.into_iter());
+                return Err(e);
+            }
+        }
+    }
+    // One drain thread per child: the ~64 KiB pipe buffer means a child
+    // that finishes while the parent is reading a sibling would otherwise
+    // block in write(2), serializing JSON transport into the measured
+    // wall time. Concurrent drains keep transport overlapped — and every
+    // child is waited on by its own thread, so no error path leaves a
+    // zombie.
+    let readers: Vec<_> = children
+        .into_iter()
+        .map(|child| {
+            std::thread::spawn(move || -> io::Result<CampaignShard> {
+                let out = child.wait_with_output()?;
+                if !out.status.success() {
+                    return Err(io::Error::other(format!(
+                        "shard child exited with {}",
+                        out.status
+                    )));
+                }
+                let text = std::str::from_utf8(&out.stdout)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                CampaignShard::from_json(text.trim())
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            })
+        })
+        .collect();
+    let mut shards: Vec<CampaignShard> = Vec::with_capacity(procs);
+    let mut first_err: Option<io::Error> = None;
+    for handle in readers {
+        match handle.join() {
+            Ok(Ok(shard)) => shards.push(shard),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or_else(|| Some(io::Error::other("shard drain panicked")))
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let merged =
+        merge(shards).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    Ok((merged, wall_seconds))
+}
+
+/// Measures the multi-process fan-out grid: for each pinning flavor, a
+/// 1-process baseline plus every count in `procs_list`, each point's
+/// merged result checked **bit-identical** to an in-process sequential
+/// run before its throughput is recorded.
+///
+/// `exe` is the `repro` binary itself (`std::env::current_exe()` in the
+/// caller) — the children are `repro shard` invocations. `golden` is the
+/// sequential campaign's serialized form when the caller already has one
+/// (e.g. from [`campaign_scaling_sweep_with_golden`], saving a redundant
+/// full-matrix simulation); `None` computes it here.
+pub fn dist_scaling(
+    exe: &Path,
+    procs_list: &[usize],
+    golden: Option<&str>,
+) -> io::Result<DistScaling> {
+    let golden = match golden {
+        Some(g) => g.to_string(),
+        None => {
+            let workloads = quick_matrix_workloads();
+            quick_campaign(&workloads)
+                .parallelism(1)
+                .run()
+                .expect("quick matrix is valid")
+                .to_json()
+        }
+    };
+    let cores = host_cores();
+    let mut points = Vec::new();
+    // The pinned flavor runs only where pinning would actually stick
+    // (Linux, cores inside the cpuset) — the recorded `pinned` flag
+    // reports an outcome, not an intent.
+    let max_procs = procs_list.iter().copied().max().unwrap_or(1);
+    let flavors: &[bool] = if pinning_available(max_procs) {
+        &[true, false]
+    } else {
+        &[false]
+    };
+    for &pinned in flavors {
+        let measure = |procs: usize, single_eps: f64| -> io::Result<DistPoint> {
+            let (merged, wall_seconds) = dist_fan_out(exe, procs, pinned)?;
+            if merged.to_json() != golden {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "merged {procs}-process campaign diverged from the sequential run \
+                         (pinned={pinned})"
+                    ),
+                ));
+            }
+            Ok(DistPoint {
+                procs,
+                pinned,
+                effective_cores: cores.min(procs).max(1),
+                total_events: merged.perf().total_events,
+                wall_seconds,
+                single_events_per_sec: single_eps,
+            })
+        };
+        let mut baseline = measure(1, 0.0)?;
+        let single_eps = baseline.events_per_sec();
+        baseline.single_events_per_sec = single_eps;
+        for &procs in procs_list {
+            if procs == 1 {
+                points.push(baseline);
+            } else {
+                points.push(measure(procs, single_eps)?);
+            }
+        }
+    }
+    Ok(DistScaling {
+        host_cores: cores,
+        points,
+    })
 }
 
 /// The PGO comparison CI records: the plain (non-PGO) build's aggregate
@@ -604,14 +892,20 @@ pub fn same_run_micros() -> SameRunMicros {
     }
 }
 
-/// The full `BENCH_PR4.json` document: the committed same-session seed,
+/// The full `BENCH_PR5.json` document: the committed same-session seed,
 /// PR 2 and PR 3 baselines, a fresh measurement of the current build, the
 /// trajectory ratios between them, the sharded-executor scale-out section
 /// (aggregate events/sec, events/sec-per-core, scaling efficiency), the
-/// CI-recorded PGO-vs-plain ratio when available, and the three same-run
-/// hot-path microbenchmarks (each timing the optimized path against its
-/// in-tree reference inside this very run, so those ratios are portable
-/// across machines).
+/// multi-process `dist` fan-out grid (events/sec at each process count,
+/// pinned vs unpinned), the measuring host's core count, the CI-recorded
+/// PGO-vs-plain ratio when available, and the three same-run hot-path
+/// microbenchmarks (each timing the optimized path against its in-tree
+/// reference inside this very run, so those ratios are portable across
+/// machines).
+// One parameter per document section, passed by the single producer
+// (`repro --bench-json`) and the shape tests; a bundling struct would
+// just restate the section names.
+#[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     current: &BenchRecord,
     baseline: &BenchRecord,
@@ -619,6 +913,7 @@ pub fn bench_json(
     pr3: &BenchRecord,
     micros: &SameRunMicros,
     scaling: &CampaignScaling,
+    dist: &DistScaling,
     pgo: Option<PgoComparison>,
 ) -> String {
     let mut w = JsonWriter::new();
@@ -627,6 +922,10 @@ pub fn bench_json(
     w.string("strex-sim quick reproduction suite");
     w.key("metric");
     w.string("memory-reference events simulated per wall-clock second");
+    // What machine class produced this record: absolute numbers and
+    // scaling points are only comparable across runs on similar hosts.
+    w.key("host_cores");
+    w.number_u64(dist.host_cores as u64);
     w.key("baseline");
     baseline.write_into(&mut w);
     w.key("pr2");
@@ -667,6 +966,43 @@ pub fn bench_json(
     w.float(scaling.events_per_sec_per_core());
     w.key("scaling_efficiency");
     w.float(scaling.efficiency());
+    w.end_object();
+    w.key("dist");
+    w.begin_object();
+    w.key("description");
+    w.string(
+        "the quick matrix fanned out to `procs` child processes (`repro \
+         shard i/procs`), shards shipped back as JSON over stdout, merged, \
+         and checked bit-identical to the sequential run; wall time is \
+         parent-measured and includes process startup, workload \
+         regeneration and JSON transport. pinned points run each child \
+         under sched_setaffinity on core i mod host_cores. efficiency is \
+         against the same flavor's 1-process fan-out on \
+         effective_cores = min(procs, host cores)",
+    );
+    w.key("points");
+    w.begin_array();
+    for p in &dist.points {
+        w.begin_object();
+        w.key("procs");
+        w.number_u64(p.procs as u64);
+        w.key("pinned");
+        w.boolean(p.pinned);
+        w.key("effective_cores");
+        w.number_u64(p.effective_cores as u64);
+        w.key("total_events");
+        w.number_u64(p.total_events);
+        w.key("wall_seconds");
+        w.float(p.wall_seconds);
+        w.key("events_per_sec");
+        w.float(p.events_per_sec());
+        w.key("events_per_sec_per_core");
+        w.float(p.events_per_sec_per_core());
+        w.key("scaling_efficiency");
+        w.float(p.efficiency());
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
     if let Some(pgo) = pgo {
         w.key("pgo");
@@ -800,6 +1136,49 @@ mod tests {
         }
     }
 
+    fn tiny_dist() -> DistScaling {
+        DistScaling {
+            host_cores: 4,
+            points: vec![
+                DistPoint {
+                    procs: 1,
+                    pinned: true,
+                    effective_cores: 1,
+                    total_events: 1000,
+                    wall_seconds: 1.0,
+                    single_events_per_sec: 1000.0,
+                },
+                DistPoint {
+                    procs: 4,
+                    pinned: true,
+                    effective_cores: 4,
+                    total_events: 1000,
+                    wall_seconds: 0.3125,
+                    single_events_per_sec: 1000.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn dist_point_arithmetic() {
+        let p = &tiny_dist().points[1];
+        assert!((p.events_per_sec() - 3200.0).abs() < 1e-9);
+        assert!((p.events_per_sec_per_core() - 800.0).abs() < 1e-9);
+        assert!((p.efficiency() - 0.8).abs() < 1e-9);
+        let degenerate = DistPoint {
+            procs: 0,
+            pinned: false,
+            effective_cores: 0,
+            total_events: 0,
+            wall_seconds: 0.0,
+            single_events_per_sec: 0.0,
+        };
+        assert_eq!(degenerate.events_per_sec(), 0.0);
+        assert_eq!(degenerate.events_per_sec_per_core(), 0.0);
+        assert_eq!(degenerate.efficiency(), 0.0);
+    }
+
     #[test]
     fn json_shape() {
         let r = tiny_record();
@@ -813,7 +1192,8 @@ mod tests {
         let scaling = tiny_scaling();
         assert!((scaling.events_per_sec_per_core() - 800.0).abs() < 1e-9);
         assert!((scaling.efficiency() - 0.8).abs() < 1e-9);
-        let merged = bench_json(&r, &r, &r, &r, &micros, &scaling, None);
+        let merged = bench_json(&r, &r, &r, &r, &micros, &scaling, &tiny_dist(), None);
+        assert!(merged.contains(r#""host_cores":4"#));
         assert!(merged.contains(r#""baseline":"#));
         assert!(merged.contains(r#""pr2":"#));
         assert!(merged.contains(r#""pr3":"#));
@@ -823,6 +1203,9 @@ mod tests {
         assert!(merged.contains(r#""campaign":"#));
         assert!(merged.contains(r#""events_per_sec_per_core":800"#));
         assert!(merged.contains(r#""scaling_efficiency":0.8"#));
+        assert!(merged.contains(r#""dist":"#));
+        assert!(merged.contains(r#""procs":4"#));
+        assert!(merged.contains(r#""pinned":true"#));
         assert!(
             !merged.contains(r#""pgo":"#),
             "no pgo section without CI env"
@@ -832,6 +1215,13 @@ mod tests {
         assert!(merged.contains(r#""packed_trace""#));
         assert!(merged.contains(r#""passive_driver""#));
         assert!(merged.contains(r#""speedup":2"#), "microbench speedup");
+        // The document parses back through the in-tree reader (the gate's
+        // path) and the dist section round-trips numerically.
+        let doc = strex::jsonval::JsonValue::parse(&merged).expect("well-formed");
+        assert_eq!(doc.req_u64("host_cores").unwrap(), 4);
+        let points = doc.get("dist.points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].req_u64("procs").unwrap(), 4);
     }
 
     #[test]
@@ -842,7 +1232,16 @@ mod tests {
         };
         // tiny_record: 1000 events in 0.5 s = 2000 events/sec → 2x plain.
         assert!((pgo.ratio(tiny_record().events_per_sec()) - 2.0).abs() < 1e-9);
-        let merged = bench_json(&r, &r, &r, &r, &tiny_micros(), &tiny_scaling(), Some(pgo));
+        let merged = bench_json(
+            &r,
+            &r,
+            &r,
+            &r,
+            &tiny_micros(),
+            &tiny_scaling(),
+            &tiny_dist(),
+            Some(pgo),
+        );
         assert!(merged.contains(r#""pgo":"#));
         assert!(merged.contains(r#""plain_events_per_sec":1000"#));
         assert!(merged.contains(r#""pgo_vs_plain":2"#));

@@ -31,6 +31,28 @@
 //! with [`scaling_efficiency`]. This is the scale-out headline metric the
 //! `repro scale` subcommand and the `BENCH_*.json` trajectory report.
 //!
+//! # The multi-process layer
+//!
+//! Thread scaling tops out where the workers start sharing an allocator
+//! and an LLC; process fan-out sidesteps both, and the same wire format
+//! crosses a socket to another machine. The pieces compose:
+//!
+//! * [`ShardSpec`] partitions the cell matrix deterministically *by
+//!   stable cell key* ([`shard_of`]): shard membership depends only on
+//!   the key text and the shard count, so any process — or machine —
+//!   can compute its share without coordination.
+//! * [`Campaign::run_shard`] executes one shard's cells (workload-major,
+//!   one reused scratch) into a [`CampaignShard`], which serializes to
+//!   JSON and parses back ([`CampaignShard::from_json`]) with full
+//!   fidelity — the wire format `repro dist` children ship over stdout.
+//! * [`merge`] reassembles a complete shard set into a [`CampaignResult`]
+//!   bit-identical to the single-process run, for any shard count and
+//!   any merge order.
+//! * [`Campaign::pin_workers`] (and the `repro dist --pin` protocol for
+//!   child processes) parks each worker on one core via
+//!   [`crate::affinity`], keeping its workload-major trace stream
+//!   LLC-hot across cells.
+//!
 //! ```no_run
 //! use strex::campaign::Campaign;
 //! use strex::config::{SchedulerKind, SimConfig};
@@ -62,6 +84,7 @@ use crate::config::{SchedulerKind, SimConfig};
 use crate::driver::{run_factory, SimScratch};
 use crate::error::ConfigError;
 use crate::json::JsonWriter;
+use crate::jsonval::{JsonValue, WireError};
 use crate::report::Report;
 use crate::sched::registry::{self, SchedulerRegistry};
 
@@ -77,6 +100,7 @@ pub struct Campaign<'w> {
     cores: Option<Vec<usize>>,
     team_sizes: Option<Vec<usize>>,
     parallelism: Option<usize>,
+    pin_workers: bool,
 }
 
 impl<'w> Campaign<'w> {
@@ -89,6 +113,7 @@ impl<'w> Campaign<'w> {
             cores: None,
             team_sizes: None,
             parallelism: None,
+            pin_workers: false,
         }
     }
 
@@ -132,6 +157,17 @@ impl<'w> Campaign<'w> {
     /// forces sequential execution on the calling thread's schedule.
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Pins worker `i` to core `i mod host cores` for the duration of the
+    /// run (best-effort: a no-op off Linux or when the kernel refuses —
+    /// see [`crate::affinity::pin_to_core`]). Pinning keeps each worker's
+    /// packed trace stream and simulator state on one LLC domain while it
+    /// walks its workload-major cell sequence; it never affects results,
+    /// only where they are computed.
+    pub fn pin_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
         self
     }
 
@@ -227,12 +263,22 @@ impl<'w> Campaign<'w> {
             })
             .min(cells.len().max(1));
 
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let next = AtomicUsize::new(0);
         let start = Instant::now();
         let shards: Vec<Vec<(usize, Report)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|worker| {
+                    let next = &next;
+                    let cells = &cells;
+                    scope.spawn(move || {
+                        if self.pin_workers {
+                            // Best-effort: an unpinnable worker still runs,
+                            // it just floats like before.
+                            let _ = crate::affinity::pin_to_core(worker % avail);
+                        }
                         let mut scratch = SimScratch::new();
                         let mut shard: Vec<(usize, Report)> = Vec::new();
                         loop {
@@ -270,13 +316,7 @@ impl<'w> Campaign<'w> {
                 report: slot.expect("every claimed cell landed in a shard"),
             })
             .collect();
-        let total_events = cells
-            .iter()
-            .map(|c| {
-                let agg = c.report.stats.aggregate();
-                agg.i_accesses + agg.d_accesses
-            })
-            .sum();
+        let total_events = cells.iter().map(|c| report_events(&c.report)).sum();
         Ok(CampaignResult {
             cells,
             perf: CampaignPerf {
@@ -286,6 +326,151 @@ impl<'w> Campaign<'w> {
             },
         })
     }
+
+    /// Executes one shard of the matrix against the
+    /// [global registry](crate::sched::registry::global).
+    pub fn run_shard(&self, spec: ShardSpec) -> Result<CampaignShard, ConfigError> {
+        self.run_shard_on(spec, registry::global())
+    }
+
+    /// Executes the cells [`spec`](ShardSpec) owns — the multi-process
+    /// half of the executor.
+    ///
+    /// The full matrix is enumerated and validated exactly as
+    /// [`run_on`](Campaign::run_on) does (so every process of a fan-out
+    /// agrees on cell indices), then only the owned cells run, on the
+    /// calling thread, in matrix order — workload-major, so consecutive
+    /// cells replay the same packed trace pool and the stream stays
+    /// LLC-hot across cells — with one reused [`SimScratch`]. The partial
+    /// result keeps each cell's matrix index; [`merge`] reassembles any
+    /// complete set of shards into a [`CampaignResult`] bit-identical to
+    /// [`run_on`](Campaign::run_on) (property-tested in
+    /// `tests/campaign_api.rs`).
+    ///
+    /// Shard ownership is by stable cell key ([`shard_of`]), not by
+    /// position, so it is insensitive to how a peer process enumerated
+    /// the matrix.
+    pub fn run_shard_on(
+        &self,
+        spec: ShardSpec,
+        reg: &SchedulerRegistry,
+    ) -> Result<CampaignShard, ConfigError> {
+        spec.validate()?;
+        let cells = self.cells(reg)?;
+        let start = Instant::now();
+        let mut scratch = SimScratch::new();
+        let mut owned: Vec<(usize, CampaignCell)> = Vec::new();
+        let mut total_events = 0u64;
+        for (i, (key, cfg)) in cells.into_iter().enumerate() {
+            if !spec.owns(&key) {
+                continue;
+            }
+            let workload = self.workloads[key.workload_idx];
+            let factory = reg
+                .get(&key.scheduler)
+                .expect("cells() checked registration");
+            let report = run_factory(factory, workload, &cfg, &mut scratch);
+            total_events += report_events(&report);
+            owned.push((i, CampaignCell { key, report }));
+        }
+        Ok(CampaignShard {
+            spec,
+            cells: owned,
+            perf: CampaignPerf {
+                workers: 1,
+                wall_seconds: start.elapsed().as_secs_f64(),
+                total_events,
+            },
+        })
+    }
+}
+
+/// Memory-reference events one report contributes to campaign totals
+/// (L1-I + L1-D accesses). This is the single definition shared by the
+/// in-process executor, the shard executor and the wire parse-back — if
+/// "event" ever changes, all three stay in lockstep (and with the
+/// `--check` gate's event-count drift detection).
+fn report_events(report: &Report) -> u64 {
+    let agg = report.stats.aggregate();
+    agg.i_accesses + agg.d_accesses
+}
+
+/// Names one shard of a campaign's cell matrix: shard `index` of `count`.
+///
+/// Shards partition the matrix *by stable cell key* ([`shard_of`]): a
+/// cell's assignment depends only on its textual key and the shard count,
+/// never on matrix enumeration order or which process asks — so `count`
+/// cooperating processes that each run `Campaign::run_shard(i/count)`
+/// cover every cell exactly once (disjointness and completeness are
+/// unit-tested in `tests/campaign_api.rs`).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct ShardSpec {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the matrix is split into.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// A validated shard spec (`index < count`, `count > 0`).
+    pub fn new(index: usize, count: usize) -> Result<ShardSpec, ConfigError> {
+        let spec = ShardSpec { index, count };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Re-checks the invariants (fields are public, so a hand-built spec
+    /// may be invalid).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.count == 0 || self.index >= self.count {
+            return Err(ConfigError::InvalidShard {
+                index: self.index,
+                count: self.count,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether this shard owns `key`'s cell.
+    pub fn owns(&self, key: &CellKey) -> bool {
+        shard_of(key, self.count) == self.index
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    /// The `index/count` form the `repro shard` CLI accepts.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The shard a cell belongs to when the matrix is split `count` ways:
+/// FNV-1a over the textual cell key, mod `count`. Deterministic across
+/// processes, machines and matrix enumerations.
+///
+/// # Panics
+///
+/// Panics if `count` is zero.
+pub fn shard_of(key: &CellKey, count: usize) -> usize {
+    use fmt::Write as _;
+
+    assert!(count > 0, "shard count must be positive");
+    // Hash the Display bytes as they are formatted — same digest as
+    // hashing `key.to_string()`, without the per-call allocation (`owns`
+    // runs once per cell per shard).
+    struct Fnv(u64);
+    impl fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut fnv = Fnv(0xcbf2_9ce4_8422_2325);
+    write!(fnv, "{key}").expect("hashing writer never fails");
+    (fnv.0 % count as u64) as usize
 }
 
 /// The sharded executor's self-measurement for one campaign: how much
@@ -430,34 +615,382 @@ impl CampaignResult {
 
     /// Serializes every cell — key and full report — as one JSON object,
     /// the on-disk form intended for `BENCH_*.json` trajectories.
+    ///
+    /// The executor's [`perf`](CampaignResult::perf) metadata is
+    /// deliberately excluded (see [`CampaignPerf`]), so two bit-identical
+    /// campaigns serialize identically regardless of worker count,
+    /// process count or host.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("cells");
         w.begin_array();
         for cell in &self.cells {
-            w.begin_object();
-            w.key("id");
-            w.string(&cell.key.to_string());
-            w.key("key");
-            w.begin_object();
-            w.key("workload");
-            w.string(&cell.key.workload);
-            w.key("scheduler");
-            w.string(&cell.key.scheduler);
-            w.key("cores");
-            w.number_u64(cell.key.cores as u64);
-            w.key("team_size");
-            w.number_u64(cell.key.team_size as u64);
-            w.end_object();
-            w.key("report");
-            cell.report.write_json(&mut w);
-            w.end_object();
+            write_cell_json(&mut w, None, cell);
         }
         w.end_array();
         w.end_object();
         w.finish()
     }
+
+    /// Parses a campaign back from its [`to_json`](CampaignResult::to_json)
+    /// form. The reassembled result re-serializes byte-identically.
+    ///
+    /// Two reconstructions are necessarily lossy and documented:
+    /// [`perf`](CampaignResult::perf) was never serialized, so the parsed
+    /// result carries zero workers/wall-seconds (`total_events` is
+    /// recomputed from the cells); and `CellKey::workload_idx` is not part
+    /// of this format (the shard wire format carries it explicitly), so it
+    /// is reconstructed from the workload-major run structure — each time
+    /// the workload name changes between consecutive cells, the index
+    /// advances. Two *adjacent same-named* workloads merge under one
+    /// index, which cannot change the serialized bytes.
+    pub fn from_json(text: &str) -> Result<CampaignResult, WireError> {
+        let doc = JsonValue::parse(text)?;
+        let mut cells: Vec<CampaignCell> = Vec::new();
+        let mut workload_idx = 0usize;
+        for v in doc.req_array("cells")? {
+            let explicit = v.get("key.workload_idx").is_some();
+            let (_, mut cell) = cell_from_json(v)?;
+            if !explicit {
+                if let Some(prev) = cells.last() {
+                    if prev.key.workload != cell.key.workload {
+                        workload_idx += 1;
+                    }
+                }
+                cell.key.workload_idx = workload_idx;
+            }
+            cells.push(cell);
+        }
+        let total_events = cells.iter().map(|c| report_events(&c.report)).sum();
+        Ok(CampaignResult {
+            cells,
+            perf: CampaignPerf {
+                workers: 0,
+                wall_seconds: 0.0,
+                total_events,
+            },
+        })
+    }
+}
+
+/// Writes one cell as JSON. Without `index` this is exactly the
+/// [`CampaignResult::to_json`] cell layout (kept byte-stable — committed
+/// documents and the golden identity checks depend on it); with `index`
+/// — the shard wire format — the cell additionally carries its matrix
+/// position and the key carries `workload_idx`, so a merge can rebuild
+/// exact [`CellKey`]s and matrix order.
+fn write_cell_json(w: &mut JsonWriter, index: Option<usize>, cell: &CampaignCell) {
+    w.begin_object();
+    if let Some(i) = index {
+        w.key("index");
+        w.number_u64(i as u64);
+    }
+    w.key("id");
+    w.string(&cell.key.to_string());
+    w.key("key");
+    w.begin_object();
+    w.key("workload");
+    w.string(&cell.key.workload);
+    if index.is_some() {
+        w.key("workload_idx");
+        w.number_u64(cell.key.workload_idx as u64);
+    }
+    w.key("scheduler");
+    w.string(&cell.key.scheduler);
+    w.key("cores");
+    w.number_u64(cell.key.cores as u64);
+    w.key("team_size");
+    w.number_u64(cell.key.team_size as u64);
+    w.end_object();
+    w.key("report");
+    cell.report.write_json(w);
+    w.end_object();
+}
+
+/// Parses one cell (either layout); returns the matrix index when the
+/// document carries one (shard wire format), `0` otherwise.
+fn cell_from_json(v: &JsonValue) -> Result<(usize, CampaignCell), WireError> {
+    let index = match v.get("index") {
+        Some(_) => v.req_u64("index")? as usize,
+        None => 0,
+    };
+    let workload_idx = match v.get("key.workload_idx") {
+        Some(_) => v.req_u64("key.workload_idx")? as usize,
+        None => 0,
+    };
+    let key = CellKey {
+        workload: v.req_str("key.workload")?.to_string(),
+        workload_idx,
+        scheduler: v.req_str("key.scheduler")?.to_string(),
+        cores: v.req_u64("key.cores")? as usize,
+        team_size: v.req_u64("key.team_size")? as usize,
+    };
+    let id = v.req_str("id")?;
+    if id != key.to_string() {
+        return Err(WireError::new(format!(
+            "cell id {id:?} does not match its key {:?}",
+            key.to_string()
+        )));
+    }
+    let report = Report::from_json_value(v.req("report")?)?;
+    Ok((index, CampaignCell { key, report }))
+}
+
+/// One shard's worth of an executed campaign: the cells a [`ShardSpec`]
+/// owns, each tagged with its matrix index, plus the shard's own
+/// [`CampaignPerf`] measurement. Produced by [`Campaign::run_shard`],
+/// shipped across process boundaries as JSON
+/// ([`to_json`](CampaignShard::to_json) /
+/// [`from_json`](CampaignShard::from_json)), and reassembled by
+/// [`merge`].
+#[derive(Clone, Debug)]
+pub struct CampaignShard {
+    spec: ShardSpec,
+    cells: Vec<(usize, CampaignCell)>,
+    perf: CampaignPerf,
+}
+
+impl CampaignShard {
+    /// Which shard of how many this is.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The owned cells with their matrix indices, in matrix order.
+    pub fn cells(&self) -> &[(usize, CampaignCell)] {
+        &self.cells
+    }
+
+    /// This shard's own execution measurement (1 worker — the shard runs
+    /// sequentially inside its process).
+    pub fn perf(&self) -> CampaignPerf {
+        self.perf
+    }
+
+    /// Serializes the shard for the wire: spec, perf, and every cell with
+    /// its matrix index and full key (including `workload_idx`).
+    ///
+    /// Unlike [`CampaignResult::to_json`], `perf` *is* serialized here —
+    /// it is the child process's self-measurement and crossing the
+    /// process boundary is its whole purpose. The bit-identity guarantee
+    /// applies to the merged result's cells, never to perf metadata.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("shard");
+        w.begin_object();
+        w.key("index");
+        w.number_u64(self.spec.index as u64);
+        w.key("count");
+        w.number_u64(self.spec.count as u64);
+        w.end_object();
+        w.key("perf");
+        w.begin_object();
+        w.key("workers");
+        w.number_u64(self.perf.workers as u64);
+        w.key("wall_seconds");
+        w.float(self.perf.wall_seconds);
+        w.key("total_events");
+        w.number_u64(self.perf.total_events);
+        w.end_object();
+        w.key("cells");
+        w.begin_array();
+        for (i, cell) in &self.cells {
+            write_cell_json(&mut w, Some(*i), cell);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses a shard from its [`to_json`](CampaignShard::to_json) form.
+    pub fn from_json(text: &str) -> Result<CampaignShard, WireError> {
+        let doc = JsonValue::parse(text)?;
+        let spec = ShardSpec {
+            index: doc.req_u64("shard.index")? as usize,
+            count: doc.req_u64("shard.count")? as usize,
+        };
+        spec.validate().map_err(|e| WireError::new(e.to_string()))?;
+        let perf = CampaignPerf {
+            workers: doc.req_u64("perf.workers")? as usize,
+            wall_seconds: doc.req_f64("perf.wall_seconds")?,
+            total_events: doc.req_u64("perf.total_events")?,
+        };
+        let cells = doc
+            .req_array("cells")?
+            .iter()
+            .map(cell_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignShard { spec, cells, perf })
+    }
+}
+
+/// Why [`merge`] refused a set of shards.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum MergeError {
+    /// No shards were supplied.
+    Empty,
+    /// Two shards disagree on the total shard count.
+    MismatchedCounts {
+        /// The first shard's count.
+        expected: usize,
+        /// The disagreeing count.
+        found: usize,
+    },
+    /// A shard's index is not below its count.
+    ShardIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The shard count.
+        count: usize,
+    },
+    /// The same shard index appeared twice.
+    DuplicateShard {
+        /// The duplicated index.
+        index: usize,
+    },
+    /// A shard of the declared count never arrived.
+    MissingShard {
+        /// The absent index.
+        index: usize,
+        /// The shard count.
+        count: usize,
+    },
+    /// Two shards both claim the cell at this matrix index.
+    DuplicateCell {
+        /// The contested matrix index.
+        index: usize,
+    },
+    /// A cell's matrix index is beyond the combined cell count, so some
+    /// earlier index must be missing.
+    CellIndexOutOfRange {
+        /// The out-of-range matrix index.
+        index: usize,
+        /// The combined cell count.
+        total: usize,
+    },
+    /// No shard delivered the cell at this matrix index.
+    MissingCell {
+        /// The absent matrix index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no shards to merge"),
+            MergeError::MismatchedCounts { expected, found } => {
+                write!(f, "shards disagree on the count: {expected} vs {found}")
+            }
+            MergeError::ShardIndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} is out of range for count {count}")
+            }
+            MergeError::DuplicateShard { index } => {
+                write!(f, "shard {index} appeared more than once")
+            }
+            MergeError::MissingShard { index, count } => {
+                write!(f, "shard {index} of {count} is missing")
+            }
+            MergeError::DuplicateCell { index } => {
+                write!(f, "cell {index} was delivered by two shards")
+            }
+            MergeError::CellIndexOutOfRange { index, total } => {
+                write!(
+                    f,
+                    "cell index {index} is beyond the {total} cells delivered"
+                )
+            }
+            MergeError::MissingCell { index } => {
+                write!(f, "cell {index} was delivered by no shard")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Reassembles a complete set of shards into the [`CampaignResult`] the
+/// matrix would have produced in one process — cells restored to matrix
+/// order, **bit-identical** to [`Campaign::run`] for any shard count and
+/// any merge order (property-tested through the JSON round trip in
+/// `tests/campaign_api.rs`).
+///
+/// Every shard of the declared count must be present exactly once, and
+/// their cells must tile the matrix exactly (disjoint, no gaps); anything
+/// else is a typed [`MergeError`].
+///
+/// The merged [`CampaignPerf`] describes the fan-out: `workers` is the
+/// shard count, `wall_seconds` the slowest shard (the fan-out's makespan,
+/// as if shards ran concurrently — callers timing a real fan-out should
+/// measure their own wall clock, which also covers spawn and serialization
+/// overhead), and `total_events` is recomputed from the merged cells (wire
+/// perf metadata is never trusted).
+pub fn merge(
+    shards: impl IntoIterator<Item = CampaignShard>,
+) -> Result<CampaignResult, MergeError> {
+    let shards: Vec<CampaignShard> = shards.into_iter().collect();
+    let Some(first) = shards.first() else {
+        return Err(MergeError::Empty);
+    };
+    let count = first.spec.count;
+    let mut seen = vec![false; count];
+    for s in &shards {
+        if s.spec.count != count {
+            return Err(MergeError::MismatchedCounts {
+                expected: count,
+                found: s.spec.count,
+            });
+        }
+        if s.spec.index >= count {
+            return Err(MergeError::ShardIndexOutOfRange {
+                index: s.spec.index,
+                count,
+            });
+        }
+        if std::mem::replace(&mut seen[s.spec.index], true) {
+            return Err(MergeError::DuplicateShard {
+                index: s.spec.index,
+            });
+        }
+    }
+    if let Some(index) = seen.iter().position(|present| !present) {
+        return Err(MergeError::MissingShard { index, count });
+    }
+
+    let total: usize = shards.iter().map(|s| s.cells.len()).sum();
+    let mut slots: Vec<Option<CampaignCell>> = (0..total).map(|_| None).collect();
+    let mut wall_seconds = 0.0f64;
+    for shard in shards {
+        wall_seconds = wall_seconds.max(shard.perf.wall_seconds);
+        for (index, cell) in shard.cells {
+            let slot = slots
+                .get_mut(index)
+                .ok_or(MergeError::CellIndexOutOfRange { index, total })?;
+            if slot.replace(cell).is_some() {
+                return Err(MergeError::DuplicateCell { index });
+            }
+        }
+    }
+    let cells = slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| slot.ok_or(MergeError::MissingCell { index }))
+        .collect::<Result<Vec<_>, _>>()?;
+    // Recomputed from the validated cells, never trusted from the wire:
+    // a shard's perf metadata could be corrupt without failing the cell
+    // bit-identity check, and the merged count must match what the
+    // sequential executor would report.
+    let total_events = cells.iter().map(|c| report_events(&c.report)).sum();
+    Ok(CampaignResult {
+        cells,
+        perf: CampaignPerf {
+            workers: count,
+            wall_seconds,
+            total_events,
+        },
+    })
 }
 
 #[cfg(test)]

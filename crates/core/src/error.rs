@@ -59,6 +59,14 @@ pub enum ConfigError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A [`ShardSpec`](crate::campaign::ShardSpec) does not name a valid
+    /// shard: the count is zero or the index is out of range.
+    InvalidShard {
+        /// The rejected shard index.
+        index: usize,
+        /// The rejected shard count.
+        count: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -91,6 +99,12 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::UnknownScheduler { name } => {
                 write!(f, "scheduler {name:?} is not registered")
+            }
+            ConfigError::InvalidShard { index, count } => {
+                write!(
+                    f,
+                    "shard {index}/{count} is not a valid shard of a campaign"
+                )
             }
         }
     }
@@ -131,5 +145,8 @@ mod tests {
         }
         .to_string()
         .contains("nope"));
+        assert!(ConfigError::InvalidShard { index: 3, count: 2 }
+            .to_string()
+            .contains("3/2"));
     }
 }

@@ -72,23 +72,27 @@
 //! driver and campaigns resolve policies through the registry, never a
 //! hard-coded list.
 
+pub mod affinity;
 pub mod campaign;
 pub mod config;
 pub mod cost;
 pub mod driver;
 pub mod error;
 pub mod json;
+pub mod jsonval;
 pub mod report;
 pub mod sched;
 pub mod team;
 pub mod thread;
 
 pub use campaign::{
-    scaling_efficiency, Campaign, CampaignCell, CampaignPerf, CampaignResult, CellKey,
+    merge, scaling_efficiency, Campaign, CampaignCell, CampaignPerf, CampaignResult, CampaignShard,
+    CellKey, MergeError, ShardSpec,
 };
 pub use config::{SchedulerKind, SimConfig, SimConfigBuilder, SliccParams, StrexParams};
 pub use driver::{run, run_registered, run_typed, run_with, SimScratch};
 pub use error::ConfigError;
+pub use jsonval::{JsonValue, WireError};
 pub use report::Report;
 pub use sched::registry::{SchedulerFactory, SchedulerRegistry};
 pub use sched::{FpTable, Scheduler};

@@ -4,6 +4,7 @@ use strex_sim::ids::Cycle;
 use strex_sim::stats::{CoreStats, SharedStats, SystemStats};
 
 use crate::json::JsonWriter;
+use crate::jsonval::{JsonValue, WireError};
 
 /// Outcome of one simulation run.
 #[derive(Clone, Debug)]
@@ -167,6 +168,57 @@ impl Report {
         w.end_object();
     }
 
+    /// Parses a report back from its [`to_json`](Report::to_json) form —
+    /// the wire format `repro dist` shard children ship their results in.
+    ///
+    /// Only the raw measurement fields are read; the derived `metrics`
+    /// and `stats.aggregate` sections are ignored and recomputed on
+    /// demand, so a parsed report re-serializes byte-identically to its
+    /// source (round-trip-tested in `tests/json_wire.rs`).
+    pub fn from_json(text: &str) -> Result<Report, WireError> {
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// [`from_json`](Report::from_json) over an already-parsed value
+    /// (e.g. one cell of a campaign document).
+    pub fn from_json_value(v: &JsonValue) -> Result<Report, WireError> {
+        let latencies = v
+            .req_array("latencies")?
+            .iter()
+            .map(|l| {
+                l.as_u64()
+                    .ok_or_else(|| WireError::new("`latencies` entry is not an unsigned integer"))
+            })
+            .collect::<Result<Vec<Cycle>, _>>()?;
+        let cores = v
+            .req_array("stats.cores")?
+            .iter()
+            .map(core_stats_from_json)
+            .collect::<Result<Vec<CoreStats>, _>>()?;
+        let shared = SharedStats {
+            l2_accesses: v.req_u64("stats.shared.l2_accesses")?,
+            l2_misses: v.req_u64("stats.shared.l2_misses")?,
+            writebacks: v.req_u64("stats.shared.writebacks")?,
+        };
+        let hybrid_choice = match v.req("hybrid_choice")? {
+            JsonValue::Null => None,
+            JsonValue::String(s) => Some(intern_scheduler_name(s)?),
+            _ => return Err(WireError::new("`hybrid_choice` is not a string or null")),
+        };
+        Ok(Report {
+            scheduler: intern_scheduler_name(v.req_str("scheduler")?)?,
+            workload: v.req_str("workload")?.to_string(),
+            n_cores: v.req_u64("n_cores")? as usize,
+            makespan: v.req_u64("makespan")?,
+            transactions: v.req_u64("transactions")? as usize,
+            latencies,
+            stats: SystemStats { cores, shared },
+            context_switches: v.req_u64("context_switches")?,
+            migrations: v.req_u64("migrations")?,
+            hybrid_choice,
+        })
+    }
+
     /// Latency histogram over fixed-width bins of `bin_cycles`, returning
     /// `(bin upper edge, fraction)` pairs — Figure 7's distribution.
     pub fn latency_histogram(&self, bin_cycles: u64, n_bins: usize) -> Vec<(u64, f64)> {
@@ -222,6 +274,57 @@ fn write_shared_stats(w: &mut JsonWriter, s: &SharedStats) {
     w.key("writebacks");
     w.number_u64(s.writebacks);
     w.end_object();
+}
+
+fn core_stats_from_json(v: &JsonValue) -> Result<CoreStats, WireError> {
+    Ok(CoreStats {
+        instructions: v.req_u64("instructions")?,
+        i_accesses: v.req_u64("i_accesses")?,
+        i_misses: v.req_u64("i_misses")?,
+        i_misses_hidden: v.req_u64("i_misses_hidden")?,
+        prefetches: v.req_u64("prefetches")?,
+        useful_prefetches: v.req_u64("useful_prefetches")?,
+        d_accesses: v.req_u64("d_accesses")?,
+        d_misses: v.req_u64("d_misses")?,
+        d_coherence_misses: v.req_u64("d_coherence_misses")?,
+        upgrade_invalidations: v.req_u64("upgrade_invalidations")?,
+        i_stall_cycles: v.req_u64("i_stall_cycles")?,
+        d_stall_cycles: v.req_u64("d_stall_cycles")?,
+    })
+}
+
+/// Maps a parsed scheduler name onto the `&'static str` the [`Report`]
+/// carries. The built-in policy names come from a fixed table; an unknown
+/// name (a custom registry policy crossing the wire) is leaked once and
+/// memoized, so long-running parsers stay bounded by the number of
+/// *distinct* custom policy names they ever see — mirroring how factories
+/// hold `&'static` names locally. Because the wire is a trust boundary,
+/// the memo table is capped: a document stream minting endless fresh
+/// names gets a [`WireError`], not an unbounded leak.
+fn intern_scheduler_name(name: &str) -> Result<&'static str, WireError> {
+    const BUILT_IN: &[&str] = &["Base", "STREX", "SLICC", "STREX+SLICC"];
+    // Far more distinct custom policies than any real registry holds;
+    // only hostile or corrupt input gets anywhere near it.
+    const MAX_CUSTOM: usize = 1024;
+    for &s in BUILT_IN {
+        if s == name {
+            return Ok(s);
+        }
+    }
+    static CUSTOM: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+    let mut interned = CUSTOM.lock().expect("interner poisoned");
+    if let Some(&s) = interned.iter().find(|&&s| s == name) {
+        return Ok(s);
+    }
+    if interned.len() >= MAX_CUSTOM {
+        return Err(WireError::new(format!(
+            "refusing to intern scheduler name {name:?}: more than {MAX_CUSTOM} distinct \
+             custom names seen, which no real registry produces"
+        )));
+    }
+    let s: &'static str = Box::leak(name.to_string().into_boxed_str());
+    interned.push(s);
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -297,6 +400,27 @@ mod tests {
         assert!(j.contains(r#""l2_accesses":0"#));
         // Deterministic: same report, same bytes.
         assert_eq!(j, r.to_json());
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let mut r = report(1000, vec![500, 900]);
+        r.stats.cores[0].instructions = 1234;
+        r.stats.cores[1].d_misses = 56;
+        r.stats.shared.l2_accesses = 78;
+        r.context_switches = 9;
+        r.hybrid_choice = Some("STREX");
+        let json = r.to_json();
+        let parsed = Report::from_json(&json).expect("own output parses");
+        assert_eq!(parsed.to_json(), json, "byte-identical round trip");
+        assert_eq!(parsed.hybrid_choice, Some("STREX"));
+        assert_eq!(parsed.stats.cores.len(), 2);
+
+        // Structural errors are loud, not panics.
+        assert!(Report::from_json("{}").is_err());
+        assert!(Report::from_json("not json").is_err());
+        let truncated = json.replace(r#""makespan":1000,"#, "");
+        assert!(Report::from_json(&truncated).is_err());
     }
 
     #[test]

@@ -113,6 +113,198 @@ mod sharded_worker_counts {
     }
 }
 
+/// The deterministic sharding layer: shard ownership must partition the
+/// matrix (every cell in exactly one shard), and reassembling shards —
+/// through the JSON wire format, in any merge order — must reproduce the
+/// sequential `CampaignResult` byte for byte.
+mod deterministic_sharding {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+    use strex::campaign::{merge, shard_of, CampaignShard, MergeError, ShardSpec};
+
+    fn workloads() -> Vec<Workload> {
+        vec![
+            Workload::preset_small(WorkloadKind::TpccW1, 8, 11),
+            Workload::preset_small(WorkloadKind::MapReduce, 8, 11),
+        ]
+    }
+
+    fn campaign(workloads: &[Workload]) -> Campaign<'_> {
+        Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
+            .over_schedulers([SchedulerKind::Strex, SchedulerKind::Slicc])
+            .over_workloads(workloads)
+            .over_cores([2, 4])
+    }
+
+    /// The sequential result every shard/merge combination must equal.
+    fn sequential_json() -> &'static str {
+        static REF: OnceLock<String> = OnceLock::new();
+        REF.get_or_init(|| {
+            let w = workloads();
+            campaign(&w)
+                .parallelism(1)
+                .run()
+                .expect("valid campaign")
+                .to_json()
+        })
+    }
+
+    #[test]
+    fn shard_partitions_are_disjoint_and_complete() {
+        let w = workloads();
+        let cells = campaign(&w)
+            .cells(registry::global())
+            .expect("valid campaign");
+        assert_eq!(cells.len(), 8);
+        for count in [1usize, 2, 3, 5, 8, 13] {
+            let specs: Vec<ShardSpec> = (0..count)
+                .map(|i| ShardSpec::new(i, count).expect("valid"))
+                .collect();
+            for (key, _) in &cells {
+                // Exactly one owner per cell = disjoint AND complete.
+                let owners = specs.iter().filter(|s| s.owns(key)).count();
+                assert_eq!(owners, 1, "cell {key} owned by {owners} shards of {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_ignores_matrix_position() {
+        // The same key hashes to the same shard no matter which campaign
+        // enumerated it — the property that lets processes shard without
+        // coordination.
+        let w = workloads();
+        let small = campaign(&w[..1]).cells(registry::global()).expect("valid");
+        let full = campaign(&w).cells(registry::global()).expect("valid");
+        for (key, _) in &small {
+            let twin = full
+                .iter()
+                .find(|(k, _)| k.to_string() == key.to_string())
+                .expect("subset");
+            assert_eq!(shard_of(key, 4), shard_of(&twin.0, 4));
+        }
+    }
+
+    #[test]
+    fn invalid_shard_specs_are_rejected() {
+        assert_eq!(
+            ShardSpec::new(0, 0).unwrap_err(),
+            ConfigError::InvalidShard { index: 0, count: 0 }
+        );
+        assert_eq!(
+            ShardSpec::new(2, 2).unwrap_err(),
+            ConfigError::InvalidShard { index: 2, count: 2 }
+        );
+        let w = workloads();
+        let err = campaign(&w)
+            .run_shard(ShardSpec { index: 5, count: 3 })
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidShard { index: 5, count: 3 });
+    }
+
+    fn run_shards(count: usize) -> Vec<CampaignShard> {
+        let w = workloads();
+        (0..count)
+            .map(|i| {
+                campaign(&w)
+                    .run_shard(ShardSpec::new(i, count).expect("valid"))
+                    .expect("valid campaign")
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn any_shard_count_and_merge_order_reproduces_sequential(
+            count in 1usize..=6,
+            rotation in 0usize..6,
+            reversed in any::<bool>(),
+        ) {
+            // Every shard crosses a simulated process boundary: serialize,
+            // parse back, then merge in a permuted order.
+            let mut shards: Vec<CampaignShard> = run_shards(count)
+                .iter()
+                .map(|s| {
+                    CampaignShard::from_json(&s.to_json())
+                        .map_err(|e| TestCaseError::fail(e.to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+            shards.rotate_left(rotation % count.max(1));
+            if reversed {
+                shards.reverse();
+            }
+            let merged = merge(shards).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(merged.to_json(), sequential_json());
+            prop_assert_eq!(merged.perf().workers, count);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_conflicting_shard_sets() {
+        let shards = run_shards(3);
+        assert!(matches!(merge(Vec::new()).unwrap_err(), MergeError::Empty));
+        // A missing shard.
+        assert!(matches!(
+            merge(shards[..2].to_vec()).unwrap_err(),
+            MergeError::MissingShard { index: 2, count: 3 }
+        ));
+        // A duplicated shard.
+        let mut dup = shards.clone();
+        dup.push(shards[1].clone());
+        assert!(matches!(
+            merge(dup).unwrap_err(),
+            MergeError::DuplicateShard { index: 1 }
+        ));
+        // Disagreeing counts.
+        let mut mixed = run_shards(2);
+        mixed.push(shards[2].clone());
+        assert!(matches!(
+            merge(mixed).unwrap_err(),
+            MergeError::MismatchedCounts {
+                expected: 2,
+                found: 3
+            }
+        ));
+        // And the happy path still holds after all that cloning.
+        assert_eq!(
+            merge(shards).expect("complete").to_json(),
+            sequential_json()
+        );
+    }
+
+    #[test]
+    fn shard_wire_format_round_trips_with_indices_and_perf() {
+        let w = workloads();
+        let shard = campaign(&w)
+            .run_shard(ShardSpec::new(0, 2).expect("valid"))
+            .expect("valid campaign");
+        let json = shard.to_json();
+        let parsed = CampaignShard::from_json(&json).expect("own output parses");
+        assert_eq!(parsed.spec(), shard.spec());
+        assert_eq!(parsed.to_json(), json, "byte-identical round trip");
+        assert_eq!(parsed.cells().len(), shard.cells().len());
+        assert_eq!(parsed.perf().total_events, shard.perf().total_events);
+        for ((ia, ca), (ib, cb)) in shard.cells().iter().zip(parsed.cells()) {
+            assert_eq!(ia, ib);
+            assert_eq!(ca.key, cb.key, "workload_idx crosses the wire");
+            assert_eq!(ca.report.to_json(), cb.report.to_json());
+        }
+    }
+
+    #[test]
+    fn pinned_workers_change_nothing_but_placement() {
+        let w = workloads();
+        let pinned = campaign(&w)
+            .parallelism(2)
+            .pin_workers(true)
+            .run()
+            .expect("valid campaign");
+        assert_eq!(pinned.to_json(), sequential_json());
+    }
+}
+
 #[test]
 fn campaign_result_order_is_independent_of_worker_count() {
     let workloads = pools();
