@@ -7,6 +7,9 @@
 //! repro scale
 //! repro dist [--procs N]
 //! repro shard I/N [--pin CORE]
+//! repro serve --listen ADDR [--jobs N] [--timeout-ms MS]
+//! repro work --connect ADDR [--pin CORE] [--name LABEL]
+//! repro submit --connect ADDR [--shards N] [--verify]
 //! repro --bench-json [--check [baseline.json]]
 //! ```
 //!
@@ -39,6 +42,19 @@
 //! trace stream stays LLC-hot across cells sharing a workload) and
 //! prints exactly one JSON document — the shard — to stdout. `--pin C`
 //! pins the process to core `C` first (best-effort; a no-op off Linux).
+//!
+//! `serve` / `work` / `submit` are `dist` grown into a service (the
+//! `strex::dispatch` TCP campaign dispatcher; wire format in
+//! `docs/PROTOCOL.md`). `serve` binds a coordinator that accepts
+//! campaign submissions and hands shards to connected workers, tracking
+//! their liveness by heartbeat and re-queueing shards from dead or
+//! straggling workers (`--jobs N` exits cleanly after N jobs — the CI
+//! smoke's run bound). `work` connects a worker that executes quick-matrix
+//! shards until the coordinator closes the connection. `submit` submits
+//! the quick matrix split `--shards` ways and prints the merged
+//! campaign's summary; `--verify` additionally runs the same matrix
+//! in-process sequentially and fails unless the dispatched result is
+//! bit-identical — the end-to-end determinism check CI runs on loopback.
 //!
 //! `--bench-json` is a standalone mode: it times the quick reproduction
 //! suite cell by cell, merges the result with the committed same-session
@@ -85,6 +101,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("shard") => return shard_mode(&args[1..]),
         Some("dist") => return dist_mode(&args[1..]),
+        Some("serve") => return serve_mode(&args[1..]),
+        Some("work") => return work_mode(&args[1..]),
+        Some("submit") => return submit_mode(&args[1..]),
         _ => {}
     }
     // `--check [path]` takes an optional value: extract it before flag
@@ -370,6 +389,241 @@ fn dist_mode(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The coordinator half of the dispatcher: binds `--listen ADDR`, accepts
+/// campaign submissions and worker registrations, and serves until
+/// `--jobs N` jobs complete (forever without it). Workers silent for
+/// `--timeout-ms` (default 10s) are dropped and their shards re-queued.
+fn serve_mode(rest: &[String]) -> ExitCode {
+    use std::sync::Arc;
+    use strex::dispatch::{DispatchConfig, ServeOptions, Server, SystemClock};
+
+    let mut listen: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut cfg = DispatchConfig::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => {
+                    eprintln!("--listen needs an ADDR (e.g. 127.0.0.1:7700)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive job count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--timeout-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms >= 1 => {
+                    cfg.worker_timeout_ms = ms;
+                    // Keep the advertised cadence consistent with the
+                    // timeout (workers beat 4x faster than they may die).
+                    cfg.heartbeat_interval_ms = (ms / 4).max(1);
+                }
+                _ => {
+                    eprintln!("--timeout-ms needs a positive millisecond count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "serve takes --listen ADDR [--jobs N] [--timeout-ms MS]; unexpected `{other}`"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(listen) = listen else {
+        eprintln!("usage: repro serve --listen ADDR [--jobs N] [--timeout-ms MS]");
+        return ExitCode::FAILURE;
+    };
+    let server = match Server::bind(
+        listen.as_str(),
+        cfg,
+        strex_bench::perf::dispatch_catalog(),
+        Arc::new(SystemClock::new()),
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("serving campaign dispatch on {addr}"),
+        Err(_) => println!("serving campaign dispatch on {listen}"),
+    }
+    match server.run(ServeOptions { max_jobs: jobs }) {
+        Ok(summary) => {
+            println!("served {} job(s); exiting", summary.jobs_completed);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The worker half of the dispatcher: connects to `--connect ADDR`,
+/// registers, and executes assigned quick-matrix shards until the
+/// coordinator closes the connection. `--pin C` pins the process first
+/// (best-effort, like `shard`); `--name` labels it in coordinator logs.
+fn work_mode(rest: &[String]) -> ExitCode {
+    use strex::dispatch::{connect_with_retry, run_worker, WorkerOptions};
+
+    let mut connect: Option<String> = None;
+    let mut pin: Option<usize> = None;
+    let mut opts = WorkerOptions::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => match it.next() {
+                Some(addr) => connect = Some(addr.clone()),
+                None => {
+                    eprintln!("--connect needs an ADDR");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--pin" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(core) => pin = Some(core),
+                None => {
+                    eprintln!("--pin needs a core index");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--name" => match it.next() {
+                Some(name) => opts.name = name.clone(),
+                None => {
+                    eprintln!("--name needs a label");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "work takes --connect ADDR [--pin CORE] [--name LABEL]; unexpected `{other}`"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(connect) = connect else {
+        eprintln!("usage: repro work --connect ADDR [--pin CORE] [--name LABEL]");
+        return ExitCode::FAILURE;
+    };
+    if let Some(core) = pin {
+        if !strex::affinity::pin_to_core(core) {
+            eprintln!("note: could not pin to core {core}; running unpinned");
+        }
+    }
+    // Workers and the coordinator start concurrently in CI; absorb the
+    // bind race instead of failing the fleet.
+    let stream =
+        match connect_with_retry(connect.as_str(), 50, std::time::Duration::from_millis(100)) {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("cannot reach coordinator {connect}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    drop(stream);
+    let mut runner = strex_bench::perf::dispatch_runner();
+    match run_worker(connect.as_str(), &opts, &mut runner) {
+        Ok(summary) => {
+            println!(
+                "worker {} done: {} shard(s) executed",
+                opts.name, summary.shards_run
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("worker {} failed: {e}", opts.name);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The submitter: sends the quick matrix split `--shards` ways to
+/// `--connect ADDR`, blocks for the merged campaign, and prints its
+/// summary line. `--verify` re-runs the matrix in-process sequentially
+/// and fails unless the dispatched result is bit-identical.
+fn submit_mode(rest: &[String]) -> ExitCode {
+    use strex_bench::perf;
+
+    let mut connect: Option<String> = None;
+    let mut shards: usize = 4;
+    let mut verify = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => match it.next() {
+                Some(addr) => connect = Some(addr.clone()),
+                None => {
+                    eprintln!("--connect needs an ADDR");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("--shards needs a positive shard count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verify" => verify = true,
+            other => {
+                eprintln!(
+                    "submit takes --connect ADDR [--shards N] [--verify]; unexpected `{other}`"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(connect) = connect else {
+        eprintln!("usage: repro submit --connect ADDR [--shards N] [--verify]");
+        return ExitCode::FAILURE;
+    };
+    // Same bind-race absorption as `work`: the coordinator may still be
+    // starting when the fleet launches together (as the CI smoke does).
+    if let Err(e) = strex::dispatch::connect_with_retry(
+        connect.as_str(),
+        50,
+        std::time::Duration::from_millis(100),
+    ) {
+        eprintln!("cannot reach coordinator {connect}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let result = match strex::dispatch::submit(connect.as_str(), perf::QUICK_CAMPAIGN, shards) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "dispatched campaign merged: {} cells, {} events simulated",
+        result.cells().len(),
+        result.perf().total_events,
+    );
+    if verify {
+        let workloads = perf::quick_matrix_workloads();
+        let sequential = perf::quick_campaign(&workloads)
+            .parallelism(1)
+            .run()
+            .expect("quick matrix is valid");
+        if sequential.to_json() != result.to_json() {
+            eprintln!("verify: FAILED — dispatched result diverged from the sequential run");
+            return ExitCode::FAILURE;
+        }
+        println!("verify: ok — dispatched result bit-identical to the sequential run");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Times the quick suite, merges with the committed baselines, writes
 /// `${BENCH_ARTIFACT}.json`, and (with `--check`) gates the fresh
 /// seed-vs-current ratio against the committed one.
@@ -520,7 +774,7 @@ fn check_regression(
     committed_path: &str,
     committed_text: &str,
 ) -> Result<String, String> {
-    use strex_bench::jsonread::JsonValue;
+    use strex::jsonval::JsonValue;
 
     let doc =
         JsonValue::parse(committed_text).map_err(|e| format!("check: {committed_path}: {e}"))?;

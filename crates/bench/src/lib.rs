@@ -17,7 +17,6 @@
 
 pub mod baseline_seed;
 pub mod experiments;
-pub mod jsonread;
 pub mod perf;
 pub mod table;
 

@@ -573,6 +573,28 @@ pub fn run_quick_shard(spec: ShardSpec) -> CampaignShard {
         .expect("quick matrix is valid")
 }
 
+/// The catalog name the dispatcher knows the quick matrix by: what
+/// `repro serve` accepts, `repro submit` submits, and `repro work` maps
+/// to [`run_quick_shard`]. One constant so the three CLIs cannot drift.
+pub const QUICK_CAMPAIGN: &str = "quick";
+
+/// The campaign names a `repro serve` coordinator accepts.
+pub fn dispatch_catalog() -> Vec<String> {
+    vec![QUICK_CAMPAIGN.to_string()]
+}
+
+/// The [`strex::dispatch::ShardRunner`] a `repro work` worker serves
+/// with: maps the catalog names to their shard executors.
+pub fn dispatch_runner() -> impl FnMut(&str, ShardSpec) -> Result<CampaignShard, String> {
+    |campaign: &str, spec: ShardSpec| {
+        if campaign == QUICK_CAMPAIGN {
+            Ok(run_quick_shard(spec))
+        } else {
+            Err(format!("worker has no runner for campaign {campaign:?}"))
+        }
+    }
+}
+
 /// [`campaign_scaling`] for a whole worker-count sweep: the sequential
 /// (1-worker) run is measured **once** and every sweep point is judged
 /// against that same baseline — K points cost K+1 matrix executions, not
@@ -716,6 +738,9 @@ pub fn dist_fan_out(exe: &Path, procs: usize, pin: bool) -> io::Result<(Campaign
             cmd.arg("--pin").arg((i % cores).to_string());
         }
         cmd.stdout(Stdio::piped());
+        // Stderr is captured too, so a failing child's own words travel
+        // into the error the caller sees instead of a bare exit status.
+        cmd.stderr(Stdio::piped());
         match cmd.spawn() {
             Ok(child) => children.push(child),
             Err(e) => {
@@ -732,13 +757,17 @@ pub fn dist_fan_out(exe: &Path, procs: usize, pin: bool) -> io::Result<(Campaign
     // zombie.
     let readers: Vec<_> = children
         .into_iter()
-        .map(|child| {
+        .enumerate()
+        .map(|(i, child)| {
             std::thread::spawn(move || -> io::Result<CampaignShard> {
                 let out = child.wait_with_output()?;
                 if !out.status.success() {
-                    return Err(io::Error::other(format!(
-                        "shard child exited with {}",
-                        out.status
+                    // Same rendering the dispatcher uses for a lost
+                    // worker: peer, exit status, and its stderr.
+                    return Err(io::Error::other(strex::dispatch::peer_failure(
+                        &format!("shard child {i}/{procs}"),
+                        &out.status.to_string(),
+                        &String::from_utf8_lossy(&out.stderr),
                     )));
                 }
                 let text = std::str::from_utf8(&out.stdout)

@@ -461,16 +461,32 @@ pub fn shard_of(key: &CellKey, count: usize) -> usize {
     struct Fnv(u64);
     impl fmt::Write for Fnv {
         fn write_str(&mut self, s: &str) -> fmt::Result {
-            for b in s.bytes() {
-                self.0 ^= u64::from(b);
-                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-            }
+            self.0 = fnv64_fold(self.0, s);
             Ok(())
         }
     }
-    let mut fnv = Fnv(0xcbf2_9ce4_8422_2325);
+    let mut fnv = Fnv(FNV_OFFSET);
     write!(fnv, "{key}").expect("hashing writer never fails");
     (fnv.0 % count as u64) as usize
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv64_fold(mut state: u64, s: &str) -> u64 {
+    for b in s.bytes() {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x100_0000_01b3);
+    }
+    state
+}
+
+/// FNV-1a over `text` — the same digest [`shard_of`] partitions cell keys
+/// with, exposed for the other place the campaign layer needs a
+/// deterministic, coordination-free hash: the dispatcher derives
+/// idempotent job keys from submitted campaign specs with it
+/// ([`crate::dispatch::job_key`]).
+pub fn fnv64(text: &str) -> u64 {
+    fnv64_fold(FNV_OFFSET, text)
 }
 
 /// The sharded executor's self-measurement for one campaign: how much
@@ -646,7 +662,13 @@ impl CampaignResult {
     /// advances. Two *adjacent same-named* workloads merge under one
     /// index, which cannot change the serialized bytes.
     pub fn from_json(text: &str) -> Result<CampaignResult, WireError> {
-        let doc = JsonValue::parse(text)?;
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// [`from_json`](CampaignResult::from_json) over an already-parsed
+    /// document — the entry point the dispatch protocol uses, where the
+    /// result arrives embedded in a larger frame.
+    pub fn from_json_value(doc: &JsonValue) -> Result<CampaignResult, WireError> {
         let mut cells: Vec<CampaignCell> = Vec::new();
         let mut workload_idx = 0usize;
         for v in doc.req_array("cells")? {
@@ -806,7 +828,13 @@ impl CampaignShard {
 
     /// Parses a shard from its [`to_json`](CampaignShard::to_json) form.
     pub fn from_json(text: &str) -> Result<CampaignShard, WireError> {
-        let doc = JsonValue::parse(text)?;
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// [`from_json`](CampaignShard::from_json) over an already-parsed
+    /// document — the entry point the dispatch protocol uses, where the
+    /// shard arrives embedded in a `shard_done` frame.
+    pub fn from_json_value(doc: &JsonValue) -> Result<CampaignShard, WireError> {
         let spec = ShardSpec {
             index: doc.req_u64("shard.index")? as usize,
             count: doc.req_u64("shard.count")? as usize,

@@ -1,0 +1,66 @@
+//! The submitter half of the dispatcher: one blocking call per campaign.
+//!
+//! A submission is a single round trip — send one `submit` frame, block
+//! until the coordinator streams the merged result (or a rejection) back.
+//! Idempotency lives coordinator-side ([`super::job_key`]): re-submitting
+//! the same spec attaches to the in-flight job or returns the cached
+//! result, so a submitter that times out and retries never causes the
+//! matrix to run twice.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::campaign::CampaignResult;
+
+use super::proto::{read_message, write_message, Message};
+use super::DispatchError;
+
+/// Submits `campaign` split `shards` ways and blocks until the merged
+/// [`CampaignResult`] arrives.
+pub fn submit(
+    addr: impl ToSocketAddrs,
+    campaign: &str,
+    shards: usize,
+) -> Result<CampaignResult, DispatchError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_message(
+        &mut stream,
+        &Message::Submit {
+            campaign: campaign.to_string(),
+            shards,
+        },
+    )?;
+    let mut reader = std::io::BufReader::new(stream);
+    match read_message(&mut reader).map_err(DispatchError::Proto)? {
+        Some(Message::Result { result, .. }) => Ok(result),
+        Some(Message::Reject { message }) => Err(DispatchError::Rejected(message)),
+        Some(other) => Err(DispatchError::Protocol(format!(
+            "coordinator answered a submission with a {:?} frame",
+            other.type_name()
+        ))),
+        None => Err(DispatchError::Protocol(
+            "coordinator closed the connection before answering".to_string(),
+        )),
+    }
+}
+
+/// [`TcpStream::connect`] with retries: tries every `delay` until
+/// `attempts` runs out. For CLI and CI use, where the coordinator and its
+/// workers start concurrently and the first connect can race the bind.
+pub fn connect_with_retry(
+    addr: impl ToSocketAddrs + Copy,
+    attempts: usize,
+    delay: Duration,
+) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(delay);
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("no connection attempts made")))
+}

@@ -1,0 +1,99 @@
+//! Deadline clock abstraction for the dispatcher.
+//!
+//! Worker liveness is judged by wall-clock deadlines ("no heartbeat for
+//! `worker_timeout_ms`"), which makes the coordinator's re-queue logic
+//! untestable against real time: a test that *waits* for a timeout is
+//! slow, and one that doesn't never exercises the path. The coordinator
+//! therefore never reads the system clock directly — every
+//! [`handle`](super::coordinator::Coordinator::handle) call is passed a
+//! millisecond timestamp, and the serve shell obtains it from a [`Clock`].
+//! Production uses [`SystemClock`]; the lifecycle tests drive the same
+//! state machine with a [`FakeClock`] advanced by hand, so the
+//! heartbeat-timeout → re-queue path runs in microseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic millisecond clock.
+///
+/// Only *differences* between readings are meaningful; the origin is
+/// arbitrary (process start for [`SystemClock`], zero for [`FakeClock`]).
+pub trait Clock: Send + Sync {
+    /// Milliseconds since this clock's origin.
+    fn now_ms(&self) -> u64;
+}
+
+/// The real clock: milliseconds since the clock was created, measured on
+/// [`Instant`] so it is monotonic (never jumps backwards on NTP steps).
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-advanced clock for tests: starts at zero, moves only when told
+/// to. Shareable across threads (`Arc<FakeClock>`); advancing is atomic.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now_ms: AtomicU64,
+}
+
+impl FakeClock {
+    /// A fake clock reading zero.
+    pub fn new() -> Self {
+        FakeClock::default()
+    }
+
+    /// Moves the clock forward by `ms`.
+    pub fn advance(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_moves_only_by_hand() {
+        let c = FakeClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(250);
+        c.advance(750);
+        assert_eq!(c.now_ms(), 1000);
+    }
+}

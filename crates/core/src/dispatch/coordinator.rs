@@ -1,0 +1,725 @@
+//! The coordinator: a pure job-lifecycle state machine plus its TCP shell.
+//!
+//! # The state machine
+//!
+//! [`Coordinator`] holds every piece of dispatcher state — jobs, the
+//! worker fleet, the idempotent result cache — and mutates it only
+//! through [`handle`](Coordinator::handle): one event in (a decoded
+//! frame, a disconnect, a clock tick), a list of [`Action`]s out. It
+//! performs **no I/O and reads no clock**: the caller supplies the
+//! timestamp with every event, which is what makes the failure paths
+//! (heartbeat timeout → re-queue, straggler deadline → duplicate
+//! assignment) testable on a [`FakeClock`](super::clock::FakeClock)
+//! without a socket or a sleep in sight.
+//!
+//! # The job lifecycle
+//!
+//! A submission is keyed by [`job_key`] — FNV over the campaign spec, so
+//! retrying a submission (same campaign, same shard count) attaches to
+//! the in-flight job or returns the cached result instead of running the
+//! matrix twice. A new job's shards enter a FIFO queue; idle registered
+//! workers are assigned one shard each; completions fill per-index slots.
+//! Delivery is **at-least-once**: a dead worker's shard is re-queued, a
+//! straggler's shard is re-assigned while the original may still finish —
+//! so the same shard index can legitimately complete twice. The slot
+//! either-or makes duplicates harmless (first completion wins, the rest
+//! are dropped), and [`merge`](crate::campaign::merge)'s typed
+//! `DuplicateShard`/`DuplicateCell` errors remain the backstop if that
+//! invariant is ever broken. When every slot is full, the shards merge
+//! into a [`CampaignResult`] bit-identical to a sequential run and every
+//! waiting submitter receives it.
+//!
+//! # The TCP shell
+//!
+//! [`Server`] is the thin I/O layer: one reader thread per connection
+//! feeding a channel, one loop draining it into the state machine and
+//! writing the resulting frames back out. All policy lives in the state
+//! machine; the shell only moves bytes.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::campaign::{fnv64, merge, CampaignShard, ShardSpec};
+
+use super::clock::Clock;
+use super::proto::{read_message, write_message, Message, ProtoError};
+use super::DispatchError;
+
+/// Identifies one connection for the state machine's lifetime. The shell
+/// allocates these; the state machine never looks inside.
+pub type ConnId = u64;
+
+/// Liveness and re-queue policy.
+#[derive(Copy, Clone, Debug)]
+pub struct DispatchConfig {
+    /// A worker silent (no frame of any kind) for longer than this is
+    /// dead: it is dropped and its in-flight shard re-queued.
+    pub worker_timeout_ms: u64,
+    /// Cadence workers send [`Message::Heartbeat`] at. The coordinator
+    /// does not enforce it directly — it only feeds `worker_timeout_ms`
+    /// — but the serve CLI hands it to workers so the two stay
+    /// consistent (timeout is a multiple of the cadence).
+    pub heartbeat_interval_ms: u64,
+    /// A shard assigned for longer than this is re-queued even if its
+    /// worker is still heartbeating (straggler hedge). The original
+    /// worker keeps running — whichever completion arrives first wins,
+    /// the other is deduplicated. Generous by default: a straggler
+    /// re-queue costs a duplicate shard execution.
+    pub shard_deadline_ms: u64,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        DispatchConfig {
+            worker_timeout_ms: 10_000,
+            heartbeat_interval_ms: 1_000,
+            shard_deadline_ms: 600_000,
+        }
+    }
+}
+
+/// What happened, as the shell observed it.
+#[derive(Debug)]
+pub enum Event {
+    /// A decoded frame arrived from `ConnId`.
+    Message(ConnId, Message),
+    /// The connection closed or failed (EOF, transport error, malformed
+    /// frame). The shell reports them all the same way: the peer is gone.
+    Disconnected(ConnId),
+    /// Time passed; re-check deadlines. The shell emits one per poll
+    /// interval; tests emit them by hand around fake-clock advances.
+    Tick,
+}
+
+/// What the shell must do, in order.
+#[derive(Debug)]
+pub enum Action {
+    /// Write one frame to a connection.
+    Send(ConnId, Message),
+    /// Close a connection (after any preceding sends to it).
+    Close(ConnId),
+    /// A job finished and its result was delivered. The shell uses this
+    /// to honor `--jobs N` run bounds; no I/O is implied.
+    JobCompleted {
+        /// The finished job's idempotency key.
+        job: String,
+    },
+    /// A worker died (disconnect or heartbeat timeout). Informational —
+    /// the shard re-queue already happened; the shell logs it.
+    WorkerLost {
+        /// The label the worker registered with.
+        name: String,
+        /// How the loss was detected.
+        reason: WorkerLossReason,
+        /// The shard that was in flight on the worker, if any (already
+        /// back in the queue unless it had completed elsewhere).
+        requeued: Option<ShardSpec>,
+    },
+}
+
+/// How a worker's death was detected.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum WorkerLossReason {
+    /// The connection closed or failed.
+    Disconnected,
+    /// No frame within `worker_timeout_ms`.
+    HeartbeatTimeout,
+}
+
+impl fmt::Display for WorkerLossReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerLossReason::Disconnected => write!(f, "connection lost"),
+            WorkerLossReason::HeartbeatTimeout => write!(f, "heartbeat timeout"),
+        }
+    }
+}
+
+/// The idempotency key of a submission: FNV-1a over
+/// `"<campaign>/<shards>"`, rendered as 16 hex digits. Same spec, same
+/// key — across submitters, processes and machines — so duplicate
+/// submissions coalesce onto one job.
+pub fn job_key(campaign: &str, shards: usize) -> String {
+    format!("{:016x}", fnv64(&format!("{campaign}/{shards}")))
+}
+
+/// A shard assigned to a worker.
+#[derive(Debug)]
+struct Assignment {
+    job: String,
+    spec: ShardSpec,
+    since_ms: u64,
+    /// Already re-queued by the straggler deadline — don't re-queue again.
+    hedged: bool,
+}
+
+/// One registered worker.
+#[derive(Debug)]
+struct WorkerState {
+    name: String,
+    last_seen_ms: u64,
+    assignment: Option<Assignment>,
+}
+
+/// One in-flight job.
+#[derive(Debug)]
+struct Job {
+    campaign: String,
+    count: usize,
+    /// Shard indices waiting for a worker.
+    queue: VecDeque<usize>,
+    /// Completion slots: first finished shard per index wins.
+    done: Vec<Option<CampaignShard>>,
+    /// Submitter connections awaiting the result.
+    waiters: Vec<ConnId>,
+}
+
+impl Job {
+    fn complete(&self) -> bool {
+        self.done.iter().all(Option::is_some)
+    }
+}
+
+/// The dispatcher's entire state; see the module docs for the lifecycle.
+pub struct Coordinator {
+    cfg: DispatchConfig,
+    /// Campaign names this coordinator accepts.
+    catalog: Vec<String>,
+    jobs: BTreeMap<String, Job>,
+    workers: BTreeMap<ConnId, WorkerState>,
+    /// Serialized results of finished jobs, by job key — the idempotency
+    /// cache. A re-submission of a finished spec is answered from here
+    /// without touching a worker.
+    finished: BTreeMap<String, Message>,
+}
+
+/// Upper bound on the shard count of one submission; far beyond any real
+/// fleet, it only keeps a hostile submitter from making the coordinator
+/// allocate unbounded queues.
+pub const MAX_SHARDS: usize = 4096;
+
+impl Coordinator {
+    /// A coordinator accepting the campaign names in `catalog`.
+    pub fn new(cfg: DispatchConfig, catalog: impl IntoIterator<Item = String>) -> Self {
+        Coordinator {
+            cfg,
+            catalog: catalog.into_iter().collect(),
+            jobs: BTreeMap::new(),
+            workers: BTreeMap::new(),
+            finished: BTreeMap::new(),
+        }
+    }
+
+    /// Registered workers currently alive.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs with unmerged shards.
+    pub fn open_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Advances the state machine by one event observed at `now_ms`.
+    pub fn handle(&mut self, now_ms: u64, event: Event) -> Vec<Action> {
+        let mut actions = Vec::new();
+        match event {
+            Event::Message(conn, msg) => self.on_message(now_ms, conn, msg, &mut actions),
+            Event::Disconnected(conn) => self.on_disconnect(conn, &mut actions),
+            Event::Tick => {}
+        }
+        self.reap_dead_workers(now_ms, &mut actions);
+        self.hedge_stragglers(now_ms);
+        self.assign_pending(now_ms, &mut actions);
+        actions
+    }
+
+    fn on_message(&mut self, now_ms: u64, conn: ConnId, msg: Message, actions: &mut Vec<Action>) {
+        if let Some(w) = self.workers.get_mut(&conn) {
+            w.last_seen_ms = now_ms;
+        }
+        match msg {
+            Message::Submit { campaign, shards } => self.on_submit(conn, campaign, shards, actions),
+            Message::Register { name } => {
+                self.workers.insert(
+                    conn,
+                    WorkerState {
+                        name,
+                        last_seen_ms: now_ms,
+                        assignment: None,
+                    },
+                );
+            }
+            Message::Heartbeat => {}
+            Message::ShardDone { job, shard } => self.on_shard_done(conn, job, shard, actions),
+            // Coordinator-bound connections have no business sending
+            // coordinator-to-peer messages; drop them.
+            Message::Assign { .. } | Message::Result { .. } | Message::Reject { .. } => {
+                actions.push(Action::Send(
+                    conn,
+                    Message::Reject {
+                        message: "unexpected message direction".to_string(),
+                    },
+                ));
+                actions.push(Action::Close(conn));
+            }
+        }
+    }
+
+    fn on_submit(
+        &mut self,
+        conn: ConnId,
+        campaign: String,
+        shards: usize,
+        actions: &mut Vec<Action>,
+    ) {
+        if !self.catalog.contains(&campaign) {
+            actions.push(Action::Send(
+                conn,
+                Message::Reject {
+                    message: format!("unknown campaign {campaign:?}"),
+                },
+            ));
+            actions.push(Action::Close(conn));
+            return;
+        }
+        if shards == 0 || shards > MAX_SHARDS {
+            actions.push(Action::Send(
+                conn,
+                Message::Reject {
+                    message: format!("shard count {shards} outside 1..={MAX_SHARDS}"),
+                },
+            ));
+            actions.push(Action::Close(conn));
+            return;
+        }
+        let key = job_key(&campaign, shards);
+        if let Some(result) = self.finished.get(&key) {
+            // Idempotent replay: answered from the cache, no worker touched.
+            actions.push(Action::Send(conn, result.clone()));
+            actions.push(Action::Close(conn));
+            return;
+        }
+        self.jobs
+            .entry(key)
+            .or_insert_with(|| Job {
+                campaign,
+                count: shards,
+                queue: (0..shards).collect(),
+                done: (0..shards).map(|_| None).collect(),
+                waiters: Vec::new(),
+            })
+            .waiters
+            .push(conn);
+    }
+
+    fn on_shard_done(
+        &mut self,
+        conn: ConnId,
+        job_id: String,
+        shard: CampaignShard,
+        actions: &mut Vec<Action>,
+    ) {
+        // The worker is idle again regardless of what it delivered.
+        if let Some(w) = self.workers.get_mut(&conn) {
+            w.assignment = None;
+        }
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            // Unknown or already-finished job — a straggler's duplicate
+            // after the merge. At-least-once delivery makes this normal.
+            return;
+        };
+        let spec = shard.spec();
+        if spec.count != job.count || spec.index >= job.count {
+            // A shard of some other partitioning cannot tile this job.
+            return;
+        }
+        let slot = &mut job.done[spec.index];
+        if slot.is_none() {
+            *slot = Some(shard);
+        }
+        // else: duplicate completion from a hedged straggler — first one
+        // won, this one is dropped (merge's DuplicateShard is the backstop).
+        if job.complete() {
+            let job = self.jobs.remove(&job_id).expect("checked present");
+            let outcome = match merge(job.done.into_iter().flatten()) {
+                Ok(result) => Message::Result {
+                    job: job_id.clone(),
+                    result,
+                },
+                // Unreachable while the slot invariant holds; reported as
+                // a typed rejection rather than a panic if it ever breaks.
+                Err(e) => Message::Reject {
+                    message: format!("merge failed: {e}"),
+                },
+            };
+            for waiter in job.waiters {
+                actions.push(Action::Send(waiter, outcome.clone()));
+                actions.push(Action::Close(waiter));
+            }
+            self.finished.insert(job_id.clone(), outcome);
+            actions.push(Action::JobCompleted { job: job_id });
+        }
+    }
+
+    fn on_disconnect(&mut self, conn: ConnId, actions: &mut Vec<Action>) {
+        if let Some(worker) = self.workers.remove(&conn) {
+            let requeued = worker.assignment.as_ref().map(|a| a.spec);
+            if let Some(assignment) = worker.assignment {
+                self.requeue(assignment);
+            }
+            actions.push(Action::WorkerLost {
+                name: worker.name,
+                reason: WorkerLossReason::Disconnected,
+                requeued,
+            });
+        }
+        for job in self.jobs.values_mut() {
+            job.waiters.retain(|w| *w != conn);
+        }
+    }
+
+    /// Returns an un-completed, un-hedged assignment's shard to its job's
+    /// queue.
+    fn requeue(&mut self, assignment: Assignment) {
+        if assignment.hedged {
+            // The straggler deadline already re-queued this shard.
+            return;
+        }
+        if let Some(job) = self.jobs.get_mut(&assignment.job) {
+            let index = assignment.spec.index;
+            if job.done[index].is_none() && !job.queue.contains(&index) {
+                job.queue.push_back(index);
+            }
+        }
+    }
+
+    /// Drops workers whose last frame is older than the liveness timeout
+    /// and re-queues their shards.
+    fn reap_dead_workers(&mut self, now_ms: u64, actions: &mut Vec<Action>) {
+        let dead: Vec<ConnId> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| now_ms.saturating_sub(w.last_seen_ms) > self.cfg.worker_timeout_ms)
+            .map(|(&conn, _)| conn)
+            .collect();
+        for conn in dead {
+            let worker = self.workers.remove(&conn).expect("collected above");
+            let requeued = worker.assignment.as_ref().map(|a| a.spec);
+            if let Some(assignment) = worker.assignment {
+                self.requeue(assignment);
+            }
+            actions.push(Action::WorkerLost {
+                name: worker.name,
+                reason: WorkerLossReason::HeartbeatTimeout,
+                requeued,
+            });
+            actions.push(Action::Close(conn));
+        }
+    }
+
+    /// Re-queues shards that have been assigned for longer than the
+    /// straggler deadline, leaving the original worker running (first
+    /// completion wins).
+    fn hedge_stragglers(&mut self, now_ms: u64) {
+        let mut hedged: Vec<Assignment> = Vec::new();
+        for worker in self.workers.values_mut() {
+            if let Some(a) = worker.assignment.as_mut() {
+                if !a.hedged && now_ms.saturating_sub(a.since_ms) > self.cfg.shard_deadline_ms {
+                    hedged.push(Assignment {
+                        job: a.job.clone(),
+                        spec: a.spec,
+                        since_ms: a.since_ms,
+                        hedged: false,
+                    });
+                    a.hedged = true;
+                }
+            }
+        }
+        for assignment in hedged {
+            self.requeue(assignment);
+        }
+    }
+
+    /// Hands queued shards to idle workers, FIFO over jobs in key order.
+    fn assign_pending(&mut self, now_ms: u64, actions: &mut Vec<Action>) {
+        let mut idle: VecDeque<ConnId> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.assignment.is_none())
+            .map(|(&conn, _)| conn)
+            .collect();
+        for (job_id, job) in self.jobs.iter_mut() {
+            while !idle.is_empty() {
+                let Some(index) = job.queue.pop_front() else {
+                    break;
+                };
+                let conn = idle.pop_front().expect("checked non-empty");
+                let spec = ShardSpec {
+                    index,
+                    count: job.count,
+                };
+                self.workers
+                    .get_mut(&conn)
+                    .expect("idle workers are registered")
+                    .assignment = Some(Assignment {
+                    job: job_id.clone(),
+                    spec,
+                    since_ms: now_ms,
+                    hedged: false,
+                });
+                actions.push(Action::Send(
+                    conn,
+                    Message::Assign {
+                        job: job_id.clone(),
+                        campaign: job.campaign.clone(),
+                        spec,
+                    },
+                ));
+            }
+        }
+    }
+}
+
+/// How long a [`Server`] run may keep going.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Stop (cleanly: listener closed, connections dropped) after this
+    /// many jobs complete. `None` serves forever.
+    pub max_jobs: Option<usize>,
+}
+
+/// What a bounded [`Server::run`] did.
+#[derive(Copy, Clone, Debug)]
+pub struct ServeSummary {
+    /// Jobs completed and delivered.
+    pub jobs_completed: usize,
+}
+
+/// Internal: what a reader thread reports upward.
+enum ConnEvent {
+    Frame(ConnId, Message),
+    Gone(ConnId, Option<ProtoError>),
+}
+
+/// The coordinator's TCP shell. Bind first (so the caller learns the
+/// ephemeral port before anything races), then [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    coordinator: Coordinator,
+    clock: Arc<dyn Clock>,
+}
+
+impl Server {
+    /// Binds `addr` and prepares a coordinator for `catalog`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: DispatchConfig,
+        catalog: impl IntoIterator<Item = String>,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            coordinator: Coordinator::new(cfg, catalog),
+            clock,
+        })
+    }
+
+    /// The address actually bound (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `opts.max_jobs` jobs complete (forever when `None`).
+    ///
+    /// Reader threads decode frames off each connection into a channel;
+    /// this loop drains it into the state machine and performs the
+    /// actions. A connection whose peer speaks garbage is treated exactly
+    /// like one that died: disconnected, shard re-queued.
+    pub fn run(mut self, opts: ServeOptions) -> Result<ServeSummary, DispatchError> {
+        let (tx, rx) = mpsc::channel::<ConnEvent>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Arc<Mutex<BTreeMap<ConnId, TcpStream>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
+
+        // Accept loop: non-blocking with a short sleep so the stop flag
+        // is honored promptly when the run bound is reached.
+        self.listener.set_nonblocking(true)?;
+        let acceptor = {
+            let listener = self.listener.try_clone()?;
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let writers = Arc::clone(&writers);
+            std::thread::spawn(move || {
+                let mut next_id: ConnId = 1;
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let conn = next_id;
+                            next_id += 1;
+                            if let Ok(write_half) = stream.try_clone() {
+                                writers.lock().expect("writer map").insert(conn, write_half);
+                                spawn_reader(conn, stream, tx.clone());
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        let mut completed = 0usize;
+        'serve: loop {
+            let event = match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(ConnEvent::Frame(conn, msg)) => Event::Message(conn, msg),
+                Ok(ConnEvent::Gone(conn, reason)) => {
+                    if let Some(err) = reason {
+                        eprintln!("dispatch: connection {conn} lost: {err}");
+                    }
+                    writers.lock().expect("writer map").remove(&conn);
+                    Event::Disconnected(conn)
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => Event::Tick,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            let actions = self.coordinator.handle(self.clock.now_ms(), event);
+            for action in actions {
+                match action {
+                    Action::Send(conn, msg) => {
+                        let mut writers = writers.lock().expect("writer map");
+                        if let Some(stream) = writers.get_mut(&conn) {
+                            if let Err(e) = write_message(stream, &msg) {
+                                eprintln!("dispatch: write to connection {conn} failed: {e}");
+                                writers.remove(&conn);
+                                // The reader thread will report Gone; the
+                                // state machine hears about it next drain.
+                            }
+                        }
+                    }
+                    Action::Close(conn) => {
+                        if let Some(stream) = writers.lock().expect("writer map").remove(&conn) {
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                        }
+                    }
+                    Action::JobCompleted { .. } => {
+                        completed += 1;
+                        if opts.max_jobs.is_some_and(|max| completed >= max) {
+                            break 'serve;
+                        }
+                    }
+                    Action::WorkerLost {
+                        name,
+                        reason,
+                        requeued,
+                    } => match requeued {
+                        Some(spec) => eprintln!(
+                            "dispatch: worker {name:?} lost ({reason}); shard {spec} re-queued"
+                        ),
+                        None => eprintln!("dispatch: worker {name:?} lost ({reason}); was idle"),
+                    },
+                }
+            }
+        }
+
+        stop.store(true, Ordering::SeqCst);
+        // Dropping the writer map closes every connection; workers see
+        // EOF and exit their loops.
+        for (_, stream) in std::mem::take(&mut *writers.lock().expect("writer map")) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let _ = acceptor.join();
+        Ok(ServeSummary {
+            jobs_completed: completed,
+        })
+    }
+}
+
+/// One reader thread: frames (or the reason the connection died) into the
+/// shared channel. A protocol violation ends the connection — same as a
+/// death, so the state machine has exactly one failure path.
+fn spawn_reader(conn: ConnId, stream: TcpStream, tx: mpsc::Sender<ConnEvent>) {
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        loop {
+            match read_message(&mut reader) {
+                Ok(Some(msg)) => {
+                    if tx.send(ConnEvent::Frame(conn, msg)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx.send(ConnEvent::Gone(conn, None));
+                    return;
+                }
+                Err(e) => {
+                    let _ = tx.send(ConnEvent::Gone(conn, Some(e)));
+                    return;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_keys_are_idempotent_and_spec_sensitive() {
+        assert_eq!(job_key("quick", 4), job_key("quick", 4));
+        assert_ne!(job_key("quick", 4), job_key("quick", 5));
+        assert_ne!(job_key("quick", 4), job_key("slow", 4));
+        assert_eq!(job_key("quick", 4).len(), 16, "16 hex digits");
+    }
+
+    #[test]
+    fn unknown_campaigns_and_bad_shard_counts_are_rejected() {
+        let mut c = Coordinator::new(DispatchConfig::default(), ["quick".to_string()]);
+        for (campaign, shards) in [("nope", 2), ("quick", 0), ("quick", MAX_SHARDS + 1)] {
+            let actions = c.handle(
+                0,
+                Event::Message(
+                    7,
+                    Message::Submit {
+                        campaign: campaign.to_string(),
+                        shards,
+                    },
+                ),
+            );
+            assert!(
+                matches!(&actions[0], Action::Send(7, Message::Reject { .. })),
+                "{campaign}/{shards}: {actions:?}"
+            );
+            assert!(matches!(&actions[1], Action::Close(7)));
+            assert_eq!(c.open_jobs(), 0);
+        }
+    }
+
+    #[test]
+    fn wrong_direction_messages_close_the_connection() {
+        let mut c = Coordinator::new(DispatchConfig::default(), ["quick".to_string()]);
+        let actions = c.handle(
+            3,
+            Event::Message(
+                9,
+                Message::Reject {
+                    message: "confused peer".into(),
+                },
+            ),
+        );
+        assert!(matches!(
+            &actions[0],
+            Action::Send(9, Message::Reject { .. })
+        ));
+        assert!(matches!(&actions[1], Action::Close(9)));
+    }
+}

@@ -1,0 +1,142 @@
+//! `repro serve` / `repro work` — the TCP campaign dispatcher.
+//!
+//! The multi-process layer in [`crate::campaign`] proved the shard wire
+//! format for local child processes spawned per run; this module is the
+//! next layer up, a long-lived service: a **coordinator** accepting
+//! campaign submissions over TCP, a fleet of **workers** executing
+//! shards, and the job-lifecycle machinery between them — idempotent
+//! submission keys, per-worker liveness via heartbeats, re-queue of
+//! shards from dead or straggling workers. The delivery contract is
+//! at-least-once with dedup at the coordinator's completion slots, which
+//! is safe precisely because shard execution is deterministic and
+//! [`merge`](crate::campaign::merge) is order-insensitive: however many
+//! times a shard runs, its bytes are the same, and the merged
+//! [`CampaignResult`](crate::campaign::CampaignResult) is bit-identical
+//! to a sequential in-process run.
+//!
+//! The pieces, each its own module:
+//!
+//! * [`proto`] — newline-delimited JSON frames over
+//!   [`crate::jsonval`]; typed parse errors, never panics.
+//! * [`clock`] — the deadline clock abstraction; production reads a
+//!   monotonic [`SystemClock`](clock::SystemClock), lifecycle tests drive
+//!   the same coordinator with a hand-advanced
+//!   [`FakeClock`](clock::FakeClock).
+//! * [`coordinator`] — the pure state machine ([`Coordinator`]) and its
+//!   TCP shell ([`Server`]).
+//! * [`worker`] — the worker loop: register, execute, heartbeat.
+//! * [`client`] — the blocking submitter.
+//!
+//! Wire format and failure semantics are documented in
+//! `docs/PROTOCOL.md`; the `repro serve` / `repro work` / `repro submit`
+//! subcommands in `strex-bench` are thin CLIs over these entry points.
+
+pub mod client;
+pub mod clock;
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use client::{connect_with_retry, submit};
+pub use clock::{Clock, FakeClock, SystemClock};
+pub use coordinator::{
+    job_key, Action, ConnId, Coordinator, DispatchConfig, Event, ServeOptions, ServeSummary,
+    Server, WorkerLossReason, MAX_SHARDS,
+};
+pub use proto::{read_message, write_message, Message, ProtoError};
+pub use worker::{run_worker, ShardRunner, WorkerOptions, WorkerSummary};
+
+use std::fmt;
+
+use crate::campaign::ShardSpec;
+
+/// Why a dispatcher endpoint (server, worker or submitter) gave up.
+#[derive(Debug)]
+pub enum DispatchError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// A frame could not be read or decoded.
+    Proto(ProtoError),
+    /// The coordinator refused the request.
+    Rejected(String),
+    /// The peer sent a well-formed frame that makes no sense here.
+    Protocol(String),
+    /// A worker's [`ShardRunner`] failed on an assigned shard.
+    Runner {
+        /// The campaign the shard belongs to.
+        campaign: String,
+        /// Which shard failed.
+        spec: ShardSpec,
+        /// The runner's error.
+        message: String,
+    },
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::Io(e) => write!(f, "transport error: {e}"),
+            DispatchError::Proto(e) => write!(f, "{e}"),
+            DispatchError::Rejected(m) => write!(f, "rejected by the coordinator: {m}"),
+            DispatchError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            DispatchError::Runner {
+                campaign,
+                spec,
+                message,
+            } => write!(f, "shard {spec} of campaign {campaign:?} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+impl From<std::io::Error> for DispatchError {
+    fn from(e: std::io::Error) -> Self {
+        DispatchError::Io(e)
+    }
+}
+
+/// One consistent rendering for "a peer process died under us", shared by
+/// the `repro dist` child-process error path and the dispatcher's
+/// worker-loss logging: what the peer was, how it exited, and whatever it
+/// said on stderr (trimmed; omitted when silent).
+pub fn peer_failure(peer: &str, status: &str, stderr: &str) -> String {
+    let stderr = stderr.trim();
+    if stderr.is_empty() {
+        format!("{peer} exited with {status} (no stderr)")
+    } else {
+        format!("{peer} exited with {status}; stderr:\n{stderr}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_failure_includes_status_and_stderr() {
+        let msg = peer_failure("shard child 2/4", "exit status: 101", "thread panicked\n");
+        assert!(msg.contains("shard child 2/4"));
+        assert!(msg.contains("exit status: 101"));
+        assert!(msg.contains("thread panicked"));
+        let silent = peer_failure("worker", "signal: 9", "  ");
+        assert!(silent.contains("no stderr"), "{silent}");
+    }
+
+    #[test]
+    fn dispatch_errors_render_their_context() {
+        let e = DispatchError::Runner {
+            campaign: "quick".into(),
+            spec: ShardSpec { index: 1, count: 4 },
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("1/4") && s.contains("quick") && s.contains("boom"),
+            "{s}"
+        );
+        assert!(DispatchError::Rejected("nope".into())
+            .to_string()
+            .contains("nope"));
+    }
+}

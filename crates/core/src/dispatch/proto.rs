@@ -1,0 +1,342 @@
+//! The dispatcher's wire protocol: newline-delimited JSON frames.
+//!
+//! Every message is one JSON object on one line, terminated by `\n` —
+//! the same dependency-free [`crate::json::JsonWriter`] /
+//! [`crate::jsonval`] stack the `repro dist` shard format uses, so a
+//! worker on another machine needs nothing but a TCP connection and this
+//! module. The object's `"type"` field names the message; the payloads
+//! reuse the campaign wire formats
+//! ([`CampaignShard::to_json`](crate::campaign::CampaignShard::to_json),
+//! [`CampaignResult::to_json`](crate::campaign::CampaignResult::to_json))
+//! verbatim, so shard bytes that cross the socket are byte-identical to
+//! the ones `repro dist` ships over stdout.
+//!
+//! The read side is a trust boundary: frames come from the network, so
+//! truncated lines, malformed JSON, unknown message types and mistyped
+//! payloads are all typed [`ProtoError`]s — never panics (fuzzed in
+//! `tests/dispatch_protocol.rs`). See `docs/PROTOCOL.md` for the message
+//! flow and delivery contract.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::campaign::{CampaignResult, CampaignShard, ShardSpec};
+use crate::json::JsonWriter;
+use crate::jsonval::{JsonValue, WireError};
+
+/// One protocol message, either direction.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Submitter → coordinator: run `campaign` split into `shards` shards.
+    Submit {
+        /// Catalog name of the campaign to run (e.g. `"quick"`).
+        campaign: String,
+        /// How many shards to partition the matrix into.
+        shards: usize,
+    },
+    /// Worker → coordinator: this connection executes shards. `name` is
+    /// a human-readable label for logs; identity is the connection.
+    Register {
+        /// Worker label (e.g. `host:pid`).
+        name: String,
+    },
+    /// Worker → coordinator: still alive. Sent on a fixed cadence, also
+    /// while a shard is executing.
+    Heartbeat,
+    /// Coordinator → worker: execute one shard of a job.
+    Assign {
+        /// Idempotency key of the job this shard belongs to.
+        job: String,
+        /// Catalog name of the campaign to run.
+        campaign: String,
+        /// Which shard of how many.
+        spec: ShardSpec,
+    },
+    /// Worker → coordinator: a finished shard, full payload inline.
+    ShardDone {
+        /// The job key from the [`Message::Assign`] this answers.
+        job: String,
+        /// The executed shard, same wire format as `repro dist`.
+        shard: CampaignShard,
+    },
+    /// Coordinator → submitter: the merged campaign, bit-identical to a
+    /// sequential in-process run.
+    Result {
+        /// The job's idempotency key.
+        job: String,
+        /// The merged result.
+        result: CampaignResult,
+    },
+    /// Coordinator → peer: the request cannot be served (unknown
+    /// campaign, invalid shard count, failed merge). Terminal for the
+    /// connection.
+    Reject {
+        /// Why.
+        message: String,
+    },
+}
+
+impl Message {
+    /// The wire name of this message's type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Message::Submit { .. } => "submit",
+            Message::Register { .. } => "register",
+            Message::Heartbeat => "heartbeat",
+            Message::Assign { .. } => "assign",
+            Message::ShardDone { .. } => "shard_done",
+            Message::Result { .. } => "result",
+            Message::Reject { .. } => "reject",
+        }
+    }
+
+    /// Serializes the message as one newline-terminated JSON frame.
+    pub fn to_frame(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("type");
+        w.string(self.type_name());
+        match self {
+            Message::Submit { campaign, shards } => {
+                w.key("campaign");
+                w.string(campaign);
+                w.key("shards");
+                w.number_u64(*shards as u64);
+            }
+            Message::Register { name } => {
+                w.key("name");
+                w.string(name);
+            }
+            Message::Heartbeat => {}
+            Message::Assign {
+                job,
+                campaign,
+                spec,
+            } => {
+                w.key("job");
+                w.string(job);
+                w.key("campaign");
+                w.string(campaign);
+                w.key("index");
+                w.number_u64(spec.index as u64);
+                w.key("count");
+                w.number_u64(spec.count as u64);
+            }
+            Message::ShardDone { job, shard } => {
+                w.key("job");
+                w.string(job);
+                w.key("shard");
+                w.raw(&shard.to_json());
+            }
+            Message::Result { job, result } => {
+                w.key("job");
+                w.string(job);
+                w.key("result");
+                w.raw(&result.to_json());
+            }
+            Message::Reject { message } => {
+                w.key("message");
+                w.string(message);
+            }
+        }
+        w.end_object();
+        let mut frame = w.finish();
+        frame.push('\n');
+        frame
+    }
+
+    /// Parses a message from a parsed frame document.
+    pub fn from_json_value(doc: &JsonValue) -> Result<Message, WireError> {
+        let kind = doc.req_str("type")?;
+        match kind {
+            "submit" => Ok(Message::Submit {
+                campaign: doc.req_str("campaign")?.to_string(),
+                shards: doc.req_u64("shards")? as usize,
+            }),
+            "register" => Ok(Message::Register {
+                name: doc.req_str("name")?.to_string(),
+            }),
+            "heartbeat" => Ok(Message::Heartbeat),
+            "assign" => {
+                let spec = ShardSpec {
+                    index: doc.req_u64("index")? as usize,
+                    count: doc.req_u64("count")? as usize,
+                };
+                spec.validate().map_err(|e| WireError::new(e.to_string()))?;
+                Ok(Message::Assign {
+                    job: doc.req_str("job")?.to_string(),
+                    campaign: doc.req_str("campaign")?.to_string(),
+                    spec,
+                })
+            }
+            "shard_done" => Ok(Message::ShardDone {
+                job: doc.req_str("job")?.to_string(),
+                shard: CampaignShard::from_json_value(doc.req("shard")?)?,
+            }),
+            "result" => Ok(Message::Result {
+                job: doc.req_str("job")?.to_string(),
+                result: CampaignResult::from_json_value(doc.req("result")?)?,
+            }),
+            "reject" => Ok(Message::Reject {
+                message: doc.req_str("message")?.to_string(),
+            }),
+            other => Err(WireError::new(format!("unknown message type {other:?}"))),
+        }
+    }
+
+    /// Parses one frame (without or with its trailing newline).
+    pub fn parse_frame(line: &str) -> Result<Message, ProtoError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let doc = JsonValue::parse(line).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+        Message::from_json_value(&doc).map_err(ProtoError::Wire)
+    }
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The connection ended mid-frame: bytes arrived after the last
+    /// newline, then EOF. A clean EOF (no partial line) is *not* an
+    /// error — [`read_message`] reports it as `Ok(None)`.
+    Truncated {
+        /// How many bytes of the unterminated frame arrived.
+        bytes: usize,
+    },
+    /// The line is not valid JSON.
+    Malformed(String),
+    /// The document is valid JSON but not a valid message (missing or
+    /// mistyped field, unknown `"type"`).
+    Wire(WireError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+            ProtoError::Truncated { bytes } => {
+                write!(
+                    f,
+                    "connection closed mid-frame ({bytes} bytes unterminated)"
+                )
+            }
+            ProtoError::Malformed(e) => write!(f, "malformed frame: {e}"),
+            ProtoError::Wire(e) => write!(f, "invalid message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Reads one frame from `reader`. `Ok(None)` is a clean end of stream
+/// (the peer closed between frames); a partial trailing line is a
+/// [`ProtoError::Truncated`].
+pub fn read_message(reader: &mut impl BufRead) -> Result<Option<Message>, ProtoError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') {
+        return Err(ProtoError::Truncated { bytes: n });
+    }
+    Message::parse_frame(&line).map(Some)
+}
+
+/// Writes one frame to `writer` and flushes it, so a message is either
+/// fully on the wire or not sent at all from the peer's perspective.
+pub fn write_message(writer: &mut impl Write, msg: &Message) -> io::Result<()> {
+    writer.write_all(msg.to_frame().as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn control_frames_round_trip() {
+        let originals = [
+            Message::Submit {
+                campaign: "quick".into(),
+                shards: 4,
+            },
+            Message::Register {
+                name: "host:42".into(),
+            },
+            Message::Heartbeat,
+            Message::Assign {
+                job: "ab12".into(),
+                campaign: "quick".into(),
+                spec: ShardSpec { index: 1, count: 4 },
+            },
+            Message::Reject {
+                message: "unknown campaign \"nope\"".into(),
+            },
+        ];
+        for msg in originals {
+            let frame = msg.to_frame();
+            assert!(frame.ends_with('\n'));
+            assert!(!frame[..frame.len() - 1].contains('\n'), "one line only");
+            let parsed = Message::parse_frame(&frame).expect("round trip");
+            assert_eq!(parsed.to_frame(), frame, "byte-identical re-emission");
+        }
+    }
+
+    #[test]
+    fn stream_reading_separates_frames_and_reports_clean_eof() {
+        let bytes = format!(
+            "{}{}",
+            Message::Heartbeat.to_frame(),
+            Message::Register { name: "w".into() }.to_frame()
+        );
+        let mut r = BufReader::new(bytes.as_bytes());
+        assert!(matches!(
+            read_message(&mut r).unwrap(),
+            Some(Message::Heartbeat)
+        ));
+        assert!(matches!(
+            read_message(&mut r).unwrap(),
+            Some(Message::Register { .. })
+        ));
+        assert!(read_message(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_malformed_frames_are_typed_errors() {
+        let mut r = BufReader::new(&b"{\"type\":\"heartbeat\""[..]);
+        assert!(matches!(
+            read_message(&mut r),
+            Err(ProtoError::Truncated { bytes: 19 })
+        ));
+
+        let mut r = BufReader::new(&b"not json\n"[..]);
+        assert!(matches!(
+            read_message(&mut r),
+            Err(ProtoError::Malformed(_))
+        ));
+
+        let mut r = BufReader::new(&b"{\"type\":\"warp\"}\n"[..]);
+        match read_message(&mut r) {
+            Err(ProtoError::Wire(e)) => assert!(e.to_string().contains("warp"), "{e}"),
+            other => panic!("expected a wire error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assign_rejects_invalid_shard_specs() {
+        let err = Message::parse_frame(
+            "{\"type\":\"assign\",\"job\":\"j\",\"campaign\":\"quick\",\"index\":4,\"count\":4}\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
+    }
+}

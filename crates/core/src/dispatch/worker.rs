@@ -1,0 +1,165 @@
+//! The worker half of the dispatcher: connect, register, execute
+//! assigned shards, heartbeat throughout.
+//!
+//! A worker is deliberately dumb: it holds no job state, just a
+//! [`ShardRunner`] mapping `(campaign name, shard spec)` to an executed
+//! [`CampaignShard`]. Everything hard — liveness, re-queue, dedup — lives
+//! in the coordinator; a worker that dies mid-shard simply stops
+//! heartbeating and the coordinator hands its shard to someone else.
+//! Because delivery is at-least-once, a worker may legitimately be asked
+//! to run a shard another worker already completed; it runs it anyway and
+//! the coordinator drops the duplicate.
+//!
+//! Heartbeats are sent from a separate thread on a fixed cadence so they
+//! keep flowing *while a shard executes* — the whole point: a worker
+//! crunching a 10-minute shard is alive, not dead. Frame writes go
+//! through one mutex so a heartbeat can never interleave bytes into the
+//! middle of a `shard_done` frame.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::campaign::{CampaignShard, ShardSpec};
+
+use super::proto::{read_message, write_message, Message};
+use super::DispatchError;
+
+/// Executes one shard of a named campaign. The `Err` string travels into
+/// worker logs (the worker disconnects on it, which is what re-queues the
+/// shard).
+pub trait ShardRunner {
+    /// Runs shard `spec` of the campaign named `campaign`.
+    fn run(&mut self, campaign: &str, spec: ShardSpec) -> Result<CampaignShard, String>;
+}
+
+impl<F> ShardRunner for F
+where
+    F: FnMut(&str, ShardSpec) -> Result<CampaignShard, String>,
+{
+    fn run(&mut self, campaign: &str, spec: ShardSpec) -> Result<CampaignShard, String> {
+        self(campaign, spec)
+    }
+}
+
+/// Worker identity and cadence.
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Label sent in [`Message::Register`]; shows up in coordinator logs.
+    pub name: String,
+    /// Heartbeat cadence. Keep well below the coordinator's
+    /// `worker_timeout_ms` (the serve CLI uses timeout / 4).
+    pub heartbeat_interval_ms: u64,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            name: format!("worker:{}", std::process::id()),
+            heartbeat_interval_ms: 1_000,
+        }
+    }
+}
+
+/// What a completed worker run did.
+#[derive(Copy, Clone, Debug)]
+pub struct WorkerSummary {
+    /// Shards executed and delivered.
+    pub shards_run: usize,
+}
+
+/// Connects to a coordinator and serves shards until the coordinator
+/// closes the connection (clean EOF → `Ok`), the transport fails, or the
+/// runner errors on a shard.
+pub fn run_worker(
+    addr: impl ToSocketAddrs,
+    opts: &WorkerOptions,
+    runner: &mut dyn ShardRunner,
+) -> Result<WorkerSummary, DispatchError> {
+    let stream = TcpStream::connect(addr)?;
+    let reader = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream));
+    {
+        let mut w = writer.lock().expect("frame writer");
+        write_message(
+            &mut *w,
+            &Message::Register {
+                name: opts.name.clone(),
+            },
+        )?;
+    }
+
+    // Heartbeat thread: one frame per cadence tick, through the shared
+    // writer lock, until the main loop says stop or a write fails
+    // (coordinator gone — the main read loop will see it too).
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_millis(opts.heartbeat_interval_ms.max(1));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                let mut w = writer.lock().expect("frame writer");
+                if write_message(&mut *w, &Message::Heartbeat).is_err() {
+                    return;
+                }
+            }
+        })
+    };
+
+    let result = worker_loop(reader, &writer, runner);
+    stop.store(true, Ordering::SeqCst);
+    // Unblock the coordinator side promptly; the heartbeat thread exits
+    // on its next tick either way.
+    let _ = writer
+        .lock()
+        .expect("frame writer")
+        .shutdown(std::net::Shutdown::Both);
+    let _ = beat.join();
+    result
+}
+
+fn worker_loop(
+    reader: TcpStream,
+    writer: &Mutex<TcpStream>,
+    runner: &mut dyn ShardRunner,
+) -> Result<WorkerSummary, DispatchError> {
+    let mut reader = BufReader::new(reader);
+    let mut shards_run = 0usize;
+    loop {
+        match read_message(&mut reader).map_err(DispatchError::Proto)? {
+            None => {
+                // Coordinator closed the connection: done serving.
+                return Ok(WorkerSummary { shards_run });
+            }
+            Some(Message::Assign {
+                job,
+                campaign,
+                spec,
+            }) => {
+                let shard = runner
+                    .run(&campaign, spec)
+                    .map_err(|e| DispatchError::Runner {
+                        campaign,
+                        spec,
+                        message: e,
+                    })?;
+                let mut w = writer.lock().expect("frame writer");
+                write_message(&mut *w, &Message::ShardDone { job, shard })?;
+                shards_run += 1;
+            }
+            Some(Message::Reject { message }) => {
+                return Err(DispatchError::Rejected(message));
+            }
+            Some(other) => {
+                return Err(DispatchError::Protocol(format!(
+                    "coordinator sent an unexpected {:?} frame to a worker",
+                    other.type_name()
+                )));
+            }
+        }
+    }
+}

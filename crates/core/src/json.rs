@@ -145,6 +145,18 @@ impl JsonWriter {
             None => self.null(),
         }
     }
+
+    /// Splices a pre-serialized JSON value in as the next value. The
+    /// caller guarantees `json` is one complete, well-formed JSON value;
+    /// the writer only handles the surrounding separators. This is how
+    /// the dispatch protocol embeds an already-serialized
+    /// [`CampaignShard`](crate::campaign::CampaignShard) or
+    /// [`CampaignResult`](crate::campaign::CampaignResult) payload into a
+    /// frame without re-walking it.
+    pub fn raw(&mut self, json: &str) {
+        self.pre_value();
+        self.out.push_str(json);
+    }
 }
 
 fn escape_into(out: &mut String, s: &str) {
@@ -206,6 +218,25 @@ mod tests {
         w.float(f64::INFINITY);
         w.end_array();
         assert_eq!(w.finish(), "[1.5,null,null]");
+    }
+
+    #[test]
+    fn raw_values_get_separators_but_no_escaping() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.raw(r#"{"n":1}"#);
+        w.key("b");
+        w.raw("[1,2]");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":{"n":1},"b":[1,2]}"#);
+
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.raw("1");
+        w.raw("2");
+        w.end_array();
+        assert_eq!(w.finish(), "[1,2]");
     }
 
     #[test]

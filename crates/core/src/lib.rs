@@ -76,6 +76,7 @@ pub mod affinity;
 pub mod campaign;
 pub mod config;
 pub mod cost;
+pub mod dispatch;
 pub mod driver;
 pub mod error;
 pub mod json;
@@ -86,10 +87,11 @@ pub mod team;
 pub mod thread;
 
 pub use campaign::{
-    merge, scaling_efficiency, Campaign, CampaignCell, CampaignPerf, CampaignResult, CampaignShard,
-    CellKey, MergeError, ShardSpec,
+    fnv64, merge, scaling_efficiency, Campaign, CampaignCell, CampaignPerf, CampaignResult,
+    CampaignShard, CellKey, MergeError, ShardSpec,
 };
 pub use config::{SchedulerKind, SimConfig, SimConfigBuilder, SliccParams, StrexParams};
+pub use dispatch::DispatchError;
 pub use driver::{run, run_registered, run_typed, run_with, SimScratch};
 pub use error::ConfigError;
 pub use jsonval::{JsonValue, WireError};

@@ -1,0 +1,376 @@
+//! The dispatcher's job lifecycle on a hand-advanced clock: assignment,
+//! completion, heartbeat-timeout → re-queue, straggler hedging and
+//! duplicate-completion dedup — all driven through the pure
+//! [`Coordinator`] state machine, no socket or sleep anywhere. The
+//! timestamps come from a [`FakeClock`] exactly as the serve shell reads
+//! its `SystemClock`, so the deadline arithmetic under test is the
+//! production arithmetic.
+
+use std::sync::Arc;
+
+use strex::campaign::{Campaign, CampaignResult, CampaignShard, ShardSpec};
+use strex::config::{SchedulerKind, SimConfig};
+use strex::dispatch::{
+    job_key, Action, Clock, Coordinator, DispatchConfig, Event, FakeClock, Message,
+    WorkerLossReason,
+};
+use strex_oltp::workload::{Workload, WorkloadKind};
+
+const CAMPAIGN: &str = "tiny";
+
+fn tiny_workloads() -> Vec<Workload> {
+    vec![
+        Workload::preset_small(WorkloadKind::TpccW1, 8, 7),
+        Workload::preset_small(WorkloadKind::MapReduce, 8, 7),
+    ]
+}
+
+fn tiny_campaign(workloads: &[Workload]) -> Campaign<'_> {
+    Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
+        .over_schedulers([SchedulerKind::Baseline, SchedulerKind::Strex])
+        .over_workloads(workloads)
+}
+
+fn tiny_shard(spec: ShardSpec) -> CampaignShard {
+    let workloads = tiny_workloads();
+    tiny_campaign(&workloads).run_shard(spec).expect("valid")
+}
+
+fn tiny_sequential() -> CampaignResult {
+    let workloads = tiny_workloads();
+    tiny_campaign(&workloads).run().expect("valid")
+}
+
+fn cfg() -> DispatchConfig {
+    DispatchConfig {
+        worker_timeout_ms: 1_000,
+        heartbeat_interval_ms: 250,
+        shard_deadline_ms: 60_000,
+    }
+}
+
+fn coordinator() -> Coordinator {
+    Coordinator::new(cfg(), [CAMPAIGN.to_string()])
+}
+
+/// Drives `c` with `event` at the fake clock's current reading.
+fn step(c: &mut Coordinator, clock: &FakeClock, event: Event) -> Vec<Action> {
+    c.handle(clock.now_ms(), event)
+}
+
+/// The `Assign` sent to `conn` within `actions`, if any.
+fn assignment_to(actions: &[Action], conn: u64) -> Option<(String, ShardSpec)> {
+    actions.iter().find_map(|a| match a {
+        Action::Send(to, Message::Assign { job, spec, .. }) if *to == conn => {
+            Some((job.clone(), *spec))
+        }
+        _ => None,
+    })
+}
+
+/// The `Result` sent to `conn` within `actions`, if any.
+fn result_to(actions: &[Action], conn: u64) -> Option<CampaignResult> {
+    actions.iter().find_map(|a| match a {
+        Action::Send(to, Message::Result { result, .. }) if *to == conn => Some(result.clone()),
+        _ => None,
+    })
+}
+
+const SUBMITTER: u64 = 1;
+const WORKER_A: u64 = 2;
+const WORKER_B: u64 = 3;
+
+fn register(c: &mut Coordinator, clock: &FakeClock, conn: u64, name: &str) -> Vec<Action> {
+    step(
+        c,
+        clock,
+        Event::Message(conn, Message::Register { name: name.into() }),
+    )
+}
+
+fn submit(c: &mut Coordinator, clock: &FakeClock, shards: usize) -> Vec<Action> {
+    step(
+        c,
+        clock,
+        Event::Message(
+            SUBMITTER,
+            Message::Submit {
+                campaign: CAMPAIGN.into(),
+                shards,
+            },
+        ),
+    )
+}
+
+/// Runs every `Assign` in `actions` through the real shard executor and
+/// feeds the completions back, returning all follow-up actions.
+fn complete_assignments(c: &mut Coordinator, clock: &FakeClock, actions: &[Action]) -> Vec<Action> {
+    complete_assignments_of(c, clock, actions, None)
+}
+
+/// [`complete_assignments`] restricted to assignments sent to `only`
+/// (`None` completes them all) — for tests where one worker must stay
+/// silent on its shard.
+fn complete_assignments_of(
+    c: &mut Coordinator,
+    clock: &FakeClock,
+    actions: &[Action],
+    only: Option<u64>,
+) -> Vec<Action> {
+    let mut out = Vec::new();
+    for action in actions {
+        if let Action::Send(conn, Message::Assign { job, spec, .. }) = action {
+            if only.is_some_and(|w| w != *conn) {
+                continue;
+            }
+            let shard = tiny_shard(*spec);
+            out.extend(step(
+                c,
+                clock,
+                Event::Message(
+                    *conn,
+                    Message::ShardDone {
+                        job: job.clone(),
+                        shard,
+                    },
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn two_workers_complete_a_job_bit_identical_to_sequential() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = coordinator();
+    register(&mut c, &clock, WORKER_A, "a");
+    register(&mut c, &clock, WORKER_B, "b");
+    assert_eq!(c.worker_count(), 2);
+
+    let actions = submit(&mut c, &clock, 3);
+    // Two shards go out immediately (one per idle worker), the third waits.
+    assert!(assignment_to(&actions, WORKER_A).is_some());
+    assert!(assignment_to(&actions, WORKER_B).is_some());
+    assert_eq!(c.open_jobs(), 1);
+
+    // Completing the first wave frees workers; the third shard is assigned
+    // in the same handle() call and completes in the second wave.
+    let wave2 = complete_assignments(&mut c, &clock, &actions);
+    let wave3 = complete_assignments(&mut c, &clock, &wave2);
+
+    let result = result_to(&wave3, SUBMITTER).expect("merged result delivered");
+    assert_eq!(result.to_json(), tiny_sequential().to_json());
+    assert!(wave3
+        .iter()
+        .any(|a| matches!(a, Action::JobCompleted { job } if *job == job_key(CAMPAIGN, 3))));
+    assert_eq!(c.open_jobs(), 0);
+}
+
+#[test]
+fn heartbeats_keep_a_silent_worker_alive() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = coordinator();
+    register(&mut c, &clock, WORKER_A, "a");
+    for _ in 0..8 {
+        clock.advance(900);
+        let actions = step(&mut c, &clock, Event::Message(WORKER_A, Message::Heartbeat));
+        assert!(actions.is_empty(), "{actions:?}");
+        assert_eq!(c.worker_count(), 1);
+    }
+}
+
+#[test]
+fn dead_worker_times_out_and_its_shard_requeues() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = coordinator();
+    register(&mut c, &clock, WORKER_A, "doomed");
+    register(&mut c, &clock, WORKER_B, "steady");
+    let actions = submit(&mut c, &clock, 2);
+    let (job_a, spec_a) = assignment_to(&actions, WORKER_A).expect("A assigned");
+    let (_, spec_b) = assignment_to(&actions, WORKER_B).expect("B assigned");
+    assert_ne!(spec_a.index, spec_b.index);
+
+    // B completes its shard and heartbeats on cadence; A never speaks
+    // again. Past the timeout, a tick reaps A and hands its shard to B.
+    let after_b = complete_assignments_of(&mut c, &clock, &actions, Some(WORKER_B));
+    assert!(result_to(&after_b, SUBMITTER).is_none(), "job still open");
+    clock.advance(600);
+    step(&mut c, &clock, Event::Message(WORKER_B, Message::Heartbeat));
+    clock.advance(600);
+    let reaped = step(&mut c, &clock, Event::Tick);
+    assert!(
+        reaped.iter().any(|a| matches!(
+            a,
+            Action::WorkerLost {
+                name,
+                reason: WorkerLossReason::HeartbeatTimeout,
+                requeued: Some(spec),
+            } if name == "doomed" && *spec == spec_a
+        )),
+        "{reaped:?}"
+    );
+    assert_eq!(c.worker_count(), 1);
+    let (job_b2, spec_b2) = assignment_to(&reaped, WORKER_B).expect("A's shard re-assigned to B");
+    assert_eq!((job_b2, spec_b2), (job_a, spec_a));
+
+    let done = complete_assignments(&mut c, &clock, &reaped);
+    let result = result_to(&done, SUBMITTER).expect("job completes despite the death");
+    assert_eq!(result.to_json(), tiny_sequential().to_json());
+}
+
+#[test]
+fn disconnected_worker_requeues_immediately() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = coordinator();
+    register(&mut c, &clock, WORKER_A, "flaky");
+    let actions = submit(&mut c, &clock, 1);
+    let (_, spec) = assignment_to(&actions, WORKER_A).expect("assigned");
+
+    let lost = step(&mut c, &clock, Event::Disconnected(WORKER_A));
+    assert!(
+        lost.iter().any(|a| matches!(
+            a,
+            Action::WorkerLost {
+                reason: WorkerLossReason::Disconnected,
+                requeued: Some(s),
+                ..
+            } if *s == spec
+        )),
+        "{lost:?}"
+    );
+    assert_eq!(c.worker_count(), 0);
+
+    // A fresh worker picks the shard up and the job still completes.
+    let assigned = register(&mut c, &clock, WORKER_B, "fresh");
+    assert_eq!(
+        assignment_to(&assigned, WORKER_B).map(|(_, s)| s),
+        Some(spec)
+    );
+    let done = complete_assignments(&mut c, &clock, &assigned);
+    let result = result_to(&done, SUBMITTER).expect("delivered");
+    assert_eq!(result.to_json(), tiny_sequential().to_json());
+}
+
+#[test]
+fn straggler_is_hedged_and_its_late_duplicate_is_dropped() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = Coordinator::new(
+        DispatchConfig {
+            worker_timeout_ms: 1_000_000, // liveness out of the picture
+            heartbeat_interval_ms: 250,
+            shard_deadline_ms: 500, // hedge quickly
+        },
+        [CAMPAIGN.to_string()],
+    );
+    register(&mut c, &clock, WORKER_A, "straggler");
+    let actions = submit(&mut c, &clock, 1);
+    let (job, spec) = assignment_to(&actions, WORKER_A).expect("assigned");
+
+    // Past the shard deadline the shard re-queues while A keeps running;
+    // a newly registered B receives the duplicate assignment.
+    clock.advance(600);
+    step(&mut c, &clock, Event::Message(WORKER_A, Message::Heartbeat));
+    let hedged = register(&mut c, &clock, WORKER_B, "hedge");
+    assert_eq!(
+        assignment_to(&hedged, WORKER_B),
+        Some((job.clone(), spec)),
+        "{hedged:?}"
+    );
+
+    // B finishes first: the job completes. A's late duplicate lands on a
+    // finished job and is dropped without an error or a second result.
+    let done = complete_assignments(&mut c, &clock, &hedged);
+    let result = result_to(&done, SUBMITTER).expect("delivered");
+    assert_eq!(result.to_json(), tiny_sequential().to_json());
+    let late = step(
+        &mut c,
+        &clock,
+        Event::Message(
+            WORKER_A,
+            Message::ShardDone {
+                job,
+                shard: tiny_shard(spec),
+            },
+        ),
+    );
+    assert!(
+        !late
+            .iter()
+            .any(|a| matches!(a, Action::Send(SUBMITTER, _) | Action::JobCompleted { .. })),
+        "{late:?}"
+    );
+}
+
+#[test]
+fn duplicate_completion_before_the_merge_is_deduplicated() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = Coordinator::new(
+        DispatchConfig {
+            worker_timeout_ms: 1_000_000,
+            heartbeat_interval_ms: 250,
+            shard_deadline_ms: 500,
+        },
+        [CAMPAIGN.to_string()],
+    );
+    register(&mut c, &clock, WORKER_A, "straggler");
+    register(&mut c, &clock, WORKER_B, "partner");
+    let actions = submit(&mut c, &clock, 2);
+    let (job, spec_a) = assignment_to(&actions, WORKER_A).expect("A assigned");
+
+    // Hedge A's shard while B is still busy with its own; then a third
+    // worker runs the duplicate. Both A and the third worker deliver
+    // shard `spec_a`: the slot takes the first, drops the second, and the
+    // final merge still succeeds (merge's DuplicateShard never fires).
+    clock.advance(600);
+    let tick = step(&mut c, &clock, Event::Tick);
+    assert!(assignment_to(&tick, WORKER_A).is_none(), "{tick:?}");
+    let third = register(&mut c, &clock, 9, "dup");
+    assert_eq!(assignment_to(&third, 9).map(|(_, s)| s), Some(spec_a));
+
+    for conn in [9, WORKER_A] {
+        step(
+            &mut c,
+            &clock,
+            Event::Message(
+                conn,
+                Message::ShardDone {
+                    job: job.clone(),
+                    shard: tiny_shard(spec_a),
+                },
+            ),
+        );
+    }
+    let done = complete_assignments(&mut c, &clock, &actions);
+    let result = result_to(&done, SUBMITTER).expect("delivered");
+    assert_eq!(result.to_json(), tiny_sequential().to_json());
+}
+
+#[test]
+fn finished_jobs_answer_resubmissions_from_the_cache() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = coordinator();
+    register(&mut c, &clock, WORKER_A, "a");
+    let actions = submit(&mut c, &clock, 2);
+    let wave2 = complete_assignments(&mut c, &clock, &actions);
+    let wave3 = complete_assignments(&mut c, &clock, &wave2);
+    let first = result_to(&wave3, SUBMITTER).expect("delivered");
+
+    // Same spec again, from a different submitter, with no workers doing
+    // any new work: answered straight from the idempotency cache.
+    let replay = step(
+        &mut c,
+        &clock,
+        Event::Message(
+            77,
+            Message::Submit {
+                campaign: CAMPAIGN.into(),
+                shards: 2,
+            },
+        ),
+    );
+    let cached = result_to(&replay, 77).expect("cache hit");
+    assert_eq!(cached.to_json(), first.to_json());
+    assert!(replay.iter().any(|a| matches!(a, Action::Close(77))));
+    assert_eq!(c.open_jobs(), 0, "no new job was opened");
+}

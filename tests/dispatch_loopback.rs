@@ -1,0 +1,203 @@
+//! The dispatcher end to end over real loopback TCP: a [`Server`], a
+//! fleet of in-process workers, and blocking submitters — asserting the
+//! tentpole guarantee (the dispatched merge is bit-identical to a
+//! sequential in-process run) including the run where a worker dies
+//! mid-shard and its shard is re-queued, and that a garbage-speaking
+//! peer cannot take the coordinator down.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use strex::campaign::{Campaign, CampaignResult, CampaignShard, ShardSpec};
+use strex::config::{SchedulerKind, SimConfig};
+use strex::dispatch::{
+    read_message, run_worker, submit, write_message, DispatchConfig, Message, ServeOptions, Server,
+    SystemClock, WorkerOptions,
+};
+use strex_oltp::workload::{Workload, WorkloadKind};
+
+const CAMPAIGN: &str = "tiny";
+
+fn tiny_workloads() -> Vec<Workload> {
+    vec![
+        Workload::preset_small(WorkloadKind::TpccW1, 8, 7),
+        Workload::preset_small(WorkloadKind::MapReduce, 8, 7),
+    ]
+}
+
+fn tiny_campaign(workloads: &[Workload]) -> Campaign<'_> {
+    Campaign::new(SimConfig::new(2, SchedulerKind::Baseline))
+        .over_schedulers([SchedulerKind::Baseline, SchedulerKind::Strex])
+        .over_workloads(workloads)
+}
+
+fn tiny_sequential() -> CampaignResult {
+    let workloads = tiny_workloads();
+    tiny_campaign(&workloads).run().expect("valid")
+}
+
+fn tiny_runner(campaign: &str, spec: ShardSpec) -> Result<CampaignShard, String> {
+    if campaign != CAMPAIGN {
+        return Err(format!("unknown campaign {campaign:?}"));
+    }
+    let workloads = tiny_workloads();
+    Ok(tiny_campaign(&workloads).run_shard(spec).expect("valid"))
+}
+
+/// Binds an ephemeral-port server for the tiny campaign and runs it to
+/// `max_jobs` on a background thread. Returns the address and the join
+/// handle (the run result surfaces on join).
+fn spawn_server(
+    cfg: DispatchConfig,
+    max_jobs: usize,
+) -> (SocketAddr, std::thread::JoinHandle<usize>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        cfg,
+        [CAMPAIGN.to_string()],
+        Arc::new(SystemClock::new()),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("bound");
+    let handle = std::thread::spawn(move || {
+        server
+            .run(ServeOptions {
+                max_jobs: Some(max_jobs),
+            })
+            .expect("serve")
+            .jobs_completed
+    });
+    (addr, handle)
+}
+
+fn spawn_worker(addr: SocketAddr, name: &str) -> std::thread::JoinHandle<usize> {
+    let opts = WorkerOptions {
+        name: name.to_string(),
+        heartbeat_interval_ms: 50,
+    };
+    std::thread::spawn(move || {
+        run_worker(addr, &opts, &mut tiny_runner)
+            .expect("worker run")
+            .shards_run
+    })
+}
+
+#[test]
+fn coordinator_and_two_workers_match_sequential_bit_for_bit() {
+    let (addr, server) = spawn_server(DispatchConfig::default(), 1);
+    let w1 = spawn_worker(addr, "w1");
+    let w2 = spawn_worker(addr, "w2");
+
+    let result = submit(addr, CAMPAIGN, 3).expect("dispatched campaign");
+    assert_eq!(
+        result.to_json(),
+        tiny_sequential().to_json(),
+        "dispatched merge must be bit-identical to the sequential run"
+    );
+
+    assert_eq!(server.join().expect("server thread"), 1);
+    // The server closing the connections is a clean exit for workers, and
+    // between them they ran all three shards.
+    let ran = w1.join().expect("w1") + w2.join().expect("w2");
+    assert_eq!(ran, 3);
+}
+
+#[test]
+fn worker_killed_mid_shard_requeues_and_the_job_still_merges_identically() {
+    // Deterministic death: the faulty "worker" is a raw socket that
+    // registers, waits for its assignment, and hangs up without
+    // completing it — while it is the only worker, so the shard it holds
+    // is provably in flight when it dies. The real worker starts only
+    // after the death; the job must still finish, bit-identical.
+    let (addr, server) = spawn_server(DispatchConfig::default(), 1);
+
+    let submitter = std::thread::spawn(move || submit(addr, CAMPAIGN, 2).expect("dispatched"));
+
+    let mut faulty = TcpStream::connect(addr).expect("connect");
+    write_message(
+        &mut faulty,
+        &Message::Register {
+            name: "faulty".into(),
+        },
+    )
+    .expect("register");
+    let mut reader = BufReader::new(faulty.try_clone().expect("clone"));
+    let assigned = read_message(&mut reader)
+        .expect("read assign")
+        .expect("an assignment arrives");
+    assert!(matches!(assigned, Message::Assign { .. }), "{assigned:?}");
+    drop(reader);
+    faulty
+        .shutdown(std::net::Shutdown::Both)
+        .expect("die mid-shard");
+    drop(faulty);
+
+    let worker = spawn_worker(addr, "survivor");
+    let result = submitter.join().expect("submitter thread");
+    assert_eq!(
+        result.to_json(),
+        tiny_sequential().to_json(),
+        "re-queued shard must not perturb the merged result"
+    );
+    assert_eq!(server.join().expect("server thread"), 1);
+    assert_eq!(
+        worker.join().expect("survivor"),
+        2,
+        "the survivor ran both shards, including the re-queued one"
+    );
+}
+
+#[test]
+fn garbage_speaking_peer_does_not_take_the_coordinator_down() {
+    let (addr, server) = spawn_server(DispatchConfig::default(), 1);
+
+    // A peer that speaks garbage is disconnected; the coordinator keeps
+    // serving.
+    let mut vandal = TcpStream::connect(addr).expect("connect");
+    vandal
+        .write_all(b"{\"type\":\"warp\"}\nnot json at all\n\x00\x01\x02")
+        .expect("garbage sent");
+    vandal.flush().expect("flush");
+    let mut reader = BufReader::new(vandal.try_clone().expect("clone"));
+    // Whatever comes back (a reject or a plain close), the stream ends.
+    let mut last = read_message(&mut reader);
+    while let Ok(Some(_)) = last {
+        last = read_message(&mut reader);
+    }
+    drop(vandal);
+
+    // An unknown campaign is rejected with a typed message, not a hang.
+    let err = submit(addr, "no-such-campaign", 2).expect_err("rejected");
+    assert!(err.to_string().contains("no-such-campaign"), "{err}");
+
+    // And a real submission afterwards still works end to end.
+    let worker = spawn_worker(addr, "w");
+    let result = submit(addr, CAMPAIGN, 2).expect("dispatched");
+    assert_eq!(result.to_json(), tiny_sequential().to_json());
+    assert_eq!(server.join().expect("server"), 1);
+    assert_eq!(worker.join().expect("worker"), 2);
+}
+
+#[test]
+fn submitting_twice_concurrently_coalesces_onto_one_job() {
+    let (addr, server) = spawn_server(DispatchConfig::default(), 1);
+
+    // Both submissions go out while no worker exists, so the job cannot
+    // complete before the second one attaches — both land as waiters on
+    // the same in-flight job. Only then does a worker appear.
+    let a = std::thread::spawn(move || submit(addr, CAMPAIGN, 2).expect("first submit"));
+    let b = std::thread::spawn(move || submit(addr, CAMPAIGN, 2).expect("second submit"));
+    std::thread::sleep(Duration::from_millis(50));
+    let worker = spawn_worker(addr, "w");
+
+    let ra = a.join().expect("a");
+    let rb = b.join().expect("b");
+    let golden = tiny_sequential().to_json();
+    assert_eq!(ra.to_json(), golden);
+    assert_eq!(rb.to_json(), golden);
+    // One job completed, not two: both submissions keyed onto it.
+    assert_eq!(server.join().expect("server"), 1);
+    assert_eq!(worker.join().expect("worker"), 2, "the matrix ran once");
+}

@@ -1,0 +1,155 @@
+//! The dispatcher's wire protocol under hostile input: arbitrary bytes,
+//! truncated frames, unknown message types and mistyped payloads must all
+//! come back as typed [`ProtoError`]s — never a panic — and every
+//! well-formed frame must survive a parse → re-emit round trip
+//! byte-identically (what the coordinator's idempotency cache and the
+//! bit-identical-merge guarantee lean on).
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+
+use strex::campaign::ShardSpec;
+use strex::dispatch::{read_message, Message, ProtoError};
+
+/// Short strings over the whole scalar range (surrogates excluded, plus
+/// weight on ASCII and JSON-escape-relevant characters), as message
+/// payload text.
+fn wire_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just('"'),
+            Just('\\'),
+            Just('\n'),
+            Just('\u{0}'),
+            (0x20u32..0x7f).prop_map(|c| char::from_u32(c).expect("ascii")),
+            (0u32..0xD800).prop_map(|c| char::from_u32(c).expect("below surrogates")),
+            (0xE000u32..0x11_0000).prop_map(|c| char::from_u32(c).expect("above surrogates")),
+        ],
+        0..24,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn control_messages() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (wire_text(), 1usize..64)
+            .prop_map(|(campaign, shards)| Message::Submit { campaign, shards }),
+        wire_text().prop_map(|name| Message::Register { name }),
+        Just(Message::Heartbeat),
+        (wire_text(), wire_text(), 1usize..64, 0usize..64).prop_map(
+            |(job, campaign, count, index_seed)| Message::Assign {
+                job,
+                campaign,
+                spec: ShardSpec {
+                    index: index_seed % count,
+                    count,
+                },
+            }
+        ),
+        wire_text().prop_map(|message| Message::Reject { message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_control_frame_round_trips_byte_identically(msg in control_messages()) {
+        let frame = msg.to_frame();
+        prop_assert!(frame.ends_with('\n'));
+        prop_assert!(!frame[..frame.len() - 1].contains('\n'), "one line per frame");
+        let parsed = Message::parse_frame(&frame)
+            .map_err(|e| TestCaseError::fail(format!("{e} for {frame:?}")))?;
+        prop_assert_eq!(parsed.to_frame(), frame);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut reader = BufReader::new(bytes.as_slice());
+        // Drain the whole stream; every outcome must be a value or a
+        // typed error, and an error ends the stream (as the serve shell
+        // treats it).
+        loop {
+            match read_message(&mut reader) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(
+                    ProtoError::Io(_)
+                    | ProtoError::Truncated { .. }
+                    | ProtoError::Malformed(_)
+                    | ProtoError::Wire(_),
+                ) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn truncating_a_valid_frame_is_a_typed_error(msg in control_messages(), cut in 0usize..64) {
+        let frame = msg.to_frame();
+        // Cut strictly inside the frame (losing at least the newline), on
+        // a char boundary so the slice stays valid UTF-8 (invalid UTF-8 is
+        // the Io arm, covered by the arbitrary-bytes case above).
+        let mut cut = cut.min(frame.len().saturating_sub(1));
+        while !frame.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &frame.as_bytes()[..cut];
+        let mut reader = BufReader::new(truncated);
+        match read_message(&mut reader) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Err(ProtoError::Truncated { bytes }) => prop_assert_eq!(bytes, cut),
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn unknown_message_types_are_wire_errors(pick in 0usize..6) {
+        let kind = ["warp", "submitx", "heart_beat", "shard", "assignn", "results"][pick];
+        let frame = format!("{{\"type\":\"{kind}\"}}\n");
+        match Message::parse_frame(&frame) {
+            Err(ProtoError::Wire(e)) => prop_assert!(e.to_string().contains(kind), "{}", e),
+            other => prop_assert!(false, "expected Wire error, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn known_types_with_mangled_payloads_are_typed_errors(pick in 0usize..5, junk_pick in 0usize..6) {
+        let kind = ["submit", "register", "assign", "shard_done", "result"][pick];
+        // None of these fragments completes any message type's payload:
+        // wrong field types, missing required fields, invalid shard specs.
+        let junk = [
+            "",
+            ",\"shards\":\"four\"",
+            ",\"job\":17",
+            ",\"index\":9,\"count\":4",
+            ",\"shard\":[]",
+            ",\"result\":3",
+        ][junk_pick];
+        let frame = format!("{{\"type\":\"{kind}\"{junk}}}\n");
+        match Message::parse_frame(&frame) {
+            Err(ProtoError::Wire(_)) => {}
+            Err(other) => prop_assert!(false, "expected Wire error, got {:?}", other),
+            Ok(msg) => prop_assert!(false, "mangled frame parsed as {:?}", msg),
+        }
+    }
+}
+
+#[test]
+fn a_frame_split_across_reads_still_parses_once_whole() {
+    // BufRead assembles a line across TCP segment boundaries; emulate a
+    // stream delivering a frame in two chunks followed by a clean close.
+    let frame = Message::Submit {
+        campaign: "quick".into(),
+        shards: 4,
+    }
+    .to_frame();
+    let (head, tail) = frame.split_at(frame.len() / 2);
+    let joined = [head.as_bytes(), tail.as_bytes()].concat();
+    let mut reader = BufReader::new(joined.as_slice());
+    assert!(matches!(
+        read_message(&mut reader).expect("parses"),
+        Some(Message::Submit { shards: 4, .. })
+    ));
+    assert!(read_message(&mut reader).expect("clean EOF").is_none());
+}
