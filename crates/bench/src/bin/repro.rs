@@ -5,10 +5,10 @@
 //! ```text
 //! repro [fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|config|all] [--quick] [--json]
 //! repro scale
-//! repro dist [--procs N]
-//! repro shard I/N [--pin CORE]
-//! repro serve --listen ADDR [--jobs N] [--timeout-ms MS]
-//! repro work --connect ADDR [--pin CORE] [--name LABEL]
+//! repro dist [--procs N] [--wire json|bin]
+//! repro shard I/N [--pin CORE] [--wire json|bin]
+//! repro serve --listen ADDR [--jobs N] [--timeout-ms MS] [--wire json|bin]
+//! repro work --connect ADDR [--pin CORE] [--name LABEL] [--wire json|bin]
 //! repro submit --connect ADDR [--shards N] [--verify]
 //! repro --bench-json [--check [baseline.json]]
 //! ```
@@ -29,19 +29,23 @@
 //!
 //! `dist` is `scale`'s multi-**process** sibling: it re-executes this
 //! very binary as `repro shard i/N` child processes (deterministic
-//! key-hash shards of the quick matrix), collects each child's JSON
-//! shard over stdout, merges them, checks the merged campaign
-//! bit-identical to the in-process sequential run, and prints the same
-//! scale-out table — pinned (each child under `sched_setaffinity` on
-//! core `i mod host cores`) and unpinned. Process fan-out sidesteps the
-//! shared allocator and LLC contention that caps thread scaling, and the
-//! same JSON wire format crosses a socket to another machine.
+//! key-hash shards of the quick matrix), collects each child's shard
+//! over stdout — negotiating JSON vs binwire by the first byte — merges
+//! them, checks the merged campaign bit-identical to the in-process
+//! sequential run, and prints the same scale-out table — pinned (each
+//! child under `sched_setaffinity` on core `i mod host cores`) and
+//! unpinned, per wire format (`--wire` restricts to one). Process
+//! fan-out sidesteps the shared allocator and LLC contention that caps
+//! thread scaling, and the same wire formats cross a socket to another
+//! machine.
 //!
 //! `shard I/N` is the child half of `dist`: it executes shard `I` of `N`
 //! of the quick matrix sequentially (cells workload-major, so the packed
 //! trace stream stays LLC-hot across cells sharing a workload) and
-//! prints exactly one JSON document — the shard — to stdout. `--pin C`
-//! pins the process to core `C` first (best-effort; a no-op off Linux).
+//! writes exactly one document — the shard — to stdout: a JSON line by
+//! default, the length-prefixed binwire bytes under `--wire bin`.
+//! `--pin C` pins the process to core `C` first (best-effort; a no-op
+//! off Linux).
 //!
 //! `serve` / `work` / `submit` are `dist` grown into a service (the
 //! `strex::dispatch` TCP campaign dispatcher; wire format in
@@ -60,12 +64,13 @@
 //! suite cell by cell, merges the result with the committed same-session
 //! baselines (seed, PR 2 and PR 3 engines), the sharded-executor scaling
 //! section, the multi-process `dist` fan-out grid (1/2/4 shard children,
-//! pinned vs unpinned), the host core count, the PGO-vs-plain ratio when
+//! pinned vs unpinned, json vs bin wire), the same-run transport-vs-
+//! compute accounting, the host core count, the PGO-vs-plain ratio when
 //! CI exports `BENCH_PLAIN_EPS`, and the same-run hot-path microbenches,
 //! and writes the trajectory record to `${BENCH_ARTIFACT}.json` in the
 //! working directory (the perf document CI gates on and uploads). The
 //! artifact name is derived in exactly one place (`perf::bench_artifact`,
-//! default `BENCH_PR5`).
+//! default `BENCH_PR7`).
 //!
 //! `--bench-json --check [baseline.json]` additionally re-derives the
 //! seed-vs-current throughput ratio from the fresh measurement and fails
@@ -271,11 +276,14 @@ fn scale_mode() -> ExitCode {
 }
 
 /// The child half of `dist`: executes one deterministic shard of the
-/// quick matrix and prints the shard JSON — and nothing else — to stdout,
-/// so the parent can pipe it straight into `CampaignShard::from_json`.
+/// quick matrix and writes the shard — and nothing else — to stdout in
+/// the requested wire format (JSON line or binwire bytes), so the parent
+/// can pipe it straight into `CampaignShard::from_json` / `from_bin`,
+/// negotiating by the first byte.
 fn shard_mode(rest: &[String]) -> ExitCode {
     let mut spec: Option<strex::campaign::ShardSpec> = None;
     let mut pin: Option<usize> = None;
+    let mut wire = strex::WireFormat::Json;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if arg == "--pin" {
@@ -283,6 +291,14 @@ fn shard_mode(rest: &[String]) -> ExitCode {
                 Some(core) => Some(core),
                 None => {
                     eprintln!("--pin needs a core index");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else if arg == "--wire" {
+            wire = match it.next().map(|v| strex::WireFormat::parse(v)) {
+                Some(Ok(w)) => w,
+                _ => {
+                    eprintln!("--wire needs `json` or `bin`");
                     return ExitCode::FAILURE;
                 }
             };
@@ -298,12 +314,15 @@ fn shard_mode(rest: &[String]) -> ExitCode {
                 }
             };
         } else {
-            eprintln!("shard takes one I/N spec and optionally --pin CORE; unexpected `{arg}`");
+            eprintln!(
+                "shard takes one I/N spec and optionally --pin CORE / --wire {{json,bin}}; \
+                 unexpected `{arg}`"
+            );
             return ExitCode::FAILURE;
         }
     }
     let Some(spec) = spec else {
-        eprintln!("usage: repro shard I/N [--pin CORE]");
+        eprintln!("usage: repro shard I/N [--pin CORE] [--wire {{json,bin}}]");
         return ExitCode::FAILURE;
     };
     if let Some(core) = pin {
@@ -314,18 +333,37 @@ fn shard_mode(rest: &[String]) -> ExitCode {
             eprintln!("note: could not pin to core {core}; running unpinned");
         }
     }
-    println!("{}", strex_bench::perf::run_quick_shard(spec).to_json());
+    let shard = strex_bench::perf::run_quick_shard(spec);
+    match wire {
+        strex::WireFormat::Json => println!("{}", shard.to_json()),
+        strex::WireFormat::Bin => {
+            use std::io::Write;
+            // Raw bytes, no trailing newline: the parent reads to EOF and
+            // negotiates by the leading magic byte.
+            let mut out = std::io::stdout().lock();
+            if out
+                .write_all(&shard.to_bin())
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
 /// Multi-process scale-out: fans the quick matrix out to `--procs` child
-/// processes (pinned and unpinned), merges their JSON shards, checks the
-/// merged campaign bit-identical to the in-process sequential run, and
-/// prints the scale-out table next to what `scale` prints for threads.
+/// processes (pinned and unpinned, per wire format), merges their shards,
+/// checks the merged campaign bit-identical to the in-process sequential
+/// run, and prints the scale-out table next to what `scale` prints for
+/// threads. `--wire {json,bin}` restricts the sweep to one shard
+/// encoding; by default both are measured side by side.
 fn dist_mode(rest: &[String]) -> ExitCode {
     use strex_bench::perf;
 
     let mut procs: Option<usize> = None;
+    let mut wires = vec![strex::WireFormat::Json, strex::WireFormat::Bin];
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if arg == "--procs" {
@@ -336,8 +374,16 @@ fn dist_mode(rest: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+        } else if arg == "--wire" {
+            wires = match it.next().map(|v| strex::WireFormat::parse(v)) {
+                Some(Ok(w)) => vec![w],
+                _ => {
+                    eprintln!("--wire needs `json` or `bin`");
+                    return ExitCode::FAILURE;
+                }
+            };
         } else {
-            eprintln!("dist takes only --procs N; unexpected `{arg}`");
+            eprintln!("dist takes --procs N and --wire {{json,bin}}; unexpected `{arg}`");
             return ExitCode::FAILURE;
         }
     }
@@ -362,18 +408,19 @@ fn dist_mode(rest: &[String]) -> ExitCode {
     );
     let mut sweep = vec![1, procs];
     sweep.dedup();
-    let scaling = match perf::dist_scaling(&exe, &sweep, None) {
+    let scaling = match perf::dist_scaling(&exe, &sweep, None, &wires) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("dist fan-out failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    println!("  procs  pinned  eff.cores  events/sec  events/sec-per-core  efficiency");
+    println!("  procs  wire  pinned  eff.cores  events/sec  events/sec-per-core  efficiency");
     for p in &scaling.points {
         println!(
-            "{:>7}  {:>6}  {:>9}  {:>10.0}  {:>19.0}  {:>10.3}",
+            "{:>7}  {:>4}  {:>6}  {:>9}  {:>10.0}  {:>19.0}  {:>10.3}",
             p.procs,
+            p.wire.to_string(),
             if p.pinned { "yes" } else { "no" },
             p.effective_cores,
             p.events_per_sec(),
@@ -382,9 +429,11 @@ fn dist_mode(rest: &[String]) -> ExitCode {
         );
     }
     println!(
-        "\nefficiency = events/sec over (same-flavor 1-process events/sec x effective \
-         cores); wall time includes process startup, workload regeneration and JSON \
-         transport. pinned = children under sched_setaffinity on core i mod host cores."
+        "\nefficiency = events/sec over (same (wire, pinned) flavor's 1-process \
+         events/sec x effective cores); wall time includes process startup, one \
+         workload generation per child (shared in-process via the WorkloadCache) \
+         and shard transport in the row's wire format. pinned = children under \
+         sched_setaffinity on core i mod host cores."
     );
     ExitCode::SUCCESS
 }
@@ -399,10 +448,22 @@ fn serve_mode(rest: &[String]) -> ExitCode {
 
     let mut listen: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut wire = strex::WireFormat::default();
     let mut cfg = DispatchConfig::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--wire" => match it.next().map(|v| strex::WireFormat::parse(v)) {
+                Some(Ok(w)) => wire = w,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--wire needs a format (json or bin)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--listen" => match it.next() {
                 Some(addr) => listen = Some(addr.clone()),
                 None => {
@@ -431,14 +492,17 @@ fn serve_mode(rest: &[String]) -> ExitCode {
             },
             other => {
                 eprintln!(
-                    "serve takes --listen ADDR [--jobs N] [--timeout-ms MS]; unexpected `{other}`"
+                    "serve takes --listen ADDR [--jobs N] [--timeout-ms MS] [--wire json|bin]; \
+                     unexpected `{other}`"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(listen) = listen else {
-        eprintln!("usage: repro serve --listen ADDR [--jobs N] [--timeout-ms MS]");
+        eprintln!(
+            "usage: repro serve --listen ADDR [--jobs N] [--timeout-ms MS] [--wire json|bin]"
+        );
         return ExitCode::FAILURE;
     };
     let server = match Server::bind(
@@ -457,7 +521,10 @@ fn serve_mode(rest: &[String]) -> ExitCode {
         Ok(addr) => println!("serving campaign dispatch on {addr}"),
         Err(_) => println!("serving campaign dispatch on {listen}"),
     }
-    match server.run(ServeOptions { max_jobs: jobs }) {
+    match server.run(ServeOptions {
+        max_jobs: jobs,
+        wire,
+    }) {
         Ok(summary) => {
             println!("served {} job(s); exiting", summary.jobs_completed);
             ExitCode::SUCCESS
@@ -503,16 +570,28 @@ fn work_mode(rest: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--wire" => match it.next().map(|v| strex::WireFormat::parse(v)) {
+                Some(Ok(w)) => opts.wire = w,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--wire needs a format (json or bin)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!(
-                    "work takes --connect ADDR [--pin CORE] [--name LABEL]; unexpected `{other}`"
+                    "work takes --connect ADDR [--pin CORE] [--name LABEL] [--wire json|bin]; \
+                     unexpected `{other}`"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(connect) = connect else {
-        eprintln!("usage: repro work --connect ADDR [--pin CORE] [--name LABEL]");
+        eprintln!("usage: repro work --connect ADDR [--pin CORE] [--name LABEL] [--wire json|bin]");
         return ExitCode::FAILURE;
     };
     if let Some(core) = pin {
@@ -667,9 +746,13 @@ fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
     // the matrix is simulated once for both references.
     let (mut scalings, golden) = perf::campaign_scaling_sweep_with_golden(&[4]);
     let scaling = scalings.pop().expect("one sweep point in, one out");
-    println!("Measuring the multi-process fan-out (1/2/4 procs, pinned and unpinned)...");
+    println!(
+        "Measuring the multi-process fan-out (1/2/4 procs, pinned and unpinned, \
+         json and bin wire)..."
+    );
+    let wires = [strex::WireFormat::Json, strex::WireFormat::Bin];
     let dist = match env::current_exe()
-        .and_then(|exe| perf::dist_scaling(&exe, &[1, 2, 4], Some(&golden)))
+        .and_then(|exe| perf::dist_scaling(&exe, &[1, 2, 4], Some(&golden), &wires))
     {
         Ok(dist) => dist,
         Err(e) => {
@@ -677,11 +760,13 @@ fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    println!("Measuring transport vs compute (4 shards, json and bin wire)...");
+    let transport = perf::transport_accounting(4);
     println!("Running the same-run hot-path microbenches...");
     let micros = perf::same_run_micros();
     let pgo = perf::PgoComparison::from_env();
     let doc = perf::bench_json(
-        &current, &baseline, &pr2, &pr3, &micros, &scaling, &dist, pgo,
+        &current, &baseline, &pr2, &pr3, &micros, &scaling, &dist, &transport, pgo,
     );
     // One source of truth with CI: perf::bench_artifact reads the
     // BENCH_ARTIFACT the workflow exports; the filename written here, the
@@ -720,13 +805,31 @@ fn bench_json_mode(check_path: Option<&str>) -> ExitCode {
     );
     for p in &dist.points {
         println!(
-            "dist: {} procs ({}) — {:.0} events/sec, efficiency {:.3}",
+            "dist: {} procs ({}, {} wire) — {:.0} events/sec, efficiency {:.3}",
             p.procs,
             if p.pinned { "pinned" } else { "unpinned" },
+            p.wire,
             p.events_per_sec(),
             p.efficiency(),
         );
     }
+    for t in &transport.wires {
+        println!(
+            "transport: {} — {} bytes/{} shards, encode {:.4}s + decode {:.4}s \
+             ({:.1}% of {:.2}s shard compute)",
+            t.wire,
+            t.bytes,
+            transport.shards,
+            t.encode_seconds,
+            t.decode_seconds,
+            100.0 * t.round_trip_seconds() / transport.compute_seconds.max(f64::MIN_POSITIVE),
+            transport.compute_seconds,
+        );
+    }
+    println!(
+        "transport: bin round trip is {:.3}x the json round trip",
+        transport.bin_round_trip_vs_json(),
+    );
     if let Some(pgo) = pgo {
         println!(
             "pgo: {:.0} events/sec vs plain {:.0} — {:.3}x",

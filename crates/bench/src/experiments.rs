@@ -5,12 +5,15 @@
 //! matches the experiment index in DESIGN.md; `Quick` runs the same code in
 //! seconds for CI.
 
+use std::sync::Arc;
+
 use strex::campaign::Campaign;
 use strex::config::{SchedulerKind, SimConfig, SliccParams, StrexParams};
 use strex::cost::{CostBreakdown, CostParams};
 use strex::driver::run;
 use strex::report::Report;
 use strex::sched::FpTable;
+use strex_oltp::cache::WorkloadCache;
 use strex_oltp::overlap::{analyze, OverlapConfig};
 use strex_oltp::tpcc::{TpccCode, TpccTxnKind};
 use strex_oltp::tpce::TpceTxnKind;
@@ -42,11 +45,14 @@ impl Effort {
         }
     }
 
-    /// The workload a figure uses at this effort.
-    pub fn workload(self, kind: WorkloadKind, size: usize, seed: u64) -> Workload {
+    /// The workload a figure uses at this effort, served through the
+    /// process-wide [`WorkloadCache`]: generated once per process per
+    /// `(kind, size, seed)`, shared by every figure, shard and job that
+    /// asks again.
+    pub fn workload(self, kind: WorkloadKind, size: usize, seed: u64) -> Arc<Workload> {
         match self {
-            Effort::Quick => Workload::preset_small(kind, self.pool(size), seed),
-            Effort::Full => Workload::preset(kind, size, seed),
+            Effort::Quick => WorkloadCache::preset_small(kind, self.pool(size), seed),
+            Effort::Full => WorkloadCache::preset(kind, size, seed),
         }
     }
 
@@ -265,7 +271,7 @@ pub fn fig5_fig6_campaign(
         SchedulerKind::Strex,
         SchedulerKind::Hybrid,
     ];
-    let workloads: Vec<Workload> = WorkloadKind::ALL
+    let workloads: Vec<Arc<Workload>> = WorkloadKind::ALL
         .into_iter()
         .map(|wk| effort.workload(wk, MATRIX_POOL, SEED))
         .collect();
@@ -273,7 +279,7 @@ pub fn fig5_fig6_campaign(
 
     let sched_matrix = Campaign::new(sim(2, SchedulerKind::Baseline))
         .over_schedulers(kinds)
-        .over_workloads(&workloads)
+        .over_workloads(workloads.iter().map(|w| &**w))
         .over_cores(core_counts.iter().copied())
         .run()
         .expect("figure 5/6 scheduler matrix is valid");
@@ -282,7 +288,7 @@ pub fn fig5_fig6_campaign(
             .into_iter()
             .map(|pf| {
                 let m = Campaign::new(sim_prefetch(2, pf))
-                    .over_workloads(&workloads)
+                    .over_workloads(workloads.iter().map(|w| &**w))
                     .over_cores(core_counts.iter().copied())
                     .run()
                     .expect("figure 6 prefetcher matrix is valid");
@@ -388,7 +394,7 @@ pub fn fig7_fig8(effort: Effort) -> (String, Vec<TeamSizeRow>) {
         Effort::Full => vec![2, 4, 6, 8, 10, 12, 16, 20],
     };
     let strex_sweep = Campaign::new(sim(cores, SchedulerKind::Strex))
-        .over_workloads([&w])
+        .over_workloads([&*w])
         .over_team_sizes(team_sizes.iter().copied())
         .run()
         .expect("figure 7/8 team-size sweep is valid");
@@ -397,7 +403,7 @@ pub fn fig7_fig8(effort: Effort) -> (String, Vec<TeamSizeRow>) {
         push(format!("STREX-{ts}T"), &cell.report);
     }
     let slicc_sweep = Campaign::new(sim(2, SchedulerKind::Slicc))
-        .over_workloads([&w])
+        .over_workloads([&*w])
         .over_cores(effort.core_counts())
         .run()
         .expect("figure 8 SLICC core sweep is valid");

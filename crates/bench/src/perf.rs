@@ -11,14 +11,16 @@
 //! workspace is offline, so no serde). [`bench_json`] merges a freshly
 //! measured record with the committed same-session baselines
 //! ([`crate::baseline_seed`]) and reports the trajectory ratios, producing
-//! the `BENCH_PR5.json` document the CI `bench-smoke` job gates on and
+//! the `BENCH_PR7.json` document the CI `bench-smoke` job gates on and
 //! uploads (the name comes from [`bench_artifact`], the single source CI
 //! and the binary share). Alongside the suite-level record, the document
 //! carries the sharded-executor scale-out section ([`campaign_scaling`]:
 //! aggregate events/sec, events/sec-per-core, scaling efficiency), the
 //! multi-process fan-out grid ([`dist_scaling`]: `repro shard` children
-//! at 1/2/4 processes, pinned vs unpinned, merged results verified
-//! bit-identical before any number is recorded), the measuring host's
+//! at 1/2/4 processes, pinned vs unpinned per wire format, merged
+//! results verified bit-identical before any number is recorded), the
+//! same-run transport-vs-compute accounting
+//! ([`transport_accounting`]), the measuring host's
 //! core count, the PGO-vs-plain ratio when CI provides one
 //! ([`PgoComparison`]), and three *same-run* microbenches timing each
 //! optimized hot path against its in-tree reference implementation inside
@@ -28,8 +30,11 @@
 use std::io;
 use std::path::Path;
 use std::process::{Command, Stdio};
+use std::sync::Arc;
 use std::time::Instant;
 
+use strex::binwire;
+use strex::binwire::WireFormat;
 use strex::campaign::{
     merge, scaling_efficiency, Campaign, CampaignResult, CampaignShard, ShardSpec,
 };
@@ -54,7 +59,7 @@ use crate::experiments::{Effort, MATRIX_POOL, SEED};
 /// step publishes the same name — bump the default (and the committed
 /// record) together, in one place each.
 pub fn bench_artifact() -> String {
-    std::env::var("BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_PR5".to_string())
+    std::env::var("BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_PR7".to_string())
 }
 
 /// The host's available parallelism — recorded into the bench JSON so
@@ -207,7 +212,7 @@ pub fn quick_suite(label: &str, revision: &str) -> BenchRecord {
 pub fn quick_suite_best_of(label: &str, revision: &str, rounds: usize) -> BenchRecord {
     // The exact cells the quick fig5/6 reproduction runs, via the same
     // Effort accessors, so the suite and the benchmark can't drift apart.
-    let workloads: Vec<Workload> = WorkloadKind::ALL
+    let workloads: Vec<Arc<Workload>> = WorkloadKind::ALL
         .into_iter()
         .map(|wk| Effort::Quick.workload(wk, MATRIX_POOL, SEED))
         .collect();
@@ -544,8 +549,11 @@ pub fn campaign_scaling(workers: usize) -> CampaignScaling {
 /// suite timer, the in-process scaling sweep, and every `repro shard`
 /// child (all processes of a fan-out must agree on the matrix cell for
 /// cell, which they do because each rebuilds it from this function and
-/// the fixed [`SEED`]).
-pub fn quick_matrix_workloads() -> Vec<Workload> {
+/// the fixed [`SEED`]). Within one process the pools come from the
+/// [`WorkloadCache`](strex_oltp::cache::WorkloadCache), so a dispatch
+/// worker serving many shards, or a `submit --verify` run, generates
+/// each trace pool exactly once.
+pub fn quick_matrix_workloads() -> Vec<Arc<Workload>> {
     WorkloadKind::ALL
         .into_iter()
         .map(|wk| Effort::Quick.workload(wk, MATRIX_POOL, SEED))
@@ -554,13 +562,13 @@ pub fn quick_matrix_workloads() -> Vec<Workload> {
 
 /// The quick matrix (every workload × every scheduler × the quick core
 /// counts) as a campaign over `workloads`.
-pub fn quick_campaign(workloads: &[Workload]) -> Campaign<'_> {
+pub fn quick_campaign(workloads: &[Arc<Workload>]) -> Campaign<'_> {
     let base = strex::config::SimConfig::builder()
         .build()
         .expect("default configuration is valid");
     Campaign::new(base)
         .over_schedulers(SchedulerKind::ALL)
-        .over_workloads(workloads)
+        .over_workloads(workloads.iter().map(|w| &**w))
         .over_cores(Effort::Quick.core_counts())
 }
 
@@ -645,7 +653,7 @@ pub fn campaign_scaling_sweep_with_golden(
 
 /// One multi-process fan-out measurement: the quick matrix split into
 /// `procs` shards, each executed by a freshly spawned `repro shard`
-/// child, the JSON shards merged back and verified bit-identical to the
+/// child, the shards merged back and verified bit-identical to the
 /// sequential run before any number is reported.
 #[derive(Copy, Clone, Debug)]
 pub struct DistPoint {
@@ -656,6 +664,8 @@ pub struct DistPoint {
     /// host grants the affinity, so the flag records what happened, not
     /// what was asked for.
     pub pinned: bool,
+    /// The encoding the children shipped their shards back in.
+    pub wire: WireFormat,
     /// `min(procs, host cores)` — what efficiency is judged against.
     pub effective_cores: usize,
     /// Memory-reference events the matrix simulates.
@@ -711,12 +721,20 @@ pub struct DistScaling {
     pub points: Vec<DistPoint>,
 }
 
-/// Spawns `procs` children of `exe` (`repro shard i/procs`, plus
-/// `--pin i mod host cores` when `pin`), collects and parses their JSON
-/// shards from stdout, and merges them. Returns the merged result and the
+/// Spawns `procs` children of `exe` (`repro shard i/procs --wire W`,
+/// plus `--pin i mod host cores` when `pin`), collects their shards from
+/// stdout, and merges them. The parent negotiates each child's output by
+/// its first byte — a [`binwire`](strex::binwire) magic opens the binary
+/// decoder, anything else is the JSON path — so `wire` only tells the
+/// children what to emit. Returns the merged result and the
 /// parent-measured wall seconds. Child failures, unparseable output and
 /// incomplete shard sets are `io::Error`s, not panics.
-pub fn dist_fan_out(exe: &Path, procs: usize, pin: bool) -> io::Result<(CampaignResult, f64)> {
+pub fn dist_fan_out(
+    exe: &Path,
+    procs: usize,
+    pin: bool,
+    wire: WireFormat,
+) -> io::Result<(CampaignResult, f64)> {
     // Kills and reaps already-spawned children when a later spawn fails —
     // no zombies (or whole shards burning CPU for a result nobody will
     // read) behind a library call. After the spawn loop, each child is
@@ -733,7 +751,10 @@ pub fn dist_fan_out(exe: &Path, procs: usize, pin: bool) -> io::Result<(Campaign
     let mut children = Vec::with_capacity(procs);
     for i in 0..procs {
         let mut cmd = Command::new(exe);
-        cmd.arg("shard").arg(format!("{i}/{procs}"));
+        cmd.arg("shard")
+            .arg(format!("{i}/{procs}"))
+            .arg("--wire")
+            .arg(wire.to_string());
         if pin {
             cmd.arg("--pin").arg((i % cores).to_string());
         }
@@ -770,6 +791,13 @@ pub fn dist_fan_out(exe: &Path, procs: usize, pin: bool) -> io::Result<(Campaign
                         &String::from_utf8_lossy(&out.stderr),
                     )));
                 }
+                // Negotiate by first byte, exactly like the dispatch
+                // protocol reader: binary shards open with the binwire
+                // magic, which no JSON (or UTF-8) output can start with.
+                if out.stdout.first().copied().is_some_and(binwire::is_binary) {
+                    return CampaignShard::from_bin(&out.stdout)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
                 let text = std::str::from_utf8(&out.stdout)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
                 CampaignShard::from_json(text.trim())
@@ -797,10 +825,13 @@ pub fn dist_fan_out(exe: &Path, procs: usize, pin: bool) -> io::Result<(Campaign
     Ok((merged, wall_seconds))
 }
 
-/// Measures the multi-process fan-out grid: for each pinning flavor, a
-/// 1-process baseline plus every count in `procs_list`, each point's
-/// merged result checked **bit-identical** to an in-process sequential
-/// run before its throughput is recorded.
+/// Measures the multi-process fan-out grid: for each wire format in
+/// `wires` and each pinning flavor, a 1-process baseline plus every
+/// count in `procs_list`, each point's merged result checked
+/// **bit-identical** to an in-process sequential run before its
+/// throughput is recorded. Efficiency is judged against the same
+/// `(wire, pinned)` flavor's own 1-process baseline, so the per-wire
+/// grids are directly comparable.
 ///
 /// `exe` is the `repro` binary itself (`std::env::current_exe()` in the
 /// caller) — the children are `repro shard` invocations. `golden` is the
@@ -811,6 +842,7 @@ pub fn dist_scaling(
     exe: &Path,
     procs_list: &[usize],
     golden: Option<&str>,
+    wires: &[WireFormat],
 ) -> io::Result<DistScaling> {
     let golden = match golden {
         Some(g) => g.to_string(),
@@ -834,35 +866,38 @@ pub fn dist_scaling(
     } else {
         &[false]
     };
-    for &pinned in flavors {
-        let measure = |procs: usize, single_eps: f64| -> io::Result<DistPoint> {
-            let (merged, wall_seconds) = dist_fan_out(exe, procs, pinned)?;
-            if merged.to_json() != golden {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "merged {procs}-process campaign diverged from the sequential run \
-                         (pinned={pinned})"
-                    ),
-                ));
-            }
-            Ok(DistPoint {
-                procs,
-                pinned,
-                effective_cores: cores.min(procs).max(1),
-                total_events: merged.perf().total_events,
-                wall_seconds,
-                single_events_per_sec: single_eps,
-            })
-        };
-        let mut baseline = measure(1, 0.0)?;
-        let single_eps = baseline.events_per_sec();
-        baseline.single_events_per_sec = single_eps;
-        for &procs in procs_list {
-            if procs == 1 {
-                points.push(baseline);
-            } else {
-                points.push(measure(procs, single_eps)?);
+    for &wire in wires {
+        for &pinned in flavors {
+            let measure = |procs: usize, single_eps: f64| -> io::Result<DistPoint> {
+                let (merged, wall_seconds) = dist_fan_out(exe, procs, pinned, wire)?;
+                if merged.to_json() != golden {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "merged {procs}-process campaign diverged from the sequential run \
+                             (pinned={pinned}, wire={wire})"
+                        ),
+                    ));
+                }
+                Ok(DistPoint {
+                    procs,
+                    pinned,
+                    wire,
+                    effective_cores: cores.min(procs).max(1),
+                    total_events: merged.perf().total_events,
+                    wall_seconds,
+                    single_events_per_sec: single_eps,
+                })
+            };
+            let mut baseline = measure(1, 0.0)?;
+            let single_eps = baseline.events_per_sec();
+            baseline.single_events_per_sec = single_eps;
+            for &procs in procs_list {
+                if procs == 1 {
+                    points.push(baseline);
+                } else {
+                    points.push(measure(procs, single_eps)?);
+                }
             }
         }
     }
@@ -870,6 +905,139 @@ pub fn dist_scaling(
         host_cores: cores,
         points,
     })
+}
+
+/// One wire format's share of the transport tax: what encoding and
+/// decoding every shard of the accounting matrix costs, and how many
+/// bytes cross the process boundary.
+#[derive(Clone, Debug)]
+pub struct WireTiming {
+    /// Which encoding was timed.
+    pub wire: WireFormat,
+    /// Encoded bytes across all shards.
+    pub bytes: u64,
+    /// Wall seconds to encode every shard (best of the measuring passes).
+    pub encode_seconds: f64,
+    /// Wall seconds to decode every shard back (best of the passes).
+    pub decode_seconds: f64,
+}
+
+impl WireTiming {
+    /// Encode + decode: the CPU cost one full transport round trip pays.
+    pub fn round_trip_seconds(&self) -> f64 {
+        self.encode_seconds + self.decode_seconds
+    }
+}
+
+/// Same-run transport-vs-compute accounting: the quick matrix split into
+/// `shards` shards and executed once in-process (the compute
+/// denominator), then every shard encoded and decoded under each wire
+/// format (the transport numerator). This is what locates the fan-out's
+/// efficiency loss: if a wire's round trip is a large fraction of shard
+/// compute, the children are paying serialization, not simulation.
+#[derive(Clone, Debug)]
+pub struct TransportAccounting {
+    /// How many shards the matrix was split into.
+    pub shards: usize,
+    /// Wall seconds to execute all shards sequentially in-process.
+    pub compute_seconds: f64,
+    /// Per-wire-format timings, JSON first.
+    pub wires: Vec<WireTiming>,
+}
+
+impl TransportAccounting {
+    /// The timing recorded for `wire`, if measured.
+    pub fn timing(&self, wire: WireFormat) -> Option<&WireTiming> {
+        self.wires.iter().find(|t| t.wire == wire)
+    }
+
+    /// Binary round-trip cost as a fraction of the JSON round-trip cost
+    /// (< 1.0 means the binary path is cheaper).
+    pub fn bin_round_trip_vs_json(&self) -> f64 {
+        match (self.timing(WireFormat::Bin), self.timing(WireFormat::Json)) {
+            (Some(bin), Some(json)) if json.round_trip_seconds() > 0.0 => {
+                bin.round_trip_seconds() / json.round_trip_seconds()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Measures [`TransportAccounting`] for the quick matrix split
+/// `shard_count` ways: runs every shard once (timed), then encodes and
+/// decodes each under both wire formats, keeping the fastest of a few
+/// passes per direction. Every decode is asserted bit-identical (via the
+/// canonical JSON re-serialization) to the shard it came from, so the
+/// numbers can never come from a lossy path.
+pub fn transport_accounting(shard_count: usize) -> TransportAccounting {
+    let workloads = quick_matrix_workloads();
+    let campaign = quick_campaign(&workloads);
+    let start = Instant::now();
+    let shards: Vec<CampaignShard> = (0..shard_count)
+        .map(|i| {
+            campaign
+                .run_shard(ShardSpec::new(i, shard_count).expect("valid spec"))
+                .expect("quick matrix is valid")
+        })
+        .collect();
+    let compute_seconds = start.elapsed().as_secs_f64();
+
+    const PASSES: usize = 5;
+    let encode = |wire: WireFormat, s: &CampaignShard| -> Vec<u8> {
+        match wire {
+            WireFormat::Json => s.to_json().into_bytes(),
+            WireFormat::Bin => s.to_bin(),
+        }
+    };
+    let decode = |wire: WireFormat, p: &[u8]| -> CampaignShard {
+        match wire {
+            WireFormat::Json => {
+                CampaignShard::from_json(std::str::from_utf8(p).expect("JSON payloads are UTF-8"))
+            }
+            WireFormat::Bin => CampaignShard::from_bin(p),
+        }
+        .expect("self-encoded shards decode")
+    };
+    let wires = [WireFormat::Json, WireFormat::Bin]
+        .into_iter()
+        .map(|wire| {
+            let mut encode_seconds = f64::INFINITY;
+            let mut payloads: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..PASSES {
+                let start = Instant::now();
+                let encoded: Vec<Vec<u8>> = shards.iter().map(|s| encode(wire, s)).collect();
+                encode_seconds = encode_seconds.min(start.elapsed().as_secs_f64());
+                payloads = encoded;
+            }
+            let bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+            let mut decode_seconds = f64::INFINITY;
+            for _ in 0..PASSES {
+                let start = Instant::now();
+                for p in &payloads {
+                    std::hint::black_box(decode(wire, p));
+                }
+                decode_seconds = decode_seconds.min(start.elapsed().as_secs_f64());
+            }
+            for (s, p) in shards.iter().zip(&payloads) {
+                assert_eq!(
+                    decode(wire, p).to_json(),
+                    s.to_json(),
+                    "transport accounting round trip must be bit-identical ({wire})"
+                );
+            }
+            WireTiming {
+                wire,
+                bytes,
+                encode_seconds,
+                decode_seconds,
+            }
+        })
+        .collect();
+    TransportAccounting {
+        shards: shard_count,
+        compute_seconds,
+        wires,
+    }
 }
 
 /// The PGO comparison CI records: the plain (non-PGO) build's aggregate
@@ -921,12 +1089,13 @@ pub fn same_run_micros() -> SameRunMicros {
     }
 }
 
-/// The full `BENCH_PR5.json` document: the committed same-session seed,
+/// The full `BENCH_PR7.json` document: the committed same-session seed,
 /// PR 2 and PR 3 baselines, a fresh measurement of the current build, the
 /// trajectory ratios between them, the sharded-executor scale-out section
 /// (aggregate events/sec, events/sec-per-core, scaling efficiency), the
 /// multi-process `dist` fan-out grid (events/sec at each process count,
-/// pinned vs unpinned), the measuring host's core count, the CI-recorded
+/// pinned vs unpinned, per wire format), the same-run transport-vs-compute
+/// accounting, the measuring host's core count, the CI-recorded
 /// PGO-vs-plain ratio when available, and the three same-run hot-path
 /// microbenchmarks (each timing the optimized path against its in-tree
 /// reference inside this very run, so those ratios are portable across
@@ -943,6 +1112,7 @@ pub fn bench_json(
     micros: &SameRunMicros,
     scaling: &CampaignScaling,
     dist: &DistScaling,
+    transport: &TransportAccounting,
     pgo: Option<PgoComparison>,
 ) -> String {
     let mut w = JsonWriter::new();
@@ -1001,12 +1171,14 @@ pub fn bench_json(
     w.key("description");
     w.string(
         "the quick matrix fanned out to `procs` child processes (`repro \
-         shard i/procs`), shards shipped back as JSON over stdout, merged, \
-         and checked bit-identical to the sequential run; wall time is \
-         parent-measured and includes process startup, workload \
-         regeneration and JSON transport. pinned points run each child \
-         under sched_setaffinity on core i mod host_cores. efficiency is \
-         against the same flavor's 1-process fan-out on \
+         shard i/procs --wire W`), shards shipped back over stdout in the \
+         point's wire format, merged, and checked bit-identical to the \
+         sequential run; wall time is parent-measured and includes process \
+         startup, one workload generation per child process (shared \
+         in-process via the WorkloadCache) and shard transport. pinned \
+         points run each child under sched_setaffinity on core i mod \
+         host_cores. efficiency is against the same (wire, pinned) \
+         flavor's 1-process fan-out on \
          effective_cores = min(procs, host cores)",
     );
     w.key("points");
@@ -1017,6 +1189,8 @@ pub fn bench_json(
         w.number_u64(p.procs as u64);
         w.key("pinned");
         w.boolean(p.pinned);
+        w.key("wire");
+        w.string(&p.wire.to_string());
         w.key("effective_cores");
         w.number_u64(p.effective_cores as u64);
         w.key("total_events");
@@ -1032,6 +1206,47 @@ pub fn bench_json(
         w.end_object();
     }
     w.end_array();
+    w.end_object();
+    w.key("transport");
+    w.begin_object();
+    w.key("description");
+    w.string(
+        "same-run transport-vs-compute accounting: the quick matrix split \
+         into `shards` shards and executed once in-process \
+         (compute_seconds), then every shard encoded and decoded under \
+         each wire format (best of 5 passes per direction, every decode \
+         asserted bit-identical). bin_round_trip_vs_json < 1.0 means the \
+         binary wire is cheaper than JSON",
+    );
+    w.key("shards");
+    w.number_u64(transport.shards as u64);
+    w.key("compute_seconds");
+    w.float(transport.compute_seconds);
+    w.key("wires");
+    w.begin_array();
+    for t in &transport.wires {
+        w.begin_object();
+        w.key("wire");
+        w.string(&t.wire.to_string());
+        w.key("bytes");
+        w.number_u64(t.bytes);
+        w.key("encode_seconds");
+        w.float(t.encode_seconds);
+        w.key("decode_seconds");
+        w.float(t.decode_seconds);
+        w.key("round_trip_seconds");
+        w.float(t.round_trip_seconds());
+        w.key("round_trip_vs_compute");
+        w.float(if transport.compute_seconds > 0.0 {
+            t.round_trip_seconds() / transport.compute_seconds
+        } else {
+            0.0
+        });
+        w.end_object();
+    }
+    w.end_array();
+    w.key("bin_round_trip_vs_json");
+    w.float(transport.bin_round_trip_vs_json());
     w.end_object();
     if let Some(pgo) = pgo {
         w.key("pgo");
@@ -1172,6 +1387,7 @@ mod tests {
                 DistPoint {
                     procs: 1,
                     pinned: true,
+                    wire: WireFormat::Bin,
                     effective_cores: 1,
                     total_events: 1000,
                     wall_seconds: 1.0,
@@ -1180,10 +1396,32 @@ mod tests {
                 DistPoint {
                     procs: 4,
                     pinned: true,
+                    wire: WireFormat::Bin,
                     effective_cores: 4,
                     total_events: 1000,
                     wall_seconds: 0.3125,
                     single_events_per_sec: 1000.0,
+                },
+            ],
+        }
+    }
+
+    fn tiny_transport() -> TransportAccounting {
+        TransportAccounting {
+            shards: 2,
+            compute_seconds: 1.0,
+            wires: vec![
+                WireTiming {
+                    wire: WireFormat::Json,
+                    bytes: 4000,
+                    encode_seconds: 0.06,
+                    decode_seconds: 0.04,
+                },
+                WireTiming {
+                    wire: WireFormat::Bin,
+                    bytes: 1000,
+                    encode_seconds: 0.015,
+                    decode_seconds: 0.01,
                 },
             ],
         }
@@ -1198,6 +1436,7 @@ mod tests {
         let degenerate = DistPoint {
             procs: 0,
             pinned: false,
+            wire: WireFormat::Json,
             effective_cores: 0,
             total_events: 0,
             wall_seconds: 0.0,
@@ -1221,7 +1460,19 @@ mod tests {
         let scaling = tiny_scaling();
         assert!((scaling.events_per_sec_per_core() - 800.0).abs() < 1e-9);
         assert!((scaling.efficiency() - 0.8).abs() < 1e-9);
-        let merged = bench_json(&r, &r, &r, &r, &micros, &scaling, &tiny_dist(), None);
+        let transport = tiny_transport();
+        assert!((transport.bin_round_trip_vs_json() - 0.25).abs() < 1e-9);
+        let merged = bench_json(
+            &r,
+            &r,
+            &r,
+            &r,
+            &micros,
+            &scaling,
+            &tiny_dist(),
+            &transport,
+            None,
+        );
         assert!(merged.contains(r#""host_cores":4"#));
         assert!(merged.contains(r#""baseline":"#));
         assert!(merged.contains(r#""pr2":"#));
@@ -1235,6 +1486,9 @@ mod tests {
         assert!(merged.contains(r#""dist":"#));
         assert!(merged.contains(r#""procs":4"#));
         assert!(merged.contains(r#""pinned":true"#));
+        assert!(merged.contains(r#""wire":"bin""#));
+        assert!(merged.contains(r#""transport":"#));
+        assert!(merged.contains(r#""bin_round_trip_vs_json":0.25"#));
         assert!(
             !merged.contains(r#""pgo":"#),
             "no pgo section without CI env"
@@ -1269,6 +1523,7 @@ mod tests {
             &tiny_micros(),
             &tiny_scaling(),
             &tiny_dist(),
+            &tiny_transport(),
             Some(pgo),
         );
         assert!(merged.contains(r#""pgo":"#));

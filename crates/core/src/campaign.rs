@@ -80,6 +80,7 @@ use std::time::Instant;
 
 use strex_oltp::workload::Workload;
 
+use crate::binwire::{self, BinReader, BinWriter};
 use crate::config::{SchedulerKind, SimConfig};
 use crate::driver::{run_factory, SimScratch};
 use crate::error::ConfigError;
@@ -694,6 +695,52 @@ impl CampaignResult {
             },
         })
     }
+
+    /// Serializes the campaign as a binwire document — the binary twin
+    /// of [`to_json`](CampaignResult::to_json), carrying exactly the
+    /// same information (cells only; [`perf`](CampaignResult::perf) is
+    /// excluded for the same worker-count-independence reason).
+    pub fn to_bin(&self) -> Vec<u8> {
+        let mut w = BinWriter::new(binwire::KIND_RESULT);
+        w.len(self.cells.len());
+        for cell in &self.cells {
+            write_cell_bin(&mut w, None, cell);
+        }
+        w.finish()
+    }
+
+    /// Parses a campaign from its [`to_bin`](CampaignResult::to_bin)
+    /// form. Like [`from_json`](CampaignResult::from_json), the
+    /// never-serialized `perf` comes back zeroed with `total_events`
+    /// recomputed, and `workload_idx` is reconstructed from the
+    /// workload-major run structure — so the binary and JSON paths
+    /// decode to identical values.
+    pub fn from_bin(bytes: &[u8]) -> Result<CampaignResult, WireError> {
+        let mut r = BinReader::new(bytes, binwire::KIND_RESULT)?;
+        let n = r.len(1)?;
+        let mut cells: Vec<CampaignCell> = Vec::with_capacity(n);
+        let mut workload_idx = 0usize;
+        for _ in 0..n {
+            let (_, mut cell) = cell_from_bin(&mut r, false)?;
+            if let Some(prev) = cells.last() {
+                if prev.key.workload != cell.key.workload {
+                    workload_idx += 1;
+                }
+            }
+            cell.key.workload_idx = workload_idx;
+            cells.push(cell);
+        }
+        r.finish()?;
+        let total_events = cells.iter().map(|c| report_events(&c.report)).sum();
+        Ok(CampaignResult {
+            cells,
+            perf: CampaignPerf {
+                workers: 0,
+                wall_seconds: 0.0,
+                total_events,
+            },
+        })
+    }
 }
 
 /// Writes one cell as JSON. Without `index` this is exactly the
@@ -756,6 +803,45 @@ fn cell_from_json(v: &JsonValue) -> Result<(usize, CampaignCell), WireError> {
         )));
     }
     let report = Report::from_json_value(v.req("report")?)?;
+    Ok((index, CampaignCell { key, report }))
+}
+
+/// Writes one cell in binwire form. Mirrors [`write_cell_json`]: with
+/// `index` (the shard wire format) the cell carries its matrix position
+/// and the key carries `workload_idx`; without, neither is shipped (the
+/// campaign layout, where `workload_idx` is reconstructed on parse). No
+/// redundant `id` string — the binary form carries each key field once.
+fn write_cell_bin(w: &mut BinWriter, index: Option<usize>, cell: &CampaignCell) {
+    if let Some(i) = index {
+        w.u64(i as u64);
+        w.u64(cell.key.workload_idx as u64);
+    }
+    w.str(&cell.key.workload);
+    w.str(&cell.key.scheduler);
+    w.u64(cell.key.cores as u64);
+    w.u64(cell.key.team_size as u64);
+    binwire::write_report(w, &cell.report);
+}
+
+/// Parses one cell written by [`write_cell_bin`]; `with_index` selects
+/// the shard layout (matrix index + `workload_idx` present).
+fn cell_from_bin(
+    r: &mut BinReader<'_>,
+    with_index: bool,
+) -> Result<(usize, CampaignCell), WireError> {
+    let (index, workload_idx) = if with_index {
+        (r.u64()? as usize, r.u64()? as usize)
+    } else {
+        (0, 0)
+    };
+    let key = CellKey {
+        workload: r.str()?.to_string(),
+        workload_idx,
+        scheduler: r.str()?.to_string(),
+        cores: r.u64()? as usize,
+        team_size: r.u64()? as usize,
+    };
+    let report = binwire::read_report(r)?;
     Ok((index, CampaignCell { key, report }))
 }
 
@@ -850,6 +936,62 @@ impl CampaignShard {
             .iter()
             .map(cell_from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignShard { spec, cells, perf })
+    }
+
+    /// Builds a shard directly from its parts — the constructor the
+    /// wire-format round-trip tests use to synthesize arbitrary shards
+    /// without running a campaign. The spec must be valid; cell
+    /// contents are the caller's responsibility (exactly as with
+    /// [`from_json`](CampaignShard::from_json), [`merge`] remains the
+    /// integrity backstop).
+    pub fn from_parts(
+        spec: ShardSpec,
+        cells: Vec<(usize, CampaignCell)>,
+        perf: CampaignPerf,
+    ) -> Result<CampaignShard, ConfigError> {
+        spec.validate()?;
+        Ok(CampaignShard { spec, cells, perf })
+    }
+
+    /// Serializes the shard as a binwire document — the binary twin of
+    /// [`to_json`](CampaignShard::to_json), carrying the same spec, perf
+    /// and indexed cells (`perf` crosses the boundary here too: it is
+    /// the child process's self-measurement).
+    pub fn to_bin(&self) -> Vec<u8> {
+        let mut w = BinWriter::new(binwire::KIND_SHARD);
+        w.u64(self.spec.index as u64);
+        w.u64(self.spec.count as u64);
+        w.u64(self.perf.workers as u64);
+        w.f64(self.perf.wall_seconds);
+        w.u64(self.perf.total_events);
+        w.len(self.cells.len());
+        for (i, cell) in &self.cells {
+            write_cell_bin(&mut w, Some(*i), cell);
+        }
+        w.finish()
+    }
+
+    /// Parses a shard from its [`to_bin`](CampaignShard::to_bin) form,
+    /// with the same spec validation as the JSON path.
+    pub fn from_bin(bytes: &[u8]) -> Result<CampaignShard, WireError> {
+        let mut r = BinReader::new(bytes, binwire::KIND_SHARD)?;
+        let spec = ShardSpec {
+            index: r.u64()? as usize,
+            count: r.u64()? as usize,
+        };
+        spec.validate().map_err(|e| WireError::new(e.to_string()))?;
+        let perf = CampaignPerf {
+            workers: r.u64()? as usize,
+            wall_seconds: r.f64()?,
+            total_events: r.u64()?,
+        };
+        let n = r.len(1)?;
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            cells.push(cell_from_bin(&mut r, true)?);
+        }
+        r.finish()?;
         Ok(CampaignShard { spec, cells, perf })
     }
 }

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use crate::campaign::CampaignResult;
 
-use super::proto::{read_message, write_message, Message};
+use super::proto::{write_message, FrameReader, Message};
 use super::DispatchError;
 
 /// Submits `campaign` split `shards` ways and blocks until the merged
@@ -30,8 +30,8 @@ pub fn submit(
             shards,
         },
     )?;
-    let mut reader = std::io::BufReader::new(stream);
-    match read_message(&mut reader).map_err(DispatchError::Proto)? {
+    let mut reader = FrameReader::new(std::io::BufReader::new(stream));
+    match reader.next_message().map_err(DispatchError::Proto)? {
         Some(Message::Result { result, .. }) => Ok(result),
         Some(Message::Reject { message }) => Err(DispatchError::Rejected(message)),
         Some(other) => Err(DispatchError::Protocol(format!(

@@ -48,8 +48,9 @@ use std::time::Duration;
 use crate::campaign::{fnv64, merge, CampaignShard, ShardSpec};
 
 use super::clock::Clock;
-use super::proto::{read_message, write_message, Message, ProtoError};
+use super::proto::{write_message_wire, FrameReader, Message, ProtoError};
 use super::DispatchError;
+use crate::binwire::WireFormat;
 
 /// Identifies one connection for the state machine's lifetime. The shell
 /// allocates these; the state machine never looks inside.
@@ -487,12 +488,16 @@ impl Coordinator {
     }
 }
 
-/// How long a [`Server`] run may keep going.
+/// How long a [`Server`] run may keep going, and how it talks.
 #[derive(Clone, Debug, Default)]
 pub struct ServeOptions {
     /// Stop (cleanly: listener closed, connections dropped) after this
     /// many jobs complete. `None` serves forever.
     pub max_jobs: Option<usize>,
+    /// Encoding for the `result` frames this server emits to submitters.
+    /// Control frames are always JSON; the read side negotiates per
+    /// frame, so workers pick their own `shard_done` encoding.
+    pub wire: WireFormat,
 }
 
 /// What a bounded [`Server::run`] did.
@@ -597,7 +602,7 @@ impl Server {
                     Action::Send(conn, msg) => {
                         let mut writers = writers.lock().expect("writer map");
                         if let Some(stream) = writers.get_mut(&conn) {
-                            if let Err(e) = write_message(stream, &msg) {
+                            if let Err(e) = write_message_wire(stream, &msg, opts.wire) {
                                 eprintln!("dispatch: write to connection {conn} failed: {e}");
                                 writers.remove(&conn);
                                 // The reader thread will report Gone; the
@@ -648,9 +653,9 @@ impl Server {
 /// death, so the state machine has exactly one failure path.
 fn spawn_reader(conn: ConnId, stream: TcpStream, tx: mpsc::Sender<ConnEvent>) {
     std::thread::spawn(move || {
-        let mut reader = BufReader::new(stream);
+        let mut reader = FrameReader::new(BufReader::new(stream));
         loop {
-            match read_message(&mut reader) {
+            match reader.next_message() {
                 Ok(Some(msg)) => {
                     if tx.send(ConnEvent::Frame(conn, msg)).is_err() {
                         return;

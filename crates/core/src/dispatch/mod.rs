@@ -16,8 +16,9 @@
 //!
 //! The pieces, each its own module:
 //!
-//! * [`proto`] — newline-delimited JSON frames over
-//!   [`crate::jsonval`]; typed parse errors, never panics.
+//! * [`proto`] — newline-delimited frames, JSON or length-prefixed
+//!   binary ([`crate::binwire`]) negotiated per frame by first byte;
+//!   typed parse errors, never panics.
 //! * [`clock`] — the deadline clock abstraction; production reads a
 //!   monotonic [`SystemClock`](clock::SystemClock), lifecycle tests drive
 //!   the same coordinator with a hand-advanced
@@ -43,7 +44,10 @@ pub use coordinator::{
     job_key, Action, ConnId, Coordinator, DispatchConfig, Event, ServeOptions, ServeSummary,
     Server, WorkerLossReason, MAX_SHARDS,
 };
-pub use proto::{read_message, write_message, Message, ProtoError};
+pub use proto::{
+    read_message, read_message_buffered, write_message, write_message_wire, FrameReader, Message,
+    ProtoError,
+};
 pub use worker::{run_worker, ShardRunner, WorkerOptions, WorkerSummary};
 
 use std::fmt;

@@ -1,7 +1,8 @@
-//! The dispatcher's wire protocol: newline-delimited JSON frames.
+//! The dispatcher's wire protocol: newline-delimited frames, JSON or
+//! binary, negotiated per frame by first byte.
 //!
-//! Every message is one JSON object on one line, terminated by `\n` —
-//! the same dependency-free [`crate::json::JsonWriter`] /
+//! Control messages are one JSON object on one line, terminated by `\n`
+//! — the same dependency-free [`crate::json::JsonWriter`] /
 //! [`crate::jsonval`] stack the `repro dist` shard format uses, so a
 //! worker on another machine needs nothing but a TCP connection and this
 //! module. The object's `"type"` field names the message; the payloads
@@ -11,18 +12,38 @@
 //! verbatim, so shard bytes that cross the socket are byte-identical to
 //! the ones `repro dist` ships over stdout.
 //!
+//! The two payload carriers — `shard_done` and `result` — additionally
+//! have a compact binary form (the production default): a
+//! [`binwire::MAGIC`]-opened, length-prefixed frame carrying the
+//! [`crate::binwire`] twin of the same document. Readers never need to
+//! be told which form a peer speaks: [`binwire::MAGIC`] is a UTF-8
+//! continuation byte no JSON line can start with, so [`FrameReader`]
+//! decides per frame from the first byte, and peers may mix formats
+//! freely on one connection.
+//!
 //! The read side is a trust boundary: frames come from the network, so
-//! truncated lines, malformed JSON, unknown message types and mistyped
-//! payloads are all typed [`ProtoError`]s — never panics (fuzzed in
-//! `tests/dispatch_protocol.rs`). See `docs/PROTOCOL.md` for the message
-//! flow and delivery contract.
+//! truncated lines, malformed JSON, bad binary framing, unknown message
+//! types and mistyped payloads are all typed [`ProtoError`]s — never
+//! panics (fuzzed in `tests/dispatch_protocol.rs`). See
+//! `docs/PROTOCOL.md` for the message flow and delivery contract.
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
+use crate::binwire::{self, BinReader, BinWriter, WireFormat};
 use crate::campaign::{CampaignResult, CampaignShard, ShardSpec};
 use crate::json::JsonWriter;
 use crate::jsonval::{JsonValue, WireError};
+
+/// Payload kind byte of a binary `shard_done` frame.
+pub const KIND_SHARD_DONE: u8 = b'D';
+/// Payload kind byte of a binary `result` frame.
+pub const KIND_RESULT_FRAME: u8 = b'Z';
+
+/// Cap on one binary frame's declared payload length. A full quick
+/// matrix is a few MiB on the wire; the cap only exists so a corrupt or
+/// hostile length prefix cannot drive an arbitrarily large allocation.
+pub const MAX_BINARY_FRAME: usize = 256 * 1024 * 1024;
 
 /// One protocol message, either direction.
 #[derive(Clone, Debug)]
@@ -145,6 +166,55 @@ impl Message {
         frame
     }
 
+    /// Serializes the message under `wire`. Control frames are always
+    /// one-line JSON regardless of `wire`; under [`WireFormat::Bin`] the
+    /// two payload carriers ([`Message::ShardDone`], [`Message::Result`])
+    /// become length-prefixed binary frames instead:
+    ///
+    /// ```text
+    /// [MAGIC][payload len: u32 LE][payload][\n]
+    /// payload = [MAGIC][kind][job: str][binwire document]
+    /// ```
+    pub fn to_frame_bytes(&self, wire: WireFormat) -> Vec<u8> {
+        match (wire, self) {
+            (WireFormat::Bin, Message::ShardDone { job, shard }) => {
+                binary_frame(KIND_SHARD_DONE, job, &shard.to_bin())
+            }
+            (WireFormat::Bin, Message::Result { job, result }) => {
+                binary_frame(KIND_RESULT_FRAME, job, &result.to_bin())
+            }
+            _ => self.to_frame().into_bytes(),
+        }
+    }
+
+    /// Parses the payload of one binary frame — the bytes between the
+    /// length prefix and the trailing newline.
+    pub fn parse_binary_payload(payload: &[u8]) -> Result<Message, ProtoError> {
+        let kind = *payload.get(1).ok_or_else(|| {
+            ProtoError::Wire(WireError::new(
+                "binary frame payload shorter than its two-byte header",
+            ))
+        })?;
+        match kind {
+            KIND_SHARD_DONE => {
+                let mut r = BinReader::new(payload, KIND_SHARD_DONE).map_err(ProtoError::Wire)?;
+                let job = r.str().map_err(ProtoError::Wire)?.to_string();
+                let shard = CampaignShard::from_bin(r.rest()).map_err(ProtoError::Wire)?;
+                Ok(Message::ShardDone { job, shard })
+            }
+            KIND_RESULT_FRAME => {
+                let mut r = BinReader::new(payload, KIND_RESULT_FRAME).map_err(ProtoError::Wire)?;
+                let job = r.str().map_err(ProtoError::Wire)?.to_string();
+                let result = CampaignResult::from_bin(r.rest()).map_err(ProtoError::Wire)?;
+                Ok(Message::Result { job, result })
+            }
+            other => Err(ProtoError::Wire(WireError::new(format!(
+                "unknown binary frame kind {:?}",
+                other as char
+            )))),
+        }
+    }
+
     /// Parses a message from a parsed frame document.
     pub fn from_json_value(doc: &JsonValue) -> Result<Message, WireError> {
         let kind = doc.req_str("type")?;
@@ -235,26 +305,149 @@ impl From<io::Error> for ProtoError {
     }
 }
 
-/// Reads one frame from `reader`. `Ok(None)` is a clean end of stream
-/// (the peer closed between frames); a partial trailing line is a
-/// [`ProtoError::Truncated`].
-pub fn read_message(reader: &mut impl BufRead) -> Result<Option<Message>, ProtoError> {
-    let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if !line.ends_with('\n') {
-        return Err(ProtoError::Truncated { bytes: n });
-    }
-    Message::parse_frame(&line).map(Some)
+/// Builds one binary frame around an already-encoded binwire document.
+fn binary_frame(kind: u8, job: &str, doc: &[u8]) -> Vec<u8> {
+    let mut w = BinWriter::new(kind);
+    w.str(job);
+    w.raw(doc);
+    let payload = w.finish();
+    let mut frame = Vec::with_capacity(payload.len() + 6);
+    frame.push(binwire::MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.push(b'\n');
+    frame
 }
 
-/// Writes one frame to `writer` and flushes it, so a message is either
-/// fully on the wire or not sent at all from the peer's perspective.
-pub fn write_message(writer: &mut impl Write, msg: &Message) -> io::Result<()> {
-    writer.write_all(msg.to_frame().as_bytes())?;
+/// Incremental frame reader over one connection: owns the transport's
+/// buffered reader plus a single frame buffer that is cleared and reused
+/// across calls, so a long-lived peer (worker loop, coordinator reader
+/// thread, submitter) decodes every frame without a fresh allocation per
+/// message.
+///
+/// Format negotiation is per frame, by first byte: [`binwire::MAGIC`]
+/// opens a length-prefixed binary frame, anything else is a
+/// newline-terminated JSON line.
+pub struct FrameReader<R> {
+    reader: R,
+    buf: Vec<u8>,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps a buffered transport.
+    pub fn new(reader: R) -> FrameReader<R> {
+        FrameReader {
+            reader,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads one frame. `Ok(None)` is a clean end of stream (the peer
+    /// closed between frames); a partial frame is
+    /// [`ProtoError::Truncated`].
+    pub fn next_message(&mut self) -> Result<Option<Message>, ProtoError> {
+        read_message_buffered(&mut self.reader, &mut self.buf)
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, reporting EOF mid-read as
+/// [`ProtoError::Truncated`] counting `already` bytes consumed before
+/// this read plus however many arrived during it.
+fn read_exact_or_truncated(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    already: usize,
+) -> Result<(), ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..])? {
+            0 => {
+                return Err(ProtoError::Truncated {
+                    bytes: already + filled,
+                })
+            }
+            n => filled += n,
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame into `buf` (cleared first, capacity reused),
+/// negotiating JSON vs binary by the frame's first byte. `Ok(None)` is a
+/// clean end of stream; a partial frame is [`ProtoError::Truncated`].
+/// [`FrameReader`] wraps this with a persistent buffer; the free
+/// [`read_message`] is the one-shot convenience form.
+pub fn read_message_buffered(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+) -> Result<Option<Message>, ProtoError> {
+    buf.clear();
+    let first = match reader.fill_buf()?.first() {
+        Some(&b) => b,
+        None => return Ok(None),
+    };
+    if binwire::is_binary(first) {
+        reader.consume(1);
+        let mut len = [0u8; 4];
+        read_exact_or_truncated(reader, &mut len, 1)?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_BINARY_FRAME {
+            return Err(ProtoError::Malformed(format!(
+                "binary frame declares a {len}-byte payload (cap {MAX_BINARY_FRAME})"
+            )));
+        }
+        // Grow with bytes actually received, never with the declared
+        // length: a lying prefix on a short stream must not allocate
+        // the cap up front.
+        let got = (&mut *reader).take(len as u64).read_to_end(buf)?;
+        if got < len {
+            return Err(ProtoError::Truncated { bytes: 5 + got });
+        }
+        let mut newline = [0u8; 1];
+        read_exact_or_truncated(reader, &mut newline, 5 + len)?;
+        if newline[0] != b'\n' {
+            return Err(ProtoError::Malformed(
+                "binary frame is not newline-terminated".to_string(),
+            ));
+        }
+        Message::parse_binary_payload(buf).map(Some)
+    } else {
+        let n = reader.read_until(b'\n', buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if buf.last() != Some(&b'\n') {
+            return Err(ProtoError::Truncated { bytes: n });
+        }
+        let line = std::str::from_utf8(buf)
+            .map_err(|e| ProtoError::Io(io::Error::new(io::ErrorKind::InvalidData, e)))?;
+        Message::parse_frame(line).map(Some)
+    }
+}
+
+/// One-shot [`read_message_buffered`] with a throwaway buffer. Loops
+/// should hold a [`FrameReader`] instead so the buffer is reused.
+pub fn read_message(reader: &mut impl BufRead) -> Result<Option<Message>, ProtoError> {
+    let mut buf = Vec::new();
+    read_message_buffered(reader, &mut buf)
+}
+
+/// Writes one frame to `writer` under `wire` and flushes it, so a
+/// message is either fully on the wire or not sent at all from the
+/// peer's perspective.
+pub fn write_message_wire(
+    writer: &mut impl Write,
+    msg: &Message,
+    wire: WireFormat,
+) -> io::Result<()> {
+    writer.write_all(&msg.to_frame_bytes(wire))?;
     writer.flush()
+}
+
+/// Writes one JSON frame — the debug/interop form. Payload-heavy paths
+/// take [`write_message_wire`] with a caller-chosen [`WireFormat`].
+pub fn write_message(writer: &mut impl Write, msg: &Message) -> io::Result<()> {
+    write_message_wire(writer, msg, WireFormat::Json)
 }
 
 #[cfg(test)]
@@ -329,6 +522,110 @@ mod tests {
             Err(ProtoError::Wire(e)) => assert!(e.to_string().contains("warp"), "{e}"),
             other => panic!("expected a wire error, got {other:?}"),
         }
+    }
+
+    fn tiny_shard_done() -> Message {
+        use crate::campaign::{CampaignPerf, CampaignShard};
+        let shard = CampaignShard::from_parts(
+            ShardSpec { index: 1, count: 3 },
+            vec![],
+            CampaignPerf {
+                workers: 2,
+                wall_seconds: 0.25,
+                total_events: 7,
+            },
+        )
+        .expect("valid spec");
+        Message::ShardDone {
+            job: "ab12".into(),
+            shard,
+        }
+    }
+
+    #[test]
+    fn binary_payload_frames_round_trip_through_the_reader() {
+        let msg = tiny_shard_done();
+        let frame = msg.to_frame_bytes(WireFormat::Bin);
+        assert_eq!(frame[0], binwire::MAGIC);
+        assert_eq!(*frame.last().unwrap(), b'\n');
+
+        let mut r = FrameReader::new(BufReader::new(&frame[..]));
+        let parsed = r.next_message().expect("parse").expect("one frame");
+        assert_eq!(
+            parsed.to_frame_bytes(WireFormat::Bin),
+            frame,
+            "byte-identical re-emission"
+        );
+        // The decoded message's JSON twin matches the original's, so both
+        // forms carry exactly the same document.
+        assert_eq!(parsed.to_frame(), msg.to_frame());
+        assert!(r.next_message().expect("eof").is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn json_and_binary_frames_interleave_on_one_stream() {
+        let mut bytes = Message::Heartbeat.to_frame().into_bytes();
+        bytes.extend_from_slice(&tiny_shard_done().to_frame_bytes(WireFormat::Bin));
+        bytes.extend_from_slice(Message::Register { name: "w".into() }.to_frame().as_bytes());
+
+        let mut r = FrameReader::new(BufReader::new(&bytes[..]));
+        assert!(matches!(
+            r.next_message().unwrap(),
+            Some(Message::Heartbeat)
+        ));
+        assert!(matches!(
+            r.next_message().unwrap(),
+            Some(Message::ShardDone { .. })
+        ));
+        assert!(matches!(
+            r.next_message().unwrap(),
+            Some(Message::Register { .. })
+        ));
+        assert!(r.next_message().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_binary_frames_are_typed_errors() {
+        let frame = tiny_shard_done().to_frame_bytes(WireFormat::Bin);
+        // Cut everywhere interesting: after the magic, mid-length-prefix,
+        // mid-payload, and right before the trailing newline.
+        for cut in [1, 3, frame.len() - 10, frame.len() - 1] {
+            let mut r = FrameReader::new(BufReader::new(&frame[..cut]));
+            match r.next_message() {
+                Err(ProtoError::Truncated { bytes }) => {
+                    assert_eq!(bytes, cut, "cut at {cut}");
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_binary_frames_are_typed_errors_never_panics() {
+        // A length prefix past the cap is refused before allocating.
+        let mut huge = vec![binwire::MAGIC];
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = FrameReader::new(BufReader::new(&huge[..]));
+        assert!(matches!(r.next_message(), Err(ProtoError::Malformed(_))));
+
+        // An unknown payload kind is a wire error.
+        let mut bad_kind = vec![binwire::MAGIC];
+        let payload = [binwire::MAGIC, b'?'];
+        bad_kind.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bad_kind.extend_from_slice(&payload);
+        bad_kind.push(b'\n');
+        let mut r = FrameReader::new(BufReader::new(&bad_kind[..]));
+        match r.next_message() {
+            Err(ProtoError::Wire(e)) => assert!(e.to_string().contains("kind"), "{e}"),
+            other => panic!("expected a wire error, got {other:?}"),
+        }
+
+        // A frame whose payload is not followed by a newline is malformed.
+        let good = tiny_shard_done().to_frame_bytes(WireFormat::Bin);
+        let mut no_newline = good.clone();
+        *no_newline.last_mut().unwrap() = b'X';
+        let mut r = FrameReader::new(BufReader::new(&no_newline[..]));
+        assert!(matches!(r.next_message(), Err(ProtoError::Malformed(_))));
     }
 
     #[test]

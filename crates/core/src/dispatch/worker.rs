@@ -22,9 +22,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::binwire::WireFormat;
 use crate::campaign::{CampaignShard, ShardSpec};
 
-use super::proto::{read_message, write_message, Message};
+use super::proto::{write_message, write_message_wire, FrameReader, Message};
 use super::DispatchError;
 
 /// Executes one shard of a named campaign. The `Err` string travels into
@@ -52,6 +53,10 @@ pub struct WorkerOptions {
     /// Heartbeat cadence. Keep well below the coordinator's
     /// `worker_timeout_ms` (the serve CLI uses timeout / 4).
     pub heartbeat_interval_ms: u64,
+    /// Encoding for the `shard_done` frames this worker emits. Control
+    /// frames are always JSON; the read side negotiates per frame, so
+    /// this only picks the emit path.
+    pub wire: WireFormat,
 }
 
 impl Default for WorkerOptions {
@@ -59,6 +64,7 @@ impl Default for WorkerOptions {
         WorkerOptions {
             name: format!("worker:{}", std::process::id()),
             heartbeat_interval_ms: 1_000,
+            wire: WireFormat::default(),
         }
     }
 }
@@ -110,7 +116,7 @@ pub fn run_worker(
         })
     };
 
-    let result = worker_loop(reader, &writer, runner);
+    let result = worker_loop(reader, &writer, runner, opts.wire);
     stop.store(true, Ordering::SeqCst);
     // Unblock the coordinator side promptly; the heartbeat thread exits
     // on its next tick either way.
@@ -126,11 +132,12 @@ fn worker_loop(
     reader: TcpStream,
     writer: &Mutex<TcpStream>,
     runner: &mut dyn ShardRunner,
+    wire: WireFormat,
 ) -> Result<WorkerSummary, DispatchError> {
-    let mut reader = BufReader::new(reader);
+    let mut reader = FrameReader::new(BufReader::new(reader));
     let mut shards_run = 0usize;
     loop {
-        match read_message(&mut reader).map_err(DispatchError::Proto)? {
+        match reader.next_message().map_err(DispatchError::Proto)? {
             None => {
                 // Coordinator closed the connection: done serving.
                 return Ok(WorkerSummary { shards_run });
@@ -148,7 +155,7 @@ fn worker_loop(
                         message: e,
                     })?;
                 let mut w = writer.lock().expect("frame writer");
-                write_message(&mut *w, &Message::ShardDone { job, shard })?;
+                write_message_wire(&mut *w, &Message::ShardDone { job, shard }, wire)?;
                 shards_run += 1;
             }
             Some(Message::Reject { message }) => {

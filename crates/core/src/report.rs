@@ -301,7 +301,7 @@ fn core_stats_from_json(v: &JsonValue) -> Result<CoreStats, WireError> {
 /// hold `&'static` names locally. Because the wire is a trust boundary,
 /// the memo table is capped: a document stream minting endless fresh
 /// names gets a [`WireError`], not an unbounded leak.
-fn intern_scheduler_name(name: &str) -> Result<&'static str, WireError> {
+pub(crate) fn intern_scheduler_name(name: &str) -> Result<&'static str, WireError> {
     const BUILT_IN: &[&str] = &["Base", "STREX", "SLICC", "STREX+SLICC"];
     // Far more distinct custom policies than any real registry holds;
     // only hostile or corrupt input gets anywhere near it.

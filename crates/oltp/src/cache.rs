@@ -1,0 +1,152 @@
+//! Process-wide sharing of generated trace pools.
+//!
+//! Trace generation is deterministic — [`Workload::preset`] /
+//! [`Workload::preset_small`] with the same `(kind, size, seed)` always
+//! build byte-identical pools — but it is not free: a quick-matrix pool
+//! is tens of thousands of packed trace words, and the fan-out paths
+//! used to regenerate the full workload set once per shard invocation,
+//! once per dispatch job, and once more for a `--verify` check. The
+//! [`WorkloadCache`] makes each pool a once-per-process cost: the first
+//! request under a key generates, every later one clones an [`Arc`] to
+//! the same immutable pool, shared across cells, shards and jobs.
+//!
+//! Determinism is what makes this safe: a cached pool is
+//! indistinguishable from a freshly generated one, so routing a path
+//! through the cache can never perturb results (the golden snapshot and
+//! the dispatch bit-identity tests pin this).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::workload::{Workload, WorkloadKind};
+
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+struct Key {
+    kind: WorkloadKind,
+    size: usize,
+    seed: u64,
+    small: bool,
+}
+
+static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Workload>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Counters describing what the process-wide cache has done so far.
+#[derive(Copy, Clone, Debug)]
+pub struct CacheStats {
+    /// Distinct pools generated (and retained) by this process.
+    pub entries: usize,
+    /// Requests served from an already-generated pool.
+    pub hits: u64,
+    /// Requests that had to generate.
+    pub misses: u64,
+}
+
+/// The process-wide trace-pool cache. Stateless handle: all state is a
+/// process-global keyed by the preset parameters.
+pub struct WorkloadCache;
+
+impl WorkloadCache {
+    /// [`Workload::preset`] through the cache: generated at most once
+    /// per process per `(kind, size, seed)`.
+    pub fn preset(kind: WorkloadKind, size: usize, seed: u64) -> Arc<Workload> {
+        Self::get(
+            Key {
+                kind,
+                size,
+                seed,
+                small: false,
+            },
+            || Workload::preset(kind, size, seed),
+        )
+    }
+
+    /// [`Workload::preset_small`] through the cache.
+    pub fn preset_small(kind: WorkloadKind, size: usize, seed: u64) -> Arc<Workload> {
+        Self::get(
+            Key {
+                kind,
+                size,
+                seed,
+                small: true,
+            },
+            || Workload::preset_small(kind, size, seed),
+        )
+    }
+
+    fn get(key: Key, generate: impl FnOnce() -> Workload) -> Arc<Workload> {
+        let map = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        // Generation happens under the lock on purpose: two racing
+        // requests for the same key must not both pay it — "once per
+        // process" is the whole contract.
+        let mut map = map.lock().expect("workload cache");
+        if let Some(w) = map.get(&key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(w);
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        let w = Arc::new(generate());
+        map.insert(key, Arc::clone(&w));
+        w
+    }
+
+    /// Current cache counters.
+    pub fn stats() -> CacheStats {
+        let entries = CACHE
+            .get()
+            .map(|m| m.lock().expect("workload cache").len())
+            .unwrap_or(0);
+        CacheStats {
+            entries,
+            hits: HITS.load(Ordering::Relaxed),
+            misses: MISSES.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_requests_share_one_generated_pool() {
+        let a = WorkloadCache::preset_small(WorkloadKind::Tpce, 5, 77);
+        let b = WorkloadCache::preset_small(WorkloadKind::Tpce, 5, 77);
+        assert!(Arc::ptr_eq(&a, &b), "same pool instance, not a copy");
+
+        // Different parameters are different pools.
+        let c = WorkloadCache::preset_small(WorkloadKind::Tpce, 5, 78);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn cached_pools_match_direct_generation() {
+        let cached = WorkloadCache::preset_small(WorkloadKind::TpccW1, 6, 3);
+        let direct = Workload::preset_small(WorkloadKind::TpccW1, 6, 3);
+        let sig = |w: &Workload| -> Vec<u64> { w.txns().iter().map(|t| t.instr_total()).collect() };
+        assert_eq!(sig(&cached), sig(&direct));
+        assert_eq!(cached.name(), direct.name());
+    }
+
+    #[test]
+    fn small_and_full_presets_do_not_collide() {
+        // Same (kind, size, seed), different scale: must be distinct
+        // entries — a collision would silently swap trace pools.
+        let small = WorkloadCache::preset_small(WorkloadKind::MapReduce, 4, 9);
+        let full = WorkloadCache::preset(WorkloadKind::MapReduce, 4, 9);
+        assert!(!Arc::ptr_eq(&small, &full));
+    }
+
+    #[test]
+    fn stats_observe_hits_and_misses() {
+        let before = WorkloadCache::stats();
+        let _w = WorkloadCache::preset_small(WorkloadKind::TpccW10, 3, 12345);
+        let _w = WorkloadCache::preset_small(WorkloadKind::TpccW10, 3, 12345);
+        let after = WorkloadCache::stats();
+        assert!(after.misses > before.misses);
+        assert!(after.hits > before.hits);
+        assert!(after.entries > 0);
+    }
+}

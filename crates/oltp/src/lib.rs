@@ -34,6 +34,7 @@
 //! }
 //! ```
 
+pub mod cache;
 pub mod codepath;
 pub mod engine;
 pub mod footprint;
@@ -45,5 +46,6 @@ pub mod tpce;
 pub mod trace;
 pub mod workload;
 
+pub use cache::{CacheStats, WorkloadCache};
 pub use trace::{MemRef, TraceCursor, TxnTrace};
 pub use workload::{Workload, WorkloadKind};

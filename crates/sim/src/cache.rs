@@ -567,46 +567,32 @@ impl SetAssocCache {
         }
     }
 
-    /// Branchless compare-mask pass over `N` packed tags: bit `w` of the
-    /// first mask is set iff way `w` holds `needle`, bit `w` of the second
-    /// iff way `w` is invalid. The fixed `N` lets LLVM fully unroll and
-    /// vectorize the compares.
+    /// Compare-mask pass over `N` packed tags: bit `w` of the first mask
+    /// is set iff way `w` holds `needle`, bit `w` of the second iff way
+    /// `w` is invalid ([`TAG_INVALID`] is all-zero, the sentinel the
+    /// [`crate::wayscan`] kernels test against). Explicit AVX2 on x86-64,
+    /// the PR 2 scalar loop elsewhere — bit-identical by construction.
     #[inline(always)]
     fn scan_masks<const N: usize>(tags: &[u64], needle: u64) -> (u32, u32) {
         let tags: &[u64; N] = tags
             .try_into()
             .expect("set slice length is the associativity");
-        let mut hit = 0u32;
-        let mut invalid = 0u32;
-        let mut way = 0;
-        while way < N {
-            hit |= ((tags[way] == needle) as u32) << way;
-            invalid |= ((tags[way] == TAG_INVALID) as u32) << way;
-            way += 1;
-        }
-        (hit, invalid)
+        crate::wayscan::scan_masks_u64(tags, needle)
     }
 
-    /// Branchless compare-mask pass over `N` short tags; the short-scan
-    /// twin of [`scan_masks`](SetAssocCache::scan_masks). Bit `w` of the
-    /// first mask is set iff way `w`'s short tag matches (a *candidate* —
-    /// the caller verifies against the full tag), bit `w` of the second
-    /// iff way `w` is invalid (exact: a zero short tag occurs only for
-    /// [`TAG_INVALID`]).
+    /// Compare-mask pass over `N` short tags; the short-scan twin of
+    /// [`scan_masks`](SetAssocCache::scan_masks). Bit `w` of the first
+    /// mask is set iff way `w`'s short tag matches (a *candidate* — the
+    /// caller verifies against the full tag), bit `w` of the second iff
+    /// way `w` is invalid (exact: a zero short tag occurs only for
+    /// [`TAG_INVALID`]). Same [`crate::wayscan`] SIMD/scalar dispatch as
+    /// the full-tag scan.
     #[inline(always)]
     fn scan_masks_short<const N: usize>(shorts: &[u32], needle: u32) -> (u32, u32) {
         let shorts: &[u32; N] = shorts
             .try_into()
             .expect("set slice length is the associativity");
-        let mut cand = 0u32;
-        let mut invalid = 0u32;
-        let mut way = 0;
-        while way < N {
-            cand |= ((shorts[way] == needle) as u32) << way;
-            invalid |= ((shorts[way] == 0) as u32) << way;
-            way += 1;
-        }
-        (cand, invalid)
+        crate::wayscan::scan_masks_u32(shorts, needle)
     }
 
     /// Short-tag first pass: scan the `u32` sidecar for candidates and the

@@ -52,6 +52,7 @@ pub mod refcache;
 pub mod replacement;
 pub mod signature;
 pub mod stats;
+pub mod wayscan;
 
 pub use addr::{Addr, AddrRange, BlockAddr, BLOCK_SIZE};
 pub use cache::{CacheGeometry, GeometryError, Probe, SetAssocCache, Victim};

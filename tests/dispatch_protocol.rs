@@ -3,13 +3,16 @@
 //! come back as typed [`ProtoError`]s — never a panic — and every
 //! well-formed frame must survive a parse → re-emit round trip
 //! byte-identically (what the coordinator's idempotency cache and the
-//! bit-identical-merge guarantee lean on).
+//! bit-identical-merge guarantee lean on). Both framings are covered:
+//! JSON lines and the length-prefixed binary frames that carry
+//! `ShardDone`/`Result` under `--wire bin`.
 
 use std::io::BufReader;
 
 use proptest::prelude::*;
 
-use strex::campaign::ShardSpec;
+use strex::binwire::WireFormat;
+use strex::campaign::{CampaignShard, ShardSpec};
 use strex::dispatch::{read_message, Message, ProtoError};
 
 /// Short strings over the whole scalar range (surrogates excluded, plus
@@ -85,6 +88,26 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_bytes_behind_a_binary_magic_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Force the binary framing path: magic byte, then hostile bytes
+        // standing in for length prefix, payload and terminator.
+        let mut framed = vec![0xB1u8];
+        framed.extend_from_slice(&bytes);
+        let mut reader = BufReader::new(framed.as_slice());
+        match read_message(&mut reader) {
+            Ok(_) => {}
+            Err(
+                ProtoError::Io(_)
+                | ProtoError::Truncated { .. }
+                | ProtoError::Malformed(_)
+                | ProtoError::Wire(_),
+            ) => {}
+        }
+    }
+
+    #[test]
     fn truncating_a_valid_frame_is_a_typed_error(msg in control_messages(), cut in 0usize..64) {
         let frame = msg.to_frame();
         // Cut strictly inside the frame (losing at least the newline), on
@@ -152,4 +175,55 @@ fn a_frame_split_across_reads_still_parses_once_whole() {
         Some(Message::Submit { shards: 4, .. })
     ));
     assert!(read_message(&mut reader).expect("clean EOF").is_none());
+}
+
+fn tiny_shard_done() -> Message {
+    let shard = CampaignShard::from_parts(
+        ShardSpec::new(1, 3).expect("valid"),
+        Vec::new(),
+        strex::campaign::CampaignPerf {
+            workers: 2,
+            wall_seconds: 0.25,
+            total_events: 7,
+        },
+    )
+    .expect("valid shard");
+    Message::ShardDone {
+        job: "job-1".into(),
+        shard,
+    }
+}
+
+#[test]
+fn a_binary_frame_split_across_reads_still_parses_once_whole() {
+    // The binary analogue, through the reusable-buffer reader the serve
+    // loops hold: one frame delivered byte by byte (the worst split TCP
+    // can produce) must parse exactly once, then EOF cleanly, with the
+    // buffer reused across both calls.
+    let msg = tiny_shard_done();
+    let frame = msg.to_frame_bytes(WireFormat::Bin);
+    assert!(strex::binwire::is_binary(frame[0]));
+    struct TrickleReader<'a> {
+        bytes: &'a [u8],
+    }
+    impl std::io::Read for TrickleReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.bytes.len().min(1).min(buf.len());
+            buf[..n].copy_from_slice(&self.bytes[..n]);
+            self.bytes = &self.bytes[n..];
+            Ok(n)
+        }
+    }
+    let mut buf = Vec::new();
+    let mut reader = BufReader::with_capacity(1, TrickleReader { bytes: &frame });
+    let parsed = strex::dispatch::read_message_buffered(&mut reader, &mut buf)
+        .expect("parses")
+        .expect("one frame in");
+    assert_eq!(parsed.to_frame_bytes(WireFormat::Bin), frame);
+    assert_eq!(parsed.to_frame(), msg.to_frame(), "JSON twin agrees");
+    assert!(
+        strex::dispatch::read_message_buffered(&mut reader, &mut buf)
+            .expect("clean EOF")
+            .is_none()
+    );
 }
