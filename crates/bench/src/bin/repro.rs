@@ -5,8 +5,9 @@
 //! ```text
 //! repro [fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|config|all] [--quick] [--json]
 //! repro scale
+//! repro check PATH [--procs N] [--wire json|bin]
 //! repro dist [--procs N] [--wire json|bin]
-//! repro shard I/N [--pin CORE] [--wire json|bin]
+//! repro shard I/N [--pin CORE] [--wire json|bin] [--scenario PATH]
 //! repro serve --listen ADDR [--jobs N] [--timeout-ms MS] [--wire json|bin]
 //! repro work --connect ADDR [--pin CORE] [--name LABEL] [--wire json|bin]
 //! repro submit --connect ADDR [--shards N] [--verify]
@@ -39,13 +40,30 @@
 //! thread scaling, and the same wire formats cross a socket to another
 //! machine.
 //!
+//! `check` evaluates declarative scenarios (`strex::scenario`; format
+//! reference in `docs/SCENARIOS.md`): `PATH` is one scenario JSON file
+//! or a directory of them (`*.json`, sorted, non-recursive — the
+//! committed `scenarios/` directory encodes the paper's headline
+//! claims). Each scenario's scheduler × workload × cores × team-size
+//! matrix runs through the campaign executor — in-process by default,
+//! or fanned out to `--procs N` `repro shard` child processes carrying
+//! `--scenario PATH` (the shards merge bit-identical to the in-process
+//! run, so the assertions judge the same numbers either way) — and
+//! every assertion prints one PASS/FAIL line with the expected bound,
+//! the observed value and the cell key. Exit code 0 means every
+//! assertion of every scenario passed; 1 means at least one assertion
+//! failed; 2 means the check could not run (usage, I/O, or a scenario
+//! file that does not validate).
+//!
 //! `shard I/N` is the child half of `dist`: it executes shard `I` of `N`
 //! of the quick matrix sequentially (cells workload-major, so the packed
 //! trace stream stays LLC-hot across cells sharing a workload) and
 //! writes exactly one document — the shard — to stdout: a JSON line by
 //! default, the length-prefixed binwire bytes under `--wire bin`.
 //! `--pin C` pins the process to core `C` first (best-effort; a no-op
-//! off Linux).
+//! off Linux). With `--scenario PATH` the shard comes from that
+//! scenario file's declared matrix instead of the quick matrix — the
+//! child half of `check --procs`.
 //!
 //! `serve` / `work` / `submit` are `dist` grown into a service (the
 //! `strex::dispatch` TCP campaign dispatcher; wire format in
@@ -105,6 +123,7 @@ fn main() -> ExitCode {
     // would reject those. Both require the subcommand word first.
     match args.first().map(String::as_str) {
         Some("shard") => return shard_mode(&args[1..]),
+        Some("check") => return check_mode(&args[1..]),
         Some("dist") => return dist_mode(&args[1..]),
         Some("serve") => return serve_mode(&args[1..]),
         Some("work") => return work_mode(&args[1..]),
@@ -284,6 +303,7 @@ fn shard_mode(rest: &[String]) -> ExitCode {
     let mut spec: Option<strex::campaign::ShardSpec> = None;
     let mut pin: Option<usize> = None;
     let mut wire = strex::WireFormat::Json;
+    let mut scenario: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if arg == "--pin" {
@@ -291,6 +311,14 @@ fn shard_mode(rest: &[String]) -> ExitCode {
                 Some(core) => Some(core),
                 None => {
                     eprintln!("--pin needs a core index");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else if arg == "--scenario" {
+            scenario = match it.next() {
+                Some(path) => Some(path.clone()),
+                None => {
+                    eprintln!("--scenario needs a scenario file path");
                     return ExitCode::FAILURE;
                 }
             };
@@ -315,14 +343,14 @@ fn shard_mode(rest: &[String]) -> ExitCode {
             };
         } else {
             eprintln!(
-                "shard takes one I/N spec and optionally --pin CORE / --wire {{json,bin}}; \
-                 unexpected `{arg}`"
+                "shard takes one I/N spec and optionally --pin CORE / --wire {{json,bin}} / \
+                 --scenario PATH; unexpected `{arg}`"
             );
             return ExitCode::FAILURE;
         }
     }
     let Some(spec) = spec else {
-        eprintln!("usage: repro shard I/N [--pin CORE] [--wire {{json,bin}}]");
+        eprintln!("usage: repro shard I/N [--pin CORE] [--wire {{json,bin}}] [--scenario PATH]");
         return ExitCode::FAILURE;
     };
     if let Some(core) = pin {
@@ -333,7 +361,36 @@ fn shard_mode(rest: &[String]) -> ExitCode {
             eprintln!("note: could not pin to core {core}; running unpinned");
         }
     }
-    let shard = strex_bench::perf::run_quick_shard(spec);
+    let shard = match &scenario {
+        // A scenario child re-parses the file itself: the parent and
+        // every sibling agree on the matrix because they all decode the
+        // same validated document, not because anyone re-encoded it.
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read scenario {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let s = match strex::scenario::Scenario::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let workloads = s.workloads();
+            match s.campaign(&workloads).run_shard(spec) {
+                Ok(shard) => shard,
+                Err(e) => {
+                    eprintln!("{path}: invalid matrix: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => strex_bench::perf::run_quick_shard(spec),
+    };
     match wire {
         strex::WireFormat::Json => println!("{}", shard.to_json()),
         strex::WireFormat::Bin => {
@@ -351,6 +408,176 @@ fn shard_mode(rest: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Evaluates declarative scenarios: runs each file's declared matrix
+/// through the campaign executor (in-process, or `--procs N` shard
+/// children carrying `--scenario`), judges every assertion through the
+/// default evaluator registry, and prints one PASS/FAIL diagnostic per
+/// assertion. Exit 0 = all passed, 1 = an assertion failed, 2 = the
+/// check could not run (usage, I/O, or an invalid scenario file).
+fn check_mode(rest: &[String]) -> ExitCode {
+    use strex::scenario::{EvaluatorRegistry, Scenario};
+
+    let mut path: Option<String> = None;
+    let mut procs: Option<usize> = None;
+    let mut wire = strex::WireFormat::default();
+    let mut wire_set = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--procs" {
+            procs = match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => Some(n),
+                _ => {
+                    eprintln!("--procs needs a positive process count");
+                    return ExitCode::from(2);
+                }
+            };
+        } else if arg == "--wire" {
+            wire = match it.next().map(|v| strex::WireFormat::parse(v)) {
+                Some(Ok(w)) => w,
+                _ => {
+                    eprintln!("--wire needs `json` or `bin`");
+                    return ExitCode::from(2);
+                }
+            };
+            wire_set = true;
+        } else if path.is_none() && !arg.starts_with("--") {
+            path = Some(arg.clone());
+        } else {
+            eprintln!(
+                "check takes one scenario file or directory and optionally --procs N / \
+                 --wire {{json,bin}}; unexpected `{arg}`"
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: repro check PATH [--procs N] [--wire {{json,bin}}]");
+        return ExitCode::from(2);
+    };
+    if wire_set && procs.is_none() {
+        // The wire format only shapes shard transport; silently accepting
+        // it in-process would let a CI invocation believe it tested a
+        // format it never exercised.
+        eprintln!("--wire only applies with --procs (in-process runs have no shard transport)");
+        return ExitCode::from(2);
+    }
+
+    // A directory means every `*.json` directly inside it, sorted by
+    // name so the report order (and any first-failure exit) is stable.
+    let root = std::path::Path::new(&path);
+    let files: Vec<std::path::PathBuf> = if root.is_dir() {
+        let entries = match std::fs::read_dir(root) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("cannot read scenario directory {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut files: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            eprintln!("no `*.json` scenario files in {path}");
+            return ExitCode::from(2);
+        }
+        files
+    } else {
+        vec![root.to_path_buf()]
+    };
+
+    let registry = EvaluatorRegistry::with_defaults();
+    let exe = match procs {
+        Some(_) => match env::current_exe() {
+            Ok(exe) => Some(exe),
+            Err(e) => {
+                eprintln!("cannot locate the repro binary to re-execute: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let mut broken = 0usize;
+    let mut assertions = 0usize;
+    let mut failed = 0usize;
+    for file in &files {
+        let display = file.display();
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read scenario {display}: {e}");
+                broken += 1;
+                continue;
+            }
+        };
+        let scenario = match Scenario::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{display}: {e}");
+                broken += 1;
+                continue;
+            }
+        };
+        println!("scenario {} ({display})", scenario.name);
+        if let Some(d) = &scenario.description {
+            println!("  {d}");
+        }
+        let result = match (procs, &exe) {
+            (Some(procs), Some(exe)) => {
+                match strex_bench::perf::scenario_fan_out(exe, file, procs, wire) {
+                    Ok(result) => result,
+                    Err(e) => {
+                        eprintln!("{display}: fan-out failed: {e}");
+                        broken += 1;
+                        continue;
+                    }
+                }
+            }
+            _ => {
+                let workloads = scenario.workloads();
+                match scenario.campaign(&workloads).run() {
+                    Ok(result) => result,
+                    Err(e) => {
+                        eprintln!("{display}: invalid matrix: {e}");
+                        broken += 1;
+                        continue;
+                    }
+                }
+            }
+        };
+        match scenario.evaluate(&result, &registry) {
+            Ok(outcomes) => {
+                for o in &outcomes {
+                    println!("  {o}");
+                }
+                assertions += outcomes.len();
+                failed += outcomes.iter().filter(|o| !o.passed).count();
+            }
+            Err(e) => {
+                eprintln!("{display}: {e}");
+                broken += 1;
+            }
+        }
+    }
+    println!(
+        "checked {} scenario file(s): {assertions} assertion(s), {failed} failed{}",
+        files.len(),
+        if broken > 0 {
+            format!(", {broken} file(s) could not be evaluated")
+        } else {
+            String::new()
+        },
+    );
+    if broken > 0 {
+        ExitCode::from(2)
+    } else if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Multi-process scale-out: fans the quick matrix out to `--procs` child

@@ -724,7 +724,7 @@ pub struct DistScaling {
 /// Spawns `procs` children of `exe` (`repro shard i/procs --wire W`,
 /// plus `--pin i mod host cores` when `pin`), collects their shards from
 /// stdout, and merges them. The parent negotiates each child's output by
-/// its first byte — a [`binwire`](strex::binwire) magic opens the binary
+/// its first byte — a [`strex::binwire`] magic opens the binary
 /// decoder, anything else is the JSON path — so `wire` only tells the
 /// children what to emit. Returns the merged result and the
 /// parent-measured wall seconds. Child failures, unparseable output and
@@ -734,6 +734,43 @@ pub fn dist_fan_out(
     procs: usize,
     pin: bool,
     wire: WireFormat,
+) -> io::Result<(CampaignResult, f64)> {
+    fan_out_with_args(exe, procs, pin, wire, &[])
+}
+
+/// Fans a **scenario's** matrix out to `procs` child processes — the
+/// `repro check --procs N` execution path. Children are `repro shard
+/// i/procs --scenario <path> --wire W`: each re-parses the scenario file
+/// itself (so the parent and children agree on the matrix by
+/// construction — same file, same validated parse) and ships its shard
+/// back exactly like a quick-matrix fan-out. The merged result is what
+/// the caller evaluates assertions against; by the executor's
+/// determinism guarantee it is bit-identical to an in-process
+/// [`Campaign::run`](strex::campaign::Campaign::run) of the same matrix.
+pub fn scenario_fan_out(
+    exe: &Path,
+    scenario_path: &Path,
+    procs: usize,
+    wire: WireFormat,
+) -> io::Result<CampaignResult> {
+    let extra = [
+        "--scenario".to_string(),
+        scenario_path.display().to_string(),
+    ];
+    fan_out_with_args(exe, procs, false, wire, &extra).map(|(merged, _)| merged)
+}
+
+/// The shared spawn/drain/merge engine behind [`dist_fan_out`] and
+/// [`scenario_fan_out`]: spawns `procs` `repro shard i/procs` children
+/// with `extra_args` appended, drains each child's stdout on its own
+/// thread, negotiates the wire format by first byte, and merges the
+/// shards.
+fn fan_out_with_args(
+    exe: &Path,
+    procs: usize,
+    pin: bool,
+    wire: WireFormat,
+    extra_args: &[String],
 ) -> io::Result<(CampaignResult, f64)> {
     // Kills and reaps already-spawned children when a later spawn fails —
     // no zombies (or whole shards burning CPU for a result nobody will
@@ -758,6 +795,7 @@ pub fn dist_fan_out(
         if pin {
             cmd.arg("--pin").arg((i % cores).to_string());
         }
+        cmd.args(extra_args);
         cmd.stdout(Stdio::piped());
         // Stderr is captured too, so a failing child's own words travel
         // into the error the caller sees instead of a bare exit status.

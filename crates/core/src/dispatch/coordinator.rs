@@ -23,10 +23,10 @@
 //! straggler's shard is re-assigned while the original may still finish —
 //! so the same shard index can legitimately complete twice. The slot
 //! either-or makes duplicates harmless (first completion wins, the rest
-//! are dropped), and [`merge`](crate::campaign::merge)'s typed
+//! are dropped), and [`merge`](crate::campaign::merge())'s typed
 //! `DuplicateShard`/`DuplicateCell` errors remain the backstop if that
 //! invariant is ever broken. When every slot is full, the shards merge
-//! into a [`CampaignResult`] bit-identical to a sequential run and every
+//! into a [`CampaignResult`](crate::campaign::CampaignResult) bit-identical to a sequential run and every
 //! waiting submitter receives it.
 //!
 //! # The TCP shell

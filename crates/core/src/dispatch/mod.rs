@@ -20,9 +20,9 @@
 //!   binary ([`crate::binwire`]) negotiated per frame by first byte;
 //!   typed parse errors, never panics.
 //! * [`clock`] — the deadline clock abstraction; production reads a
-//!   monotonic [`SystemClock`](clock::SystemClock), lifecycle tests drive
+//!   monotonic [`clock::SystemClock`], lifecycle tests drive
 //!   the same coordinator with a hand-advanced
-//!   [`FakeClock`](clock::FakeClock).
+//!   [`clock::FakeClock`].
 //! * [`coordinator`] — the pure state machine ([`Coordinator`]) and its
 //!   TCP shell ([`Server`]).
 //! * [`worker`] — the worker loop: register, execute, heartbeat.

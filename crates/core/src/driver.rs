@@ -10,12 +10,12 @@
 //!
 //! # Monomorphized loops
 //!
-//! The inner event loop [`sim_loop`] is generic over the scheduler type
+//! The inner event loop (`sim_loop`) is generic over the scheduler type
 //! (`S: Scheduler + ?Sized`) and two `const` switches:
 //!
 //! * **Typed instantiation.** Through [`run_typed`] (reached from
 //!   [`run`]/[`run_registered`]/campaigns via
-//!   [`SchedulerFactory::run_typed`](crate::sched::registry::SchedulerFactory::run_typed))
+//!   [`SchedulerFactory::run_typed`])
 //!   the loop is instantiated *per concrete scheduler type* — every
 //!   per-event scheduler call (`pre_fetch_probed`, `phase_tag`,
 //!   `on_fetch`) is a static, inlinable call instead of a vtable load.
@@ -120,7 +120,7 @@ pub fn run(workload: &Workload, config: &SimConfig) -> Report {
 }
 
 /// Runs with the scheduler resolved by name from `reg` — the hook through
-/// which custom [`SchedulerFactory`](crate::sched::registry::SchedulerFactory)
+/// which custom [`SchedulerFactory`]
 /// policies reach the driver.
 ///
 /// # Panics

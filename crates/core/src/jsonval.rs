@@ -22,7 +22,9 @@
 //! ([`Report::from_json`](crate::report::Report::from_json),
 //! [`CampaignShard::from_json`](crate::campaign::CampaignShard::from_json))
 //! the `req_*` accessors return [`WireError`]s that name the missing or
-//! mistyped path.
+//! mistyped path. The scenario DSL ([`crate::scenario`]) parses through
+//! this module too, layering its own unknown-field and range validation
+//! on top of the same trust boundary.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -145,6 +147,14 @@ impl JsonValue {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -201,6 +211,13 @@ impl JsonValue {
         self.req(path)?
             .as_array()
             .ok_or_else(|| WireError::new(format!("`{path}` is not an array")))
+    }
+
+    /// A required boolean field at `path`.
+    pub fn req_bool(&self, path: &str) -> Result<bool, WireError> {
+        self.req(path)?
+            .as_bool()
+            .ok_or_else(|| WireError::new(format!("`{path}` is not a boolean")))
     }
 }
 

@@ -83,6 +83,7 @@ pub mod error;
 pub mod json;
 pub mod jsonval;
 pub mod report;
+pub mod scenario;
 pub mod sched;
 pub mod team;
 pub mod thread;
@@ -98,6 +99,9 @@ pub use driver::{run, run_registered, run_typed, run_with, SimScratch};
 pub use error::ConfigError;
 pub use jsonval::{JsonValue, WireError};
 pub use report::Report;
+pub use scenario::{
+    Assertion, AssertionOutcome, CellSelector, EvaluatorRegistry, Metric, Scenario, ScenarioError,
+};
 pub use sched::registry::{SchedulerFactory, SchedulerRegistry};
 pub use sched::{FpTable, Scheduler};
 pub use team::{form_teams, Team};

@@ -127,10 +127,10 @@ impl Default for SchedulerRegistry {
     }
 }
 
-/// The process-wide registry [`driver::run`](crate::driver::run) consults:
+/// The process-wide registry [`driver::run`](crate::driver::run()) consults:
 /// the built-in policies. Callers needing custom entries build their own
 /// [`SchedulerRegistry`] and go through
-/// [`driver::run_registered`](crate::driver::run_registered) or
+/// [`driver::run_registered`](crate::driver::run_registered()) or
 /// [`Campaign::run_on`](crate::campaign::Campaign::run_on).
 pub fn global() -> &'static SchedulerRegistry {
     static GLOBAL: OnceLock<SchedulerRegistry> = OnceLock::new();

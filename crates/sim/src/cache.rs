@@ -19,14 +19,14 @@
 //! rather than an array of frame structs:
 //!
 //! * `tags` — one packed `u64` per frame: the block index with the valid
-//!   flag folded into bit 63 ([`TAG_VALID`]). The way-search is a dense
+//!   flag folded into bit 63 (`TAG_VALID`). The way-search is a dense
 //!   scan of `assoc` consecutive `u64`s that the compiler can unroll and
 //!   vectorize, with **no** separate valid-bit load or branch.
 //! * `aux` / `dirty` — parallel sidecar arrays, touched only after the tag
 //!   scan has named a way.
 //!
 //! **Packing invariant:** a resident frame stores `block.index() |
-//! TAG_VALID`; an empty frame stores [`TAG_INVALID`] (zero, i.e. bit 63
+//! TAG_VALID`; an empty frame stores `TAG_INVALID` (zero, i.e. bit 63
 //! clear). Block indices are byte addresses shifted right by
 //! [`BLOCK_SHIFT`](crate::addr::BLOCK_SHIFT), so bit 63 of a real index is
 //! always clear and the packed forms can never collide: one `u64` compare
