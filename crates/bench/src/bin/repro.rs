@@ -5,12 +5,14 @@
 //! ```text
 //! repro [fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|table3|table4|config|all] [--quick] [--json]
 //! repro scale
-//! repro check PATH [--procs N] [--wire json|bin]
+//! repro check PATH [--procs N] [--wire json|bin] [--connect ADDR [--shards N]]
 //! repro dist [--procs N] [--wire json|bin]
 //! repro shard I/N [--pin CORE] [--wire json|bin] [--scenario PATH]
 //! repro serve --listen ADDR [--jobs N] [--timeout-ms MS] [--wire json|bin]
+//!            [--burst N] [--refill-ms MS] [--max-pending N]
 //! repro work --connect ADDR [--pin CORE] [--name LABEL] [--wire json|bin]
-//! repro submit --connect ADDR [--shards N] [--verify]
+//! repro submit --connect ADDR [--shards N] [--verify] [--scenario PATH]
+//! repro status --connect ADDR [--watch]
 //! repro --bench-json [--check [baseline.json]]
 //! ```
 //!
@@ -46,14 +48,18 @@
 //! committed `scenarios/` directory encodes the paper's headline
 //! claims). Each scenario's scheduler × workload × cores × team-size
 //! matrix runs through the campaign executor — in-process by default,
-//! or fanned out to `--procs N` `repro shard` child processes carrying
+//! fanned out to `--procs N` `repro shard` child processes carrying
 //! `--scenario PATH` (the shards merge bit-identical to the in-process
-//! run, so the assertions judge the same numbers either way) — and
-//! every assertion prints one PASS/FAIL line with the expected bound,
-//! the observed value and the cell key. Exit code 0 means every
-//! assertion of every scenario passed; 1 means at least one assertion
-//! failed; 2 means the check could not run (usage, I/O, or a scenario
-//! file that does not validate).
+//! run, so the assertions judge the same numbers either way), or
+//! dispatched to a running fleet with `--connect ADDR [--shards N]`,
+//! where the coordinator evaluates the assertions on the merged result
+//! and returns the same diagnostics — and every assertion prints one
+//! PASS/FAIL line with the expected bound, the observed value and the
+//! cell key. The output format is identical across all three execution
+//! modes, so CI diffs a remote check against an in-process one byte for
+//! byte. Exit code 0 means every assertion of every scenario passed; 1
+//! means at least one assertion failed; 2 means the check could not run
+//! (usage, I/O, or a scenario file that does not validate).
 //!
 //! `shard I/N` is the child half of `dist`: it executes shard `I` of `N`
 //! of the quick matrix sequentially (cells workload-major, so the packed
@@ -65,18 +71,24 @@
 //! scenario file's declared matrix instead of the quick matrix — the
 //! child half of `check --procs`.
 //!
-//! `serve` / `work` / `submit` are `dist` grown into a service (the
-//! `strex::dispatch` TCP campaign dispatcher; wire format in
-//! `docs/PROTOCOL.md`). `serve` binds a coordinator that accepts
-//! campaign submissions and hands shards to connected workers, tracking
-//! their liveness by heartbeat and re-queueing shards from dead or
-//! straggling workers (`--jobs N` exits cleanly after N jobs — the CI
-//! smoke's run bound). `work` connects a worker that executes quick-matrix
-//! shards until the coordinator closes the connection. `submit` submits
-//! the quick matrix split `--shards` ways and prints the merged
-//! campaign's summary; `--verify` additionally runs the same matrix
-//! in-process sequentially and fails unless the dispatched result is
-//! bit-identical — the end-to-end determinism check CI runs on loopback.
+//! `serve` / `work` / `submit` / `status` are `dist` grown into a
+//! service (the `strex::dispatch` TCP campaign dispatcher; wire format
+//! in `docs/PROTOCOL.md`, operations in `docs/DISPATCHER.md`). `serve`
+//! binds a coordinator that accepts campaign and scenario submissions
+//! and hands shards to capability-matched workers, tracking their
+//! liveness by heartbeat and re-queueing shards from dead or straggling
+//! workers (`--jobs N` exits cleanly after N jobs — the CI smoke's run
+//! bound; `--burst`/`--refill-ms` tune per-submitter token-bucket rate
+//! limiting, `--max-pending` bounds the job queue). `work` connects a
+//! worker that registers its detected capabilities and executes shards
+//! until the coordinator closes the connection. `submit` submits the
+//! quick matrix — or, with `--scenario PATH`, that scenario document —
+//! split `--shards` ways and prints the merged campaign's summary plus
+//! any coordinator-evaluated assertion diagnostics; `--verify`
+//! additionally runs the same work in-process sequentially and fails
+//! unless the dispatched result (and diagnostics) are bit-identical —
+//! the end-to-end determinism check CI runs on loopback. `status` polls
+//! a coordinator for one fleet snapshot (`--watch` re-polls every 2 s).
 //!
 //! `--bench-json` is a standalone mode: it times the quick reproduction
 //! suite cell by cell, merges the result with the committed same-session
@@ -128,6 +140,7 @@ fn main() -> ExitCode {
         Some("serve") => return serve_mode(&args[1..]),
         Some("work") => return work_mode(&args[1..]),
         Some("submit") => return submit_mode(&args[1..]),
+        Some("status") => return status_mode(&args[1..]),
         _ => {}
     }
     // `--check [path]` takes an optional value: extract it before flag
@@ -411,16 +424,22 @@ fn shard_mode(rest: &[String]) -> ExitCode {
 }
 
 /// Evaluates declarative scenarios: runs each file's declared matrix
-/// through the campaign executor (in-process, or `--procs N` shard
-/// children carrying `--scenario`), judges every assertion through the
-/// default evaluator registry, and prints one PASS/FAIL diagnostic per
-/// assertion. Exit 0 = all passed, 1 = an assertion failed, 2 = the
-/// check could not run (usage, I/O, or an invalid scenario file).
+/// through the campaign executor (in-process, `--procs N` shard
+/// children carrying `--scenario`, or — with `--connect ADDR` — a
+/// running dispatcher fleet, which evaluates the assertions
+/// coordinator-side and returns the same diagnostics), judges every
+/// assertion, and prints one PASS/FAIL diagnostic per assertion. The
+/// output format is identical across all three execution modes, so CI
+/// can diff a remote check against an in-process one byte for byte.
+/// Exit 0 = all passed, 1 = an assertion failed, 2 = the check could
+/// not run (usage, I/O, or an invalid scenario file).
 fn check_mode(rest: &[String]) -> ExitCode {
     use strex::scenario::{EvaluatorRegistry, Scenario};
 
     let mut path: Option<String> = None;
     let mut procs: Option<usize> = None;
+    let mut connect: Option<String> = None;
+    let mut shards: usize = 4;
     let mut wire = strex::WireFormat::default();
     let mut wire_set = false;
     let mut it = rest.iter();
@@ -430,6 +449,22 @@ fn check_mode(rest: &[String]) -> ExitCode {
                 Some(n) if n >= 1 => Some(n),
                 _ => {
                     eprintln!("--procs needs a positive process count");
+                    return ExitCode::from(2);
+                }
+            };
+        } else if arg == "--connect" {
+            connect = match it.next() {
+                Some(addr) => Some(addr.clone()),
+                None => {
+                    eprintln!("--connect needs an ADDR");
+                    return ExitCode::from(2);
+                }
+            };
+        } else if arg == "--shards" {
+            shards = match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--shards needs a positive shard count");
                     return ExitCode::from(2);
                 }
             };
@@ -447,15 +482,24 @@ fn check_mode(rest: &[String]) -> ExitCode {
         } else {
             eprintln!(
                 "check takes one scenario file or directory and optionally --procs N / \
-                 --wire {{json,bin}}; unexpected `{arg}`"
+                 --wire {{json,bin}} / --connect ADDR [--shards N]; unexpected `{arg}`"
             );
             return ExitCode::from(2);
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: repro check PATH [--procs N] [--wire {{json,bin}}]");
+        eprintln!(
+            "usage: repro check PATH [--procs N] [--wire {{json,bin}}] \
+             [--connect ADDR [--shards N]]"
+        );
         return ExitCode::from(2);
     };
+    if connect.is_some() && (procs.is_some() || wire_set) {
+        // Remote checks run on the fleet's workers; the local fan-out
+        // knobs have nothing to apply to.
+        eprintln!("--connect is exclusive with --procs/--wire (the fleet runs the shards)");
+        return ExitCode::from(2);
+    }
     if wire_set && procs.is_none() {
         // The wire format only shapes shard transport; silently accepting
         // it in-process would let a CI invocation believe it tested a
@@ -524,6 +568,24 @@ fn check_mode(rest: &[String]) -> ExitCode {
         println!("scenario {} ({display})", scenario.name);
         if let Some(d) = &scenario.description {
             println!("  {d}");
+        }
+        // Remote mode: the fleet runs the matrix and the coordinator
+        // returns the evaluated diagnostics — nothing to judge locally.
+        if let Some(addr) = &connect {
+            match strex::dispatch::submit_scenario(addr.as_str(), &scenario, shards) {
+                Ok((_, outcomes)) => {
+                    for o in &outcomes {
+                        println!("  {o}");
+                    }
+                    assertions += outcomes.len();
+                    failed += outcomes.iter().filter(|o| !o.passed).count();
+                }
+                Err(e) => {
+                    eprintln!("{display}: dispatch failed: {e}");
+                    broken += 1;
+                }
+            }
+            continue;
         }
         let result = match (procs, &exe) {
             (Some(procs), Some(exe)) => {
@@ -717,10 +779,32 @@ fn serve_mode(rest: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--burst" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.submit_burst = n,
+                _ => {
+                    eprintln!("--burst needs a positive token count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--refill-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                // 0 is meaningful: it disables rate limiting entirely.
+                Some(ms) => cfg.submit_refill_ms = ms,
+                None => {
+                    eprintln!("--refill-ms needs a millisecond count (0 disables rate limiting)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-pending" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.max_pending_jobs = n,
+                _ => {
+                    eprintln!("--max-pending needs a positive job count");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!(
-                    "serve takes --listen ADDR [--jobs N] [--timeout-ms MS] [--wire json|bin]; \
-                     unexpected `{other}`"
+                    "serve takes --listen ADDR [--jobs N] [--timeout-ms MS] [--burst N] \
+                     [--refill-ms MS] [--max-pending N] [--wire json|bin]; unexpected `{other}`"
                 );
                 return ExitCode::FAILURE;
             }
@@ -728,7 +812,8 @@ fn serve_mode(rest: &[String]) -> ExitCode {
     }
     let Some(listen) = listen else {
         eprintln!(
-            "usage: repro serve --listen ADDR [--jobs N] [--timeout-ms MS] [--wire json|bin]"
+            "usage: repro serve --listen ADDR [--jobs N] [--timeout-ms MS] [--burst N] \
+             [--refill-ms MS] [--max-pending N] [--wire json|bin]"
         );
         return ExitCode::FAILURE;
     };
@@ -853,14 +938,19 @@ fn work_mode(rest: &[String]) -> ExitCode {
     }
 }
 
-/// The submitter: sends the quick matrix split `--shards` ways to
+/// The submitter: sends the quick matrix — or, with `--scenario PATH`,
+/// that scenario's declared matrix — split `--shards` ways to
 /// `--connect ADDR`, blocks for the merged campaign, and prints its
-/// summary line. `--verify` re-runs the matrix in-process sequentially
-/// and fails unless the dispatched result is bit-identical.
+/// summary line. A scenario submission also prints the coordinator's
+/// per-assertion diagnostics (same format as `repro check`) and exits
+/// nonzero if any assertion failed. `--verify` re-runs the matrix
+/// in-process sequentially and fails unless the dispatched result (and,
+/// for scenarios, every diagnostic) is bit-identical.
 fn submit_mode(rest: &[String]) -> ExitCode {
     use strex_bench::perf;
 
     let mut connect: Option<String> = None;
+    let mut scenario_path: Option<String> = None;
     let mut shards: usize = 4;
     let mut verify = false;
     let mut it = rest.iter();
@@ -870,6 +960,13 @@ fn submit_mode(rest: &[String]) -> ExitCode {
                 Some(addr) => connect = Some(addr.clone()),
                 None => {
                     eprintln!("--connect needs an ADDR");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scenario" => match it.next() {
+                Some(path) => scenario_path = Some(path.clone()),
+                None => {
+                    eprintln!("--scenario needs a scenario JSON file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -883,15 +980,34 @@ fn submit_mode(rest: &[String]) -> ExitCode {
             "--verify" => verify = true,
             other => {
                 eprintln!(
-                    "submit takes --connect ADDR [--shards N] [--verify]; unexpected `{other}`"
+                    "submit takes --connect ADDR [--scenario PATH] [--shards N] [--verify]; \
+                     unexpected `{other}`"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(connect) = connect else {
-        eprintln!("usage: repro submit --connect ADDR [--shards N] [--verify]");
+        eprintln!("usage: repro submit --connect ADDR [--scenario PATH] [--shards N] [--verify]");
         return ExitCode::FAILURE;
+    };
+    // The scenario must validate locally before anything crosses the
+    // wire — a typo'd file should fail here, not as a coordinator reject.
+    let scenario = match &scenario_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match strex::Scenario::from_json(&text) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read scenario {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
     // Same bind-race absorption as `work`: the coordinator may still be
     // starting when the fleet launches together (as the CI smoke does).
@@ -903,31 +1019,123 @@ fn submit_mode(rest: &[String]) -> ExitCode {
         eprintln!("cannot reach coordinator {connect}: {e}");
         return ExitCode::FAILURE;
     }
-    let result = match strex::dispatch::submit(connect.as_str(), perf::QUICK_CAMPAIGN, shards) {
-        Ok(result) => result,
-        Err(e) => {
-            eprintln!("submit failed: {e}");
-            return ExitCode::FAILURE;
-        }
+    let (result, outcomes) = match &scenario {
+        Some(s) => match strex::dispatch::submit_scenario(connect.as_str(), s, shards) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("submit failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match strex::dispatch::submit(connect.as_str(), perf::QUICK_CAMPAIGN, shards) {
+            Ok(result) => (result, Vec::new()),
+            Err(e) => {
+                eprintln!("submit failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
+    if let Some(s) = &scenario {
+        println!("scenario {} (dispatched to {connect})", s.name);
+        for o in &outcomes {
+            println!("  {o}");
+        }
+    }
     println!(
         "dispatched campaign merged: {} cells, {} events simulated",
         result.cells().len(),
         result.perf().total_events,
     );
     if verify {
-        let workloads = perf::quick_matrix_workloads();
-        let sequential = perf::quick_campaign(&workloads)
-            .parallelism(1)
-            .run()
-            .expect("quick matrix is valid");
+        let (sequential, local_outcomes) = match &scenario {
+            Some(s) => {
+                let workloads = s.workloads();
+                let sequential = match s.campaign(&workloads).parallelism(1).run() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("verify: scenario matrix failed to run in-process: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let registry = strex::EvaluatorRegistry::with_defaults();
+                let local = match s.evaluate(&sequential, &registry) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("verify: local evaluation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                (sequential, Some(local))
+            }
+            None => {
+                let workloads = perf::quick_matrix_workloads();
+                let sequential = perf::quick_campaign(&workloads)
+                    .parallelism(1)
+                    .run()
+                    .expect("quick matrix is valid");
+                (sequential, None)
+            }
+        };
         if sequential.to_json() != result.to_json() {
             eprintln!("verify: FAILED — dispatched result diverged from the sequential run");
             return ExitCode::FAILURE;
         }
+        if let Some(local) = local_outcomes {
+            if local != outcomes {
+                eprintln!(
+                    "verify: FAILED — coordinator diagnostics diverged from local evaluation"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         println!("verify: ok — dispatched result bit-identical to the sequential run");
     }
+    if outcomes.iter().any(|o| !o.passed) {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// Asks a running coordinator for a fleet snapshot and prints it
+/// (`--watch` polls every 2 seconds until interrupted).
+fn status_mode(rest: &[String]) -> ExitCode {
+    let mut connect: Option<String> = None;
+    let mut watch = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => match it.next() {
+                Some(addr) => connect = Some(addr.clone()),
+                None => {
+                    eprintln!("--connect needs an ADDR");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--watch" => watch = true,
+            other => {
+                eprintln!("status takes --connect ADDR [--watch]; unexpected `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(connect) = connect else {
+        eprintln!("usage: repro status --connect ADDR [--watch]");
+        return ExitCode::FAILURE;
+    };
+    loop {
+        match strex::dispatch::status(connect.as_str()) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("status failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if !watch {
+            return ExitCode::SUCCESS;
+        }
+        println!();
+        std::thread::sleep(std::time::Duration::from_secs(2));
+    }
 }
 
 /// Times the quick suite, merges with the committed baselines, writes

@@ -1,41 +1,89 @@
-//! The submitter half of the dispatcher: one blocking call per campaign.
+//! The submitter half of the dispatcher: one blocking call per request.
 //!
 //! A submission is a single round trip — send one `submit` frame, block
 //! until the coordinator streams the merged result (or a rejection) back.
 //! Idempotency lives coordinator-side ([`super::job_key`]): re-submitting
 //! the same spec attaches to the in-flight job or returns the cached
 //! result, so a submitter that times out and retries never causes the
-//! matrix to run twice.
+//! matrix to run twice. [`submit_scenario`] is the remote half of
+//! `repro check`: the fleet runs the scenario's declared matrix and the
+//! coordinator returns its per-assertion diagnostics alongside the
+//! merged result. [`status`] asks a coordinator for one fleet snapshot.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::campaign::CampaignResult;
+use crate::scenario::{AssertionOutcome, Scenario};
 
-use super::proto::{write_message, FrameReader, Message};
+use super::proto::{write_message, FrameReader, JobSpec, Message};
+use super::status::StatusReport;
 use super::DispatchError;
 
-/// Submits `campaign` split `shards` ways and blocks until the merged
-/// [`CampaignResult`] arrives.
+/// One submit round trip: send the spec, block for `result` or `reject`.
+fn submit_spec(
+    addr: impl ToSocketAddrs,
+    work: JobSpec,
+    shards: usize,
+) -> Result<(CampaignResult, Vec<AssertionOutcome>), DispatchError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_message(&mut stream, &Message::Submit { work, shards })?;
+    let mut reader = FrameReader::new(std::io::BufReader::new(stream));
+    match reader.next_message().map_err(DispatchError::Proto)? {
+        Some(Message::Result {
+            result, outcomes, ..
+        }) => Ok((result, outcomes)),
+        Some(Message::Reject { reason, message }) => {
+            Err(DispatchError::Rejected { reason, message })
+        }
+        Some(other) => Err(DispatchError::Protocol(format!(
+            "coordinator answered a submission with a {:?} frame",
+            other.type_name()
+        ))),
+        None => Err(DispatchError::Protocol(
+            "coordinator closed the connection before answering".to_string(),
+        )),
+    }
+}
+
+/// Submits the catalog campaign `campaign` split `shards` ways and blocks
+/// until the merged [`CampaignResult`] arrives.
 pub fn submit(
     addr: impl ToSocketAddrs,
     campaign: &str,
     shards: usize,
 ) -> Result<CampaignResult, DispatchError> {
+    submit_spec(addr, JobSpec::Catalog(campaign.to_string()), shards).map(|(result, _)| result)
+}
+
+/// Submits a full scenario document split `shards` ways and blocks until
+/// the merged result and the coordinator-evaluated per-assertion
+/// diagnostics arrive — the same outcomes, in the same declaration
+/// order, an in-process `repro check` would compute.
+pub fn submit_scenario(
+    addr: impl ToSocketAddrs,
+    scenario: &Scenario,
+    shards: usize,
+) -> Result<(CampaignResult, Vec<AssertionOutcome>), DispatchError> {
+    submit_spec(addr, JobSpec::Scenario(Arc::new(scenario.clone())), shards)
+}
+
+/// Asks a coordinator for one fleet snapshot. The coordinator leaves the
+/// connection open after answering, but this convenience call makes a
+/// fresh connection per poll; a watcher that wants one socket can speak
+/// [`Message::StatusRequest`] itself.
+pub fn status(addr: impl ToSocketAddrs) -> Result<StatusReport, DispatchError> {
     let mut stream = TcpStream::connect(addr)?;
-    write_message(
-        &mut stream,
-        &Message::Submit {
-            campaign: campaign.to_string(),
-            shards,
-        },
-    )?;
+    write_message(&mut stream, &Message::StatusRequest)?;
     let mut reader = FrameReader::new(std::io::BufReader::new(stream));
     match reader.next_message().map_err(DispatchError::Proto)? {
-        Some(Message::Result { result, .. }) => Ok(result),
-        Some(Message::Reject { message }) => Err(DispatchError::Rejected(message)),
+        Some(Message::Status { report }) => Ok(report),
+        Some(Message::Reject { reason, message }) => {
+            Err(DispatchError::Rejected { reason, message })
+        }
         Some(other) => Err(DispatchError::Protocol(format!(
-            "coordinator answered a submission with a {:?} frame",
+            "coordinator answered a status request with a {:?} frame",
             other.type_name()
         ))),
         None => Err(DispatchError::Protocol(

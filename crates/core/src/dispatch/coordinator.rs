@@ -3,38 +3,60 @@
 //! # The state machine
 //!
 //! [`Coordinator`] holds every piece of dispatcher state — jobs, the
-//! worker fleet, the idempotent result cache — and mutates it only
-//! through [`handle`](Coordinator::handle): one event in (a decoded
-//! frame, a disconnect, a clock tick), a list of [`Action`]s out. It
-//! performs **no I/O and reads no clock**: the caller supplies the
-//! timestamp with every event, which is what makes the failure paths
-//! (heartbeat timeout → re-queue, straggler deadline → duplicate
-//! assignment) testable on a [`FakeClock`](super::clock::FakeClock)
-//! without a socket or a sleep in sight.
+//! worker fleet, the idempotent result cache, the per-submitter rate
+//! limiter — and mutates it only through [`handle`](Coordinator::handle):
+//! one event in (a decoded frame, a connect, a disconnect, a clock
+//! tick), a list of [`Action`]s out. It performs **no I/O and reads no
+//! clock**: the caller supplies the timestamp with every event, which is
+//! what makes the failure paths (heartbeat timeout → re-queue, straggler
+//! deadline → duplicate assignment, empty token bucket → typed reject)
+//! testable on a [`FakeClock`](super::clock::FakeClock) without a socket
+//! or a sleep in sight.
 //!
 //! # The job lifecycle
 //!
-//! A submission is keyed by [`job_key`] — FNV over the campaign spec, so
-//! retrying a submission (same campaign, same shard count) attaches to
-//! the in-flight job or returns the cached result instead of running the
-//! matrix twice. A new job's shards enter a FIFO queue; idle registered
-//! workers are assigned one shard each; completions fill per-index slots.
-//! Delivery is **at-least-once**: a dead worker's shard is re-queued, a
-//! straggler's shard is re-assigned while the original may still finish —
-//! so the same shard index can legitimately complete twice. The slot
-//! either-or makes duplicates harmless (first completion wins, the rest
-//! are dropped), and [`merge`](crate::campaign::merge())'s typed
+//! A submission carries a [`JobSpec`] — a catalog name or a full
+//! scenario document — and is keyed by [`job_key`] over the spec's
+//! canonical text, so retrying a submission (same work, same shard
+//! count) attaches to the in-flight job or returns the cached result
+//! instead of running the matrix twice. A new job's shards enter a FIFO
+//! queue; idle registered workers whose declared
+//! [`WorkerCaps`] can execute the job are assigned one shard
+//! each; completions fill per-index slots. Delivery is
+//! **at-least-once**: a dead worker's shard is re-queued, a straggler's
+//! shard is re-assigned while the original may still finish — so the
+//! same shard index can legitimately complete twice. The slot either-or
+//! makes duplicates harmless (first completion wins, the rest are
+//! dropped), and [`merge`](crate::campaign::merge())'s typed
 //! `DuplicateShard`/`DuplicateCell` errors remain the backstop if that
 //! invariant is ever broken. When every slot is full, the shards merge
-//! into a [`CampaignResult`](crate::campaign::CampaignResult) bit-identical to a sequential run and every
-//! waiting submitter receives it.
+//! into a [`CampaignResult`](crate::campaign::CampaignResult)
+//! bit-identical to a sequential run; a scenario job's assertions are
+//! then evaluated against the merged result, and every waiting submitter
+//! receives the result plus the per-assertion diagnostics.
+//!
+//! # Admission control
+//!
+//! Two policies guard the coordinator, both pure state over the injected
+//! timestamps. A **token bucket per submitter identity** (peer IP in
+//! production, `conn:<id>` for shells that never report one): a
+//! submission takes one token, the bucket refills one token per
+//! [`DispatchConfig::submit_refill_ms`] up to
+//! [`DispatchConfig::submit_burst`], and an empty bucket is a typed
+//! [`RejectReason::RateLimited`]. Buckets survive disconnects on
+//! purpose — reconnecting must not refill them. A **bounded pending-job
+//! queue**: at most [`DispatchConfig::max_pending_jobs`] distinct jobs
+//! in flight; beyond it, *new* jobs are [`RejectReason::QueueFull`]
+//! (attaching to an existing job or replaying a cached result is always
+//! admitted — neither grows state).
 //!
 //! # The TCP shell
 //!
 //! [`Server`] is the thin I/O layer: one reader thread per connection
 //! feeding a channel, one loop draining it into the state machine and
 //! writing the resulting frames back out. All policy lives in the state
-//! machine; the shell only moves bytes.
+//! machine; the shell only moves bytes (and reports each connection's
+//! peer IP so the rate limiter has an identity to key on).
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -46,9 +68,15 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::campaign::{fnv64, merge, CampaignShard, ShardSpec};
+use crate::scenario::EvaluatorRegistry;
 
 use super::clock::Clock;
-use super::proto::{write_message_wire, FrameReader, Message, ProtoError};
+use super::proto::{
+    write_message_wire, FrameReader, JobSpec, Message, ProtoError, RejectReason, WorkerCaps,
+};
+use super::status::{
+    AssignmentStatus, JobStatus, RateStatus, StatusCounters, StatusReport, WorkerStatus,
+};
 use super::DispatchError;
 use crate::binwire::WireFormat;
 
@@ -56,7 +84,7 @@ use crate::binwire::WireFormat;
 /// allocates these; the state machine never looks inside.
 pub type ConnId = u64;
 
-/// Liveness and re-queue policy.
+/// Liveness, re-queue and admission policy.
 #[derive(Copy, Clone, Debug)]
 pub struct DispatchConfig {
     /// A worker silent (no frame of any kind) for longer than this is
@@ -73,6 +101,17 @@ pub struct DispatchConfig {
     /// the other is deduplicated. Generous by default: a straggler
     /// re-queue costs a duplicate shard execution.
     pub shard_deadline_ms: u64,
+    /// Token-bucket capacity per submitter identity: how many
+    /// submissions one submitter may burst before the refill cadence
+    /// gates it.
+    pub submit_burst: u64,
+    /// One token returns to a submitter's bucket per this many
+    /// milliseconds (0 disables rate limiting: the bucket snaps back to
+    /// `submit_burst` on every submission).
+    pub submit_refill_ms: u64,
+    /// At most this many distinct jobs in flight; submissions that
+    /// would create one more are rejected `queue_full`.
+    pub max_pending_jobs: usize,
 }
 
 impl Default for DispatchConfig {
@@ -81,6 +120,9 @@ impl Default for DispatchConfig {
             worker_timeout_ms: 10_000,
             heartbeat_interval_ms: 1_000,
             shard_deadline_ms: 600_000,
+            submit_burst: 10,
+            submit_refill_ms: 1_000,
+            max_pending_jobs: 64,
         }
     }
 }
@@ -88,6 +130,10 @@ impl Default for DispatchConfig {
 /// What happened, as the shell observed it.
 #[derive(Debug)]
 pub enum Event {
+    /// A connection was accepted; `identity` is the submitter identity
+    /// the rate limiter keys on (the peer IP, in the TCP shell). A
+    /// connection that never reports one falls back to `conn:<id>`.
+    Connected(ConnId, String),
     /// A decoded frame arrived from `ConnId`.
     Message(ConnId, Message),
     /// The connection closed or failed (EOF, transport error, malformed
@@ -143,11 +189,64 @@ impl fmt::Display for WorkerLossReason {
 }
 
 /// The idempotency key of a submission: FNV-1a over
-/// `"<campaign>/<shards>"`, rendered as 16 hex digits. Same spec, same
-/// key — across submitters, processes and machines — so duplicate
-/// submissions coalesce onto one job.
-pub fn job_key(campaign: &str, shards: usize) -> String {
-    format!("{:016x}", fnv64(&format!("{campaign}/{shards}")))
+/// `"<canonical work>/<shards>"` — the catalog name, or the scenario's
+/// deterministic JSON — rendered as 16 hex digits. Same spec, same key —
+/// across submitters, processes and machines — so duplicate submissions
+/// coalesce onto one job.
+pub fn job_key(work: &str, shards: usize) -> String {
+    format!("{:016x}", fnv64(&format!("{work}/{shards}")))
+}
+
+/// One submitter's token bucket: all-integer arithmetic over the
+/// injected timestamps, so FakeClock tests are exact.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: u64,
+    last_refill_ms: u64,
+}
+
+impl TokenBucket {
+    fn new(now_ms: u64, burst: u64) -> TokenBucket {
+        TokenBucket {
+            tokens: burst,
+            last_refill_ms: now_ms,
+        }
+    }
+
+    /// Credits whole elapsed refill intervals, keeping the remainder
+    /// (the bucket's epoch advances by the credited intervals only, so
+    /// fractional progress toward the next token is never lost).
+    fn refill(&mut self, now_ms: u64, burst: u64, refill_ms: u64) {
+        if refill_ms == 0 {
+            self.tokens = burst;
+            self.last_refill_ms = now_ms;
+            return;
+        }
+        let earned = now_ms.saturating_sub(self.last_refill_ms) / refill_ms;
+        if earned > 0 {
+            self.tokens = self.tokens.saturating_add(earned).min(burst);
+            self.last_refill_ms += earned * refill_ms;
+        }
+    }
+
+    /// What [`refill`](TokenBucket::refill) would leave available,
+    /// without mutating — the status report's read-only view.
+    fn projected(&self, now_ms: u64, burst: u64, refill_ms: u64) -> u64 {
+        if refill_ms == 0 {
+            return burst;
+        }
+        let earned = now_ms.saturating_sub(self.last_refill_ms) / refill_ms;
+        self.tokens.saturating_add(earned).min(burst)
+    }
+
+    fn try_take(&mut self) -> bool {
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// A shard assigned to a worker.
@@ -164,14 +263,25 @@ struct Assignment {
 #[derive(Debug)]
 struct WorkerState {
     name: String,
+    caps: WorkerCaps,
     last_seen_ms: u64,
     assignment: Option<Assignment>,
+}
+
+impl WorkerState {
+    /// Whether this worker can execute `work` at all.
+    fn eligible(&self, work: &JobSpec) -> bool {
+        match work {
+            JobSpec::Catalog(_) => true,
+            JobSpec::Scenario(_) => self.caps.scenarios,
+        }
+    }
 }
 
 /// One in-flight job.
 #[derive(Debug)]
 struct Job {
-    campaign: String,
+    work: JobSpec,
     count: usize,
     /// Shard indices waiting for a worker.
     queue: VecDeque<usize>,
@@ -198,6 +308,15 @@ pub struct Coordinator {
     /// cache. A re-submission of a finished spec is answered from here
     /// without touching a worker.
     finished: BTreeMap<String, Message>,
+    /// Submitter identity per connection, reported by the shell at
+    /// accept; removed on disconnect.
+    peers: BTreeMap<ConnId, String>,
+    /// Token buckets by submitter identity. Never pruned on disconnect:
+    /// a reconnect must find the bucket it drained.
+    buckets: BTreeMap<String, TokenBucket>,
+    /// Judges scenario assertions against merged results.
+    registry: EvaluatorRegistry,
+    counters: StatusCounters,
 }
 
 /// Upper bound on the shard count of one submission; far beyond any real
@@ -206,7 +325,8 @@ pub struct Coordinator {
 pub const MAX_SHARDS: usize = 4096;
 
 impl Coordinator {
-    /// A coordinator accepting the campaign names in `catalog`.
+    /// A coordinator accepting the campaign names in `catalog` (scenario
+    /// submissions are always accepted — they carry their own matrix).
     pub fn new(cfg: DispatchConfig, catalog: impl IntoIterator<Item = String>) -> Self {
         Coordinator {
             cfg,
@@ -214,6 +334,10 @@ impl Coordinator {
             jobs: BTreeMap::new(),
             workers: BTreeMap::new(),
             finished: BTreeMap::new(),
+            peers: BTreeMap::new(),
+            buckets: BTreeMap::new(),
+            registry: EvaluatorRegistry::with_defaults(),
+            counters: StatusCounters::default(),
         }
     }
 
@@ -231,6 +355,9 @@ impl Coordinator {
     pub fn handle(&mut self, now_ms: u64, event: Event) -> Vec<Action> {
         let mut actions = Vec::new();
         match event {
+            Event::Connected(conn, identity) => {
+                self.peers.insert(conn, identity);
+            }
             Event::Message(conn, msg) => self.on_message(now_ms, conn, msg, &mut actions),
             Event::Disconnected(conn) => self.on_disconnect(conn, &mut actions),
             Event::Tick => {}
@@ -241,17 +368,39 @@ impl Coordinator {
         actions
     }
 
+    /// The identity a connection's submissions are rate-limited under.
+    fn identity(&self, conn: ConnId) -> String {
+        self.peers
+            .get(&conn)
+            .cloned()
+            .unwrap_or_else(|| format!("conn:{conn}"))
+    }
+
+    /// One refusal: typed reject frame, close, counted.
+    fn reject(
+        &mut self,
+        conn: ConnId,
+        reason: RejectReason,
+        message: String,
+        actions: &mut Vec<Action>,
+    ) {
+        self.counters.rejections += 1;
+        actions.push(Action::Send(conn, Message::Reject { reason, message }));
+        actions.push(Action::Close(conn));
+    }
+
     fn on_message(&mut self, now_ms: u64, conn: ConnId, msg: Message, actions: &mut Vec<Action>) {
         if let Some(w) = self.workers.get_mut(&conn) {
             w.last_seen_ms = now_ms;
         }
         match msg {
-            Message::Submit { campaign, shards } => self.on_submit(conn, campaign, shards, actions),
-            Message::Register { name } => {
+            Message::Submit { work, shards } => self.on_submit(now_ms, conn, work, shards, actions),
+            Message::Register { name, caps } => {
                 self.workers.insert(
                     conn,
                     WorkerState {
                         name,
+                        caps,
                         last_seen_ms: now_ms,
                         assignment: None,
                     },
@@ -259,58 +408,107 @@ impl Coordinator {
             }
             Message::Heartbeat => {}
             Message::ShardDone { job, shard } => self.on_shard_done(conn, job, shard, actions),
-            // Coordinator-bound connections have no business sending
-            // coordinator-to-peer messages; drop them.
-            Message::Assign { .. } | Message::Result { .. } | Message::Reject { .. } => {
+            Message::StatusRequest => {
+                // Answered in place; the connection stays open so a
+                // watcher can poll on one socket.
                 actions.push(Action::Send(
                     conn,
-                    Message::Reject {
-                        message: "unexpected message direction".to_string(),
+                    Message::Status {
+                        report: self.status(now_ms),
                     },
                 ));
-                actions.push(Action::Close(conn));
+            }
+            // Coordinator-bound connections have no business sending
+            // coordinator-to-peer messages; drop them.
+            Message::Assign { .. }
+            | Message::Result { .. }
+            | Message::Reject { .. }
+            | Message::Status { .. } => {
+                self.reject(
+                    conn,
+                    RejectReason::Protocol,
+                    "unexpected message direction".to_string(),
+                    actions,
+                );
             }
         }
     }
 
     fn on_submit(
         &mut self,
+        now_ms: u64,
         conn: ConnId,
-        campaign: String,
+        work: JobSpec,
         shards: usize,
         actions: &mut Vec<Action>,
     ) {
-        if !self.catalog.contains(&campaign) {
-            actions.push(Action::Send(
+        // Admission first: the rate limiter sees every submission,
+        // including invalid and replayed ones — a hot submitter must not
+        // dodge the limiter by hammering the cache.
+        let identity = self.identity(conn);
+        let (burst, refill_ms) = (self.cfg.submit_burst, self.cfg.submit_refill_ms);
+        let bucket = self
+            .buckets
+            .entry(identity)
+            .or_insert_with(|| TokenBucket::new(now_ms, burst));
+        bucket.refill(now_ms, burst, refill_ms);
+        if !bucket.try_take() {
+            self.reject(
                 conn,
-                Message::Reject {
-                    message: format!("unknown campaign {campaign:?}"),
-                },
-            ));
-            actions.push(Action::Close(conn));
+                RejectReason::RateLimited,
+                format!(
+                    "rate limited: burst {burst} exhausted, one token returns every {refill_ms} ms"
+                ),
+                actions,
+            );
             return;
+        }
+        if let JobSpec::Catalog(name) = &work {
+            if !self.catalog.contains(name) {
+                self.reject(
+                    conn,
+                    RejectReason::UnknownCampaign,
+                    format!("unknown campaign {name:?}"),
+                    actions,
+                );
+                return;
+            }
         }
         if shards == 0 || shards > MAX_SHARDS {
-            actions.push(Action::Send(
+            self.reject(
                 conn,
-                Message::Reject {
-                    message: format!("shard count {shards} outside 1..={MAX_SHARDS}"),
-                },
-            ));
-            actions.push(Action::Close(conn));
+                RejectReason::InvalidShards,
+                format!("shard count {shards} outside 1..={MAX_SHARDS}"),
+                actions,
+            );
             return;
         }
-        let key = job_key(&campaign, shards);
+        let key = job_key(&work.canonical(), shards);
         if let Some(result) = self.finished.get(&key) {
             // Idempotent replay: answered from the cache, no worker touched.
+            self.counters.submissions += 1;
             actions.push(Action::Send(conn, result.clone()));
             actions.push(Action::Close(conn));
             return;
         }
+        if !self.jobs.contains_key(&key) && self.jobs.len() >= self.cfg.max_pending_jobs {
+            self.reject(
+                conn,
+                RejectReason::QueueFull,
+                format!(
+                    "pending-job queue full ({} jobs in flight, cap {})",
+                    self.jobs.len(),
+                    self.cfg.max_pending_jobs
+                ),
+                actions,
+            );
+            return;
+        }
+        self.counters.submissions += 1;
         self.jobs
             .entry(key)
             .or_insert_with(|| Job {
-                campaign,
+                work,
                 count: shards,
                 queue: (0..shards).collect(),
                 done: (0..shards).map(|_| None).collect(),
@@ -344,22 +542,43 @@ impl Coordinator {
         let slot = &mut job.done[spec.index];
         if slot.is_none() {
             *slot = Some(shard);
+            self.counters.shards_completed += 1;
         }
         // else: duplicate completion from a hedged straggler — first one
         // won, this one is dropped (merge's DuplicateShard is the backstop).
         if job.complete() {
             let job = self.jobs.remove(&job_id).expect("checked present");
             let outcome = match merge(job.done.into_iter().flatten()) {
-                Ok(result) => Message::Result {
-                    job: job_id.clone(),
-                    result,
+                // The merged result is bit-identical to a sequential run;
+                // a scenario job's assertions are judged against it here,
+                // so every waiter receives the same diagnostics an
+                // in-process `repro check` would print.
+                Ok(result) => match &job.work {
+                    JobSpec::Catalog(_) => Message::Result {
+                        job: job_id.clone(),
+                        result,
+                        outcomes: Vec::new(),
+                    },
+                    JobSpec::Scenario(s) => match s.evaluate(&result, &self.registry) {
+                        Ok(outcomes) => Message::Result {
+                            job: job_id.clone(),
+                            result,
+                            outcomes,
+                        },
+                        Err(e) => Message::Reject {
+                            reason: RejectReason::MergeFailed,
+                            message: format!("assertion evaluation failed: {e}"),
+                        },
+                    },
                 },
                 // Unreachable while the slot invariant holds; reported as
                 // a typed rejection rather than a panic if it ever breaks.
                 Err(e) => Message::Reject {
+                    reason: RejectReason::MergeFailed,
                     message: format!("merge failed: {e}"),
                 },
             };
+            self.counters.jobs_completed += 1;
             for waiter in job.waiters {
                 actions.push(Action::Send(waiter, outcome.clone()));
                 actions.push(Action::Close(waiter));
@@ -370,6 +589,7 @@ impl Coordinator {
     }
 
     fn on_disconnect(&mut self, conn: ConnId, actions: &mut Vec<Action>) {
+        self.peers.remove(&conn);
         if let Some(worker) = self.workers.remove(&conn) {
             let requeued = worker.assignment.as_ref().map(|a| a.spec);
             if let Some(assignment) = worker.assignment {
@@ -449,24 +669,32 @@ impl Coordinator {
     }
 
     /// Hands queued shards to idle workers, FIFO over jobs in key order.
+    /// Capability-aware: each shard goes to the first idle worker whose
+    /// declared caps can execute the job's work; a job no idle worker is
+    /// eligible for keeps its queue and yields the workers to the next
+    /// job.
     fn assign_pending(&mut self, now_ms: u64, actions: &mut Vec<Action>) {
-        let mut idle: VecDeque<ConnId> = self
-            .workers
+        let Coordinator { jobs, workers, .. } = self;
+        let mut idle: Vec<ConnId> = workers
             .iter()
             .filter(|(_, w)| w.assignment.is_none())
             .map(|(&conn, _)| conn)
             .collect();
-        for (job_id, job) in self.jobs.iter_mut() {
-            while !idle.is_empty() {
-                let Some(index) = job.queue.pop_front() else {
+        for (job_id, job) in jobs.iter_mut() {
+            while !job.queue.is_empty() {
+                let Some(pos) = idle
+                    .iter()
+                    .position(|conn| workers[conn].eligible(&job.work))
+                else {
                     break;
                 };
-                let conn = idle.pop_front().expect("checked non-empty");
+                let conn = idle.remove(pos);
+                let index = job.queue.pop_front().expect("checked non-empty");
                 let spec = ShardSpec {
                     index,
                     count: job.count,
                 };
-                self.workers
+                workers
                     .get_mut(&conn)
                     .expect("idle workers are registered")
                     .assignment = Some(Assignment {
@@ -479,11 +707,67 @@ impl Coordinator {
                     conn,
                     Message::Assign {
                         job: job_id.clone(),
-                        campaign: job.campaign.clone(),
+                        work: job.work.clone(),
                         spec,
                     },
                 ));
             }
+        }
+    }
+
+    /// Snapshots the fleet as of `now_ms`: what a `status` frame answers
+    /// with. Read-only — polling status must not perturb the state
+    /// machine (bucket refills are projected, not applied).
+    pub fn status(&self, now_ms: u64) -> StatusReport {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|(key, job)| JobStatus {
+                key: key.clone(),
+                label: job.work.label().to_string(),
+                shards: job.count,
+                done: job.done.iter().filter(|s| s.is_some()).count(),
+                queued: job.queue.len(),
+                running: self
+                    .workers
+                    .values()
+                    .filter(|w| w.assignment.as_ref().is_some_and(|a| &a.job == key))
+                    .count(),
+                waiters: job.waiters.len(),
+            })
+            .collect();
+        let workers = self
+            .workers
+            .values()
+            .map(|w| WorkerStatus {
+                name: w.name.clone(),
+                cores: w.caps.cores,
+                scenarios: w.caps.scenarios,
+                last_seen_ms_ago: now_ms.saturating_sub(w.last_seen_ms),
+                assignment: w.assignment.as_ref().map(|a| AssignmentStatus {
+                    job: a.job.clone(),
+                    index: a.spec.index,
+                    count: a.spec.count,
+                    running_ms: now_ms.saturating_sub(a.since_ms),
+                    hedged: a.hedged,
+                }),
+            })
+            .collect();
+        let rate = self
+            .buckets
+            .iter()
+            .map(|(peer, bucket)| RateStatus {
+                peer: peer.clone(),
+                tokens: bucket.projected(now_ms, self.cfg.submit_burst, self.cfg.submit_refill_ms),
+            })
+            .collect();
+        StatusReport {
+            now_ms,
+            queue_depth: self.jobs.values().map(|j| j.queue.len()).sum(),
+            counters: self.counters.clone(),
+            jobs,
+            workers,
+            rate,
         }
     }
 }
@@ -507,8 +791,9 @@ pub struct ServeSummary {
     pub jobs_completed: usize,
 }
 
-/// Internal: what a reader thread reports upward.
+/// Internal: what a reader or accept thread reports upward.
 enum ConnEvent {
+    Opened(ConnId, String),
     Frame(ConnId, Message),
     Gone(ConnId, Option<ProtoError>),
 }
@@ -568,8 +853,18 @@ impl Server {
                         Ok((stream, _)) => {
                             let conn = next_id;
                             next_id += 1;
+                            // The submitter identity the rate limiter
+                            // keys on: the peer IP, not the port, so one
+                            // host's reconnects share a bucket.
+                            let identity = stream
+                                .peer_addr()
+                                .map(|a| a.ip().to_string())
+                                .unwrap_or_else(|_| "unknown".to_string());
                             if let Ok(write_half) = stream.try_clone() {
                                 writers.lock().expect("writer map").insert(conn, write_half);
+                                if tx.send(ConnEvent::Opened(conn, identity)).is_err() {
+                                    return;
+                                }
                                 spawn_reader(conn, stream, tx.clone());
                             }
                         }
@@ -585,6 +880,7 @@ impl Server {
         let mut completed = 0usize;
         'serve: loop {
             let event = match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(ConnEvent::Opened(conn, identity)) => Event::Connected(conn, identity),
                 Ok(ConnEvent::Frame(conn, msg)) => Event::Message(conn, msg),
                 Ok(ConnEvent::Gone(conn, reason)) => {
                     if let Some(err) = reason {
@@ -678,6 +974,13 @@ fn spawn_reader(conn: ConnId, stream: TcpStream, tx: mpsc::Sender<ConnEvent>) {
 mod tests {
     use super::*;
 
+    fn submit(campaign: &str, shards: usize) -> Message {
+        Message::Submit {
+            work: JobSpec::Catalog(campaign.to_string()),
+            shards,
+        }
+    }
+
     #[test]
     fn job_keys_are_idempotent_and_spec_sensitive() {
         assert_eq!(job_key("quick", 4), job_key("quick", 4));
@@ -689,24 +992,22 @@ mod tests {
     #[test]
     fn unknown_campaigns_and_bad_shard_counts_are_rejected() {
         let mut c = Coordinator::new(DispatchConfig::default(), ["quick".to_string()]);
-        for (campaign, shards) in [("nope", 2), ("quick", 0), ("quick", MAX_SHARDS + 1)] {
-            let actions = c.handle(
-                0,
-                Event::Message(
-                    7,
-                    Message::Submit {
-                        campaign: campaign.to_string(),
-                        shards,
-                    },
-                ),
-            );
-            assert!(
-                matches!(&actions[0], Action::Send(7, Message::Reject { .. })),
-                "{campaign}/{shards}: {actions:?}"
-            );
+        for (campaign, shards, reason) in [
+            ("nope", 2, RejectReason::UnknownCampaign),
+            ("quick", 0, RejectReason::InvalidShards),
+            ("quick", MAX_SHARDS + 1, RejectReason::InvalidShards),
+        ] {
+            let actions = c.handle(0, Event::Message(7, submit(campaign, shards)));
+            match &actions[0] {
+                Action::Send(7, Message::Reject { reason: got, .. }) => {
+                    assert_eq!(*got, reason, "{campaign}/{shards}")
+                }
+                other => panic!("{campaign}/{shards}: {other:?}"),
+            }
             assert!(matches!(&actions[1], Action::Close(7)));
             assert_eq!(c.open_jobs(), 0);
         }
+        assert_eq!(c.status(0).counters.rejections, 3);
     }
 
     #[test]
@@ -717,14 +1018,43 @@ mod tests {
             Event::Message(
                 9,
                 Message::Reject {
+                    reason: RejectReason::Protocol,
                     message: "confused peer".into(),
                 },
             ),
         );
         assert!(matches!(
             &actions[0],
-            Action::Send(9, Message::Reject { .. })
+            Action::Send(
+                9,
+                Message::Reject {
+                    reason: RejectReason::Protocol,
+                    ..
+                }
+            )
         ));
         assert!(matches!(&actions[1], Action::Close(9)));
+    }
+
+    #[test]
+    fn token_buckets_credit_whole_intervals_and_keep_the_remainder() {
+        let mut b = TokenBucket::new(1_000, 2);
+        assert!(b.try_take() && b.try_take() && !b.try_take(), "burst of 2");
+        // 1.5 intervals later: one token earned, the half interval kept.
+        b.refill(2_500, 2, 1_000);
+        assert_eq!(b.tokens, 1);
+        assert_eq!(b.projected(2_999, 2, 1_000), 1, "remainder not yet a token");
+        assert_eq!(b.projected(3_000, 2, 1_000), 2, "half + half = one more");
+        b.refill(3_000, 2, 1_000);
+        assert_eq!(b.tokens, 2);
+        // Idle forever: capped at burst.
+        b.refill(1_000_000, 2, 1_000);
+        assert_eq!(b.tokens, 2);
+        // refill_ms = 0 disables limiting entirely.
+        let mut open = TokenBucket::new(0, 3);
+        for _ in 0..10 {
+            open.refill(0, 3, 0);
+            assert!(open.try_take());
+        }
     }
 }

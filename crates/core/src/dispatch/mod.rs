@@ -3,12 +3,16 @@
 //! The multi-process layer in [`crate::campaign`] proved the shard wire
 //! format for local child processes spawned per run; this module is the
 //! next layer up, a long-lived service: a **coordinator** accepting
-//! campaign submissions over TCP, a fleet of **workers** executing
-//! shards, and the job-lifecycle machinery between them — idempotent
+//! submissions over TCP — catalog campaigns by name, or full
+//! [`crate::scenario`] documents whose assertions the coordinator
+//! evaluates on the merged result — a fleet of **workers** executing
+//! shards, and the job-lifecycle machinery between them: idempotent
 //! submission keys, per-worker liveness via heartbeats, re-queue of
-//! shards from dead or straggling workers. The delivery contract is
-//! at-least-once with dedup at the coordinator's completion slots, which
-//! is safe precisely because shard execution is deterministic and
+//! shards from dead or straggling workers, per-submitter token-bucket
+//! rate limiting, capability-aware assignment, and a status frame for
+//! observability. The delivery contract is at-least-once with dedup at
+//! the coordinator's completion slots, which is safe precisely because
+//! shard execution is deterministic and
 //! [`merge`](crate::campaign::merge) is order-insensitive: however many
 //! times a shard runs, its bytes are the same, and the merged
 //! [`CampaignResult`](crate::campaign::CampaignResult) is bit-identical
@@ -25,28 +29,38 @@
 //!   [`clock::FakeClock`].
 //! * [`coordinator`] — the pure state machine ([`Coordinator`]) and its
 //!   TCP shell ([`Server`]).
-//! * [`worker`] — the worker loop: register, execute, heartbeat.
-//! * [`client`] — the blocking submitter.
+//! * [`mod@status`] — the fleet snapshot ([`StatusReport`]) behind the
+//!   `status` frames and `repro status`.
+//! * [`worker`] — the worker loop: register with capabilities, execute,
+//!   heartbeat.
+//! * [`client`] — the blocking submitter (campaigns, scenarios, status
+//!   polls).
 //!
 //! Wire format and failure semantics are documented in
-//! `docs/PROTOCOL.md`; the `repro serve` / `repro work` / `repro submit`
-//! subcommands in `strex-bench` are thin CLIs over these entry points.
+//! `docs/PROTOCOL.md`; deployment, tuning and failure playbooks in
+//! `docs/DISPATCHER.md`. The `repro serve` / `repro work` / `repro
+//! submit` / `repro status` subcommands in `strex-bench` are thin CLIs
+//! over these entry points.
 
 pub mod client;
 pub mod clock;
 pub mod coordinator;
 pub mod proto;
+pub mod status;
 pub mod worker;
 
-pub use client::{connect_with_retry, submit};
+pub use client::{connect_with_retry, status, submit, submit_scenario};
 pub use clock::{Clock, FakeClock, SystemClock};
 pub use coordinator::{
     job_key, Action, ConnId, Coordinator, DispatchConfig, Event, ServeOptions, ServeSummary,
     Server, WorkerLossReason, MAX_SHARDS,
 };
 pub use proto::{
-    read_message, read_message_buffered, write_message, write_message_wire, FrameReader, Message,
-    ProtoError,
+    read_message, read_message_buffered, write_message, write_message_wire, FrameReader, JobSpec,
+    Message, ProtoError, RejectReason, WorkerCaps,
+};
+pub use status::{
+    AssignmentStatus, JobStatus, RateStatus, StatusCounters, StatusReport, WorkerStatus,
 };
 pub use worker::{run_worker, ShardRunner, WorkerOptions, WorkerSummary};
 
@@ -61,13 +75,20 @@ pub enum DispatchError {
     Io(std::io::Error),
     /// A frame could not be read or decoded.
     Proto(ProtoError),
-    /// The coordinator refused the request.
-    Rejected(String),
+    /// The coordinator refused the request, with a typed reason so
+    /// callers can branch (retry after `RateLimited`, give up on
+    /// `UnknownCampaign`) without parsing prose.
+    Rejected {
+        /// The typed refusal.
+        reason: RejectReason,
+        /// Human-readable detail.
+        message: String,
+    },
     /// The peer sent a well-formed frame that makes no sense here.
     Protocol(String),
     /// A worker's [`ShardRunner`] failed on an assigned shard.
     Runner {
-        /// The campaign the shard belongs to.
+        /// The campaign (or scenario name) the shard belongs to.
         campaign: String,
         /// Which shard failed.
         spec: ShardSpec,
@@ -81,7 +102,9 @@ impl fmt::Display for DispatchError {
         match self {
             DispatchError::Io(e) => write!(f, "transport error: {e}"),
             DispatchError::Proto(e) => write!(f, "{e}"),
-            DispatchError::Rejected(m) => write!(f, "rejected by the coordinator: {m}"),
+            DispatchError::Rejected { reason, message } => {
+                write!(f, "rejected by the coordinator ({reason}): {message}")
+            }
             DispatchError::Protocol(m) => write!(f, "protocol violation: {m}"),
             DispatchError::Runner {
                 campaign,
@@ -139,8 +162,11 @@ mod tests {
             s.contains("1/4") && s.contains("quick") && s.contains("boom"),
             "{s}"
         );
-        assert!(DispatchError::Rejected("nope".into())
-            .to_string()
-            .contains("nope"));
+        let r = DispatchError::Rejected {
+            reason: RejectReason::RateLimited,
+            message: "nope".into(),
+        }
+        .to_string();
+        assert!(r.contains("rate_limited") && r.contains("nope"), "{r}");
     }
 }

@@ -10,7 +10,12 @@
 //! ([`CampaignShard::to_json`](crate::campaign::CampaignShard::to_json),
 //! [`CampaignResult::to_json`](crate::campaign::CampaignResult::to_json))
 //! verbatim, so shard bytes that cross the socket are byte-identical to
-//! the ones `repro dist` ships over stdout.
+//! the ones `repro dist` ships over stdout. A v2 submission may carry a
+//! whole [`Scenario`] document inline (the
+//! [`JobSpec`] half of `submit`/`assign`), embedded with
+//! [`Scenario::to_json`](crate::scenario::Scenario::to_json) verbatim —
+//! scenario documents are small, so they stay on the JSON control plane
+//! even under `--wire bin`.
 //!
 //! The two payload carriers — `shard_done` and `result` — additionally
 //! have a compact binary form (the production default): a
@@ -25,15 +30,20 @@
 //! truncated lines, malformed JSON, bad binary framing, unknown message
 //! types and mistyped payloads are all typed [`ProtoError`]s — never
 //! panics (fuzzed in `tests/dispatch_protocol.rs`). See
-//! `docs/PROTOCOL.md` for the message flow and delivery contract.
+//! `docs/PROTOCOL.md` for the message flow, the versioned message table
+//! and the delivery contract.
 
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
+use std::sync::Arc;
 
 use crate::binwire::{self, BinReader, BinWriter, WireFormat};
 use crate::campaign::{CampaignResult, CampaignShard, ShardSpec};
 use crate::json::JsonWriter;
 use crate::jsonval::{JsonValue, WireError};
+use crate::scenario::{AssertionOutcome, Scenario};
+
+use super::status::StatusReport;
 
 /// Payload kind byte of a binary `shard_done` frame.
 pub const KIND_SHARD_DONE: u8 = b'D';
@@ -45,13 +55,274 @@ pub const KIND_RESULT_FRAME: u8 = b'Z';
 /// hostile length prefix cannot drive an arbitrarily large allocation.
 pub const MAX_BINARY_FRAME: usize = 256 * 1024 * 1024;
 
+/// What a submission asks the fleet to run: a campaign from the
+/// coordinator's fixed catalog, by name, or a full
+/// [`Scenario`] document carried inline — the declared
+/// scheduler × workload × cores × team-size matrix plus its assertions.
+///
+/// The same enum rides in both `submit` (submitter → coordinator) and
+/// `assign` (coordinator → worker), so every worker executes exactly
+/// the document the submitter declared, not a re-encoding of it. The
+/// scenario arm is an [`Arc`] because one submission fans out into many
+/// assignments; cloning the spec per frame must not clone the document.
+#[derive(Clone, Debug)]
+pub enum JobSpec {
+    /// A campaign the coordinator's catalog knows by name (e.g.
+    /// `"quick"`).
+    Catalog(String),
+    /// A validated scenario document; workers run its declared matrix
+    /// and the coordinator evaluates its assertions on the merged
+    /// result.
+    Scenario(Arc<Scenario>),
+}
+
+impl JobSpec {
+    /// Short human-readable label: the catalog name or the scenario name.
+    pub fn label(&self) -> &str {
+        match self {
+            JobSpec::Catalog(name) => name,
+            JobSpec::Scenario(s) => &s.name,
+        }
+    }
+
+    /// The canonical text the job key hashes: the catalog name, or the
+    /// scenario's deterministic JSON — content-addressed, so two
+    /// submissions of byte-identical documents coalesce onto one job
+    /// even if their files were named differently.
+    pub fn canonical(&self) -> String {
+        match self {
+            JobSpec::Catalog(name) => name.clone(),
+            JobSpec::Scenario(s) => s.to_json(),
+        }
+    }
+
+    /// Writes this spec's field into an open message object: either
+    /// `"campaign": <name>` or `"scenario": <document>`.
+    fn write_field(&self, w: &mut JsonWriter) {
+        match self {
+            JobSpec::Catalog(name) => {
+                w.key("campaign");
+                w.string(name);
+            }
+            JobSpec::Scenario(s) => {
+                w.key("scenario");
+                w.raw(&s.to_json());
+            }
+        }
+    }
+
+    /// Reads the spec from a message document: `"scenario"` wins when
+    /// present (validated through the full scenario parser), otherwise
+    /// `"campaign"` is required — which is exactly the v1 `submit`
+    /// shape, so v1 frames parse unchanged.
+    fn from_doc(doc: &JsonValue) -> Result<JobSpec, WireError> {
+        if let Some(sdoc) = doc.get("scenario") {
+            let scenario = Scenario::from_json_value(sdoc)
+                .map_err(|e| WireError::new(format!("invalid scenario: {e}")))?;
+            Ok(JobSpec::Scenario(Arc::new(scenario)))
+        } else {
+            Ok(JobSpec::Catalog(doc.req_str("campaign")?.to_string()))
+        }
+    }
+}
+
+/// What a worker can do, declared once at [`Message::Register`] and used
+/// by the coordinator's capability-aware assignment (a scenario job only
+/// goes to a worker that advertised `scenarios`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerCaps {
+    /// Host cores available to this worker.
+    pub cores: usize,
+    /// Whether the worker can pin itself to a core
+    /// (`sched_setaffinity`; Linux only).
+    pub pinning: bool,
+    /// Whether the explicit AVX2 way-scan kernels are available.
+    pub avx2: bool,
+    /// Whether the worker executes inline scenario documents (vs only
+    /// catalog campaigns it has a local runner for).
+    pub scenarios: bool,
+    /// Wire formats the worker emits `shard_done` frames in.
+    pub wires: Vec<WireFormat>,
+}
+
+impl WorkerCaps {
+    /// Probes the running host: core count, pinning support, AVX2, both
+    /// wire formats, scenarios on. What `repro work` registers with.
+    pub fn detect() -> WorkerCaps {
+        WorkerCaps {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            pinning: cfg!(target_os = "linux"),
+            avx2: detect_avx2(),
+            scenarios: true,
+            wires: vec![WireFormat::Json, WireFormat::Bin],
+        }
+    }
+
+    /// The conservative capabilities assumed for a v1 `register` frame
+    /// that carries no capability fields: one core, no pinning, no
+    /// AVX2, catalog jobs only, JSON `shard_done` frames.
+    pub fn legacy() -> WorkerCaps {
+        WorkerCaps {
+            cores: 1,
+            pinning: false,
+            avx2: false,
+            scenarios: false,
+            wires: vec![WireFormat::Json],
+        }
+    }
+
+    /// Writes the capability fields into an open `register` object.
+    fn write_fields(&self, w: &mut JsonWriter) {
+        w.key("cores");
+        w.number_u64(self.cores as u64);
+        w.key("pinning");
+        w.boolean(self.pinning);
+        w.key("avx2");
+        w.boolean(self.avx2);
+        w.key("scenarios");
+        w.boolean(self.scenarios);
+        w.key("wires");
+        w.begin_array();
+        for wire in &self.wires {
+            w.string(&wire.to_string());
+        }
+        w.end_array();
+    }
+
+    /// Reads capabilities from a `register` document. A frame with none
+    /// of the capability fields is a v1 worker: [`WorkerCaps::legacy`].
+    /// A frame with *some* of them is malformed — partial declarations
+    /// would silently under- or over-promise.
+    fn from_doc(doc: &JsonValue) -> Result<WorkerCaps, WireError> {
+        let fields = ["cores", "pinning", "avx2", "scenarios", "wires"];
+        let present = fields.iter().filter(|f| doc.get(f).is_some()).count();
+        if present == 0 {
+            return Ok(WorkerCaps::legacy());
+        }
+        if present < fields.len() {
+            return Err(WireError::new(
+                "register carries a partial capability declaration \
+                 (all of cores/pinning/avx2/scenarios/wires, or none)",
+            ));
+        }
+        let cores = doc.req_u64("cores")? as usize;
+        if cores == 0 {
+            return Err(WireError::new("register declares zero cores"));
+        }
+        let wires = doc
+            .req_array("wires")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| WireError::new("wires entries must be strings"))
+                    .and_then(|s| WireFormat::parse(s).map_err(WireError::new))
+            })
+            .collect::<Result<Vec<WireFormat>, WireError>>()?;
+        if wires.is_empty() {
+            return Err(WireError::new("register declares no wire formats"));
+        }
+        Ok(WorkerCaps {
+            cores,
+            pinning: doc.req_bool("pinning")?,
+            avx2: doc.req_bool("avx2")?,
+            scenarios: doc.req_bool("scenarios")?,
+            wires,
+        })
+    }
+}
+
+/// Host AVX2 probe for [`WorkerCaps::detect`].
+fn detect_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Why the coordinator refused a request — the typed half of
+/// [`Message::Reject`], so callers can branch (retry after a rate limit,
+/// give up on an unknown campaign) without parsing prose.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The submitted catalog name is not in the coordinator's catalog.
+    UnknownCampaign,
+    /// The shard count is zero or above [`super::MAX_SHARDS`].
+    InvalidShards,
+    /// The inline scenario document did not validate.
+    InvalidScenario,
+    /// The submitter's token bucket is empty; retry after the refill
+    /// interval.
+    RateLimited,
+    /// The pending-job queue is at its bound; retry once jobs drain.
+    QueueFull,
+    /// The peer sent a well-formed frame that makes no sense in this
+    /// direction.
+    Protocol,
+    /// Completed shards failed to merge or the merged result could not
+    /// be evaluated (invariant breach — reported, never a panic).
+    MergeFailed,
+}
+
+impl RejectReason {
+    /// The snake_case wire tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::UnknownCampaign => "unknown_campaign",
+            RejectReason::InvalidShards => "invalid_shards",
+            RejectReason::InvalidScenario => "invalid_scenario",
+            RejectReason::RateLimited => "rate_limited",
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Protocol => "protocol",
+            RejectReason::MergeFailed => "merge_failed",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn parse(s: &str) -> Result<RejectReason, WireError> {
+        match s {
+            "unknown_campaign" => Ok(RejectReason::UnknownCampaign),
+            "invalid_shards" => Ok(RejectReason::InvalidShards),
+            "invalid_scenario" => Ok(RejectReason::InvalidScenario),
+            "rate_limited" => Ok(RejectReason::RateLimited),
+            "queue_full" => Ok(RejectReason::QueueFull),
+            "protocol" => Ok(RejectReason::Protocol),
+            "merge_failed" => Ok(RejectReason::MergeFailed),
+            other => Err(WireError::new(format!("unknown reject reason {other:?}"))),
+        }
+    }
+
+    /// Every reason, in documentation order.
+    pub const ALL: [RejectReason; 7] = [
+        RejectReason::UnknownCampaign,
+        RejectReason::InvalidShards,
+        RejectReason::InvalidScenario,
+        RejectReason::RateLimited,
+        RejectReason::QueueFull,
+        RejectReason::Protocol,
+        RejectReason::MergeFailed,
+    ];
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One protocol message, either direction.
 #[derive(Clone, Debug)]
 pub enum Message {
-    /// Submitter → coordinator: run `campaign` split into `shards` shards.
+    /// Submitter → coordinator: run `work` split into `shards` shards.
     Submit {
-        /// Catalog name of the campaign to run (e.g. `"quick"`).
-        campaign: String,
+        /// What to run: a catalog name or an inline scenario document.
+        work: JobSpec,
         /// How many shards to partition the matrix into.
         shards: usize,
     },
@@ -60,6 +331,8 @@ pub enum Message {
     Register {
         /// Worker label (e.g. `host:pid`).
         name: String,
+        /// What the worker can do; drives capability-aware assignment.
+        caps: WorkerCaps,
     },
     /// Worker → coordinator: still alive. Sent on a fixed cadence, also
     /// while a shard is executing.
@@ -68,8 +341,8 @@ pub enum Message {
     Assign {
         /// Idempotency key of the job this shard belongs to.
         job: String,
-        /// Catalog name of the campaign to run.
-        campaign: String,
+        /// What to run, exactly as submitted.
+        work: JobSpec,
         /// Which shard of how many.
         spec: ShardSpec,
     },
@@ -81,19 +354,35 @@ pub enum Message {
         shard: CampaignShard,
     },
     /// Coordinator → submitter: the merged campaign, bit-identical to a
-    /// sequential in-process run.
+    /// sequential in-process run, plus — for scenario jobs — one
+    /// evaluated diagnostic per declared assertion.
     Result {
         /// The job's idempotency key.
         job: String,
         /// The merged result.
         result: CampaignResult,
+        /// Per-assertion diagnostics in declaration order; empty for
+        /// catalog jobs (they declare no assertions).
+        outcomes: Vec<AssertionOutcome>,
     },
-    /// Coordinator → peer: the request cannot be served (unknown
-    /// campaign, invalid shard count, failed merge). Terminal for the
-    /// connection.
+    /// Coordinator → peer: the request cannot be served. Terminal for
+    /// the connection.
     Reject {
-        /// Why.
+        /// The typed refusal.
+        reason: RejectReason,
+        /// Human-readable detail for logs.
         message: String,
+    },
+    /// Any peer → coordinator: describe the fleet. Answered with one
+    /// [`Message::Status`]; the connection stays open, so a watcher can
+    /// poll on one socket.
+    StatusRequest,
+    /// Coordinator → peer: the fleet snapshot a [`Message::StatusRequest`]
+    /// asked for.
+    Status {
+        /// Jobs in flight, queue depth, per-worker liveness and
+        /// assignment, completion counters, rate-limit state.
+        report: StatusReport,
     },
 }
 
@@ -108,6 +397,8 @@ impl Message {
             Message::ShardDone { .. } => "shard_done",
             Message::Result { .. } => "result",
             Message::Reject { .. } => "reject",
+            Message::StatusRequest => "status",
+            Message::Status { .. } => "status_report",
         }
     }
 
@@ -118,26 +409,21 @@ impl Message {
         w.key("type");
         w.string(self.type_name());
         match self {
-            Message::Submit { campaign, shards } => {
-                w.key("campaign");
-                w.string(campaign);
+            Message::Submit { work, shards } => {
+                work.write_field(&mut w);
                 w.key("shards");
                 w.number_u64(*shards as u64);
             }
-            Message::Register { name } => {
+            Message::Register { name, caps } => {
                 w.key("name");
                 w.string(name);
+                caps.write_fields(&mut w);
             }
             Message::Heartbeat => {}
-            Message::Assign {
-                job,
-                campaign,
-                spec,
-            } => {
+            Message::Assign { job, work, spec } => {
                 w.key("job");
                 w.string(job);
-                w.key("campaign");
-                w.string(campaign);
+                work.write_field(&mut w);
                 w.key("index");
                 w.number_u64(spec.index as u64);
                 w.key("count");
@@ -149,15 +435,27 @@ impl Message {
                 w.key("shard");
                 w.raw(&shard.to_json());
             }
-            Message::Result { job, result } => {
+            Message::Result {
+                job,
+                result,
+                outcomes,
+            } => {
                 w.key("job");
                 w.string(job);
+                w.key("outcomes");
+                w.raw(&outcomes_json(outcomes));
                 w.key("result");
                 w.raw(&result.to_json());
             }
-            Message::Reject { message } => {
+            Message::Reject { reason, message } => {
+                w.key("reason");
+                w.string(reason.as_str());
                 w.key("message");
                 w.string(message);
+            }
+            Message::StatusRequest => {}
+            Message::Status { report } => {
+                report.write_fields(&mut w);
             }
         }
         w.end_object();
@@ -173,15 +471,30 @@ impl Message {
     ///
     /// ```text
     /// [MAGIC][payload len: u32 LE][payload][\n]
-    /// payload = [MAGIC][kind][job: str][binwire document]
+    /// shard_done payload = [MAGIC]['D'][job: str][binwire shard]
+    /// result payload     = [MAGIC]['Z'][job: str][outcomes: str (JSON array)][binwire result]
     /// ```
     pub fn to_frame_bytes(&self, wire: WireFormat) -> Vec<u8> {
         match (wire, self) {
             (WireFormat::Bin, Message::ShardDone { job, shard }) => {
-                binary_frame(KIND_SHARD_DONE, job, &shard.to_bin())
+                let mut w = BinWriter::new(KIND_SHARD_DONE);
+                w.str(job);
+                w.raw(&shard.to_bin());
+                finish_binary_frame(w)
             }
-            (WireFormat::Bin, Message::Result { job, result }) => {
-                binary_frame(KIND_RESULT_FRAME, job, &result.to_bin())
+            (
+                WireFormat::Bin,
+                Message::Result {
+                    job,
+                    result,
+                    outcomes,
+                },
+            ) => {
+                let mut w = BinWriter::new(KIND_RESULT_FRAME);
+                w.str(job);
+                w.str(&outcomes_json(outcomes));
+                w.raw(&result.to_bin());
+                finish_binary_frame(w)
             }
             _ => self.to_frame().into_bytes(),
         }
@@ -205,8 +518,14 @@ impl Message {
             KIND_RESULT_FRAME => {
                 let mut r = BinReader::new(payload, KIND_RESULT_FRAME).map_err(ProtoError::Wire)?;
                 let job = r.str().map_err(ProtoError::Wire)?.to_string();
+                let outcomes = parse_outcomes_json(r.str().map_err(ProtoError::Wire)?)
+                    .map_err(ProtoError::Wire)?;
                 let result = CampaignResult::from_bin(r.rest()).map_err(ProtoError::Wire)?;
-                Ok(Message::Result { job, result })
+                Ok(Message::Result {
+                    job,
+                    result,
+                    outcomes,
+                })
             }
             other => Err(ProtoError::Wire(WireError::new(format!(
                 "unknown binary frame kind {:?}",
@@ -220,11 +539,12 @@ impl Message {
         let kind = doc.req_str("type")?;
         match kind {
             "submit" => Ok(Message::Submit {
-                campaign: doc.req_str("campaign")?.to_string(),
+                work: JobSpec::from_doc(doc)?,
                 shards: doc.req_u64("shards")? as usize,
             }),
             "register" => Ok(Message::Register {
                 name: doc.req_str("name")?.to_string(),
+                caps: WorkerCaps::from_doc(doc)?,
             }),
             "heartbeat" => Ok(Message::Heartbeat),
             "assign" => {
@@ -235,7 +555,7 @@ impl Message {
                 spec.validate().map_err(|e| WireError::new(e.to_string()))?;
                 Ok(Message::Assign {
                     job: doc.req_str("job")?.to_string(),
-                    campaign: doc.req_str("campaign")?.to_string(),
+                    work: JobSpec::from_doc(doc)?,
                     spec,
                 })
             }
@@ -246,9 +566,28 @@ impl Message {
             "result" => Ok(Message::Result {
                 job: doc.req_str("job")?.to_string(),
                 result: CampaignResult::from_json_value(doc.req("result")?)?,
+                // Absent in v1 `result` frames; an empty diagnostic list
+                // means "nothing was asserted", which is exactly right.
+                outcomes: match doc.get("outcomes") {
+                    Some(v) => outcomes_from_value(v)?,
+                    None => Vec::new(),
+                },
             }),
             "reject" => Ok(Message::Reject {
+                // V1 frames carried prose only; classify them as the
+                // generic protocol refusal.
+                reason: match doc.get("reason") {
+                    Some(v) => RejectReason::parse(
+                        v.as_str()
+                            .ok_or_else(|| WireError::new("reject reason must be a string"))?,
+                    )?,
+                    None => RejectReason::Protocol,
+                },
                 message: doc.req_str("message")?.to_string(),
+            }),
+            "status" => Ok(Message::StatusRequest),
+            "status_report" => Ok(Message::Status {
+                report: StatusReport::from_json_value(doc)?,
             }),
             other => Err(WireError::new(format!("unknown message type {other:?}"))),
         }
@@ -260,6 +599,34 @@ impl Message {
         let doc = JsonValue::parse(line).map_err(|e| ProtoError::Malformed(e.to_string()))?;
         Message::from_json_value(&doc).map_err(ProtoError::Wire)
     }
+}
+
+/// Renders a diagnostic list as one JSON array (deterministic order and
+/// key layout, like every other wire document here).
+fn outcomes_json(outcomes: &[AssertionOutcome]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_array();
+    for o in outcomes {
+        o.write_into(&mut w);
+    }
+    w.end_array();
+    w.finish()
+}
+
+/// Parses a diagnostic list from its JSON array text (the binary result
+/// frame embeds it as one string field).
+fn parse_outcomes_json(text: &str) -> Result<Vec<AssertionOutcome>, WireError> {
+    let doc = JsonValue::parse(text).map_err(|e| WireError::new(e.to_string()))?;
+    outcomes_from_value(&doc)
+}
+
+/// Parses a diagnostic list from an already-parsed array value.
+fn outcomes_from_value(doc: &JsonValue) -> Result<Vec<AssertionOutcome>, WireError> {
+    doc.as_array()
+        .ok_or_else(|| WireError::new("outcomes must be an array"))?
+        .iter()
+        .map(AssertionOutcome::from_json_value)
+        .collect()
 }
 
 /// Why a frame could not be read or decoded.
@@ -305,11 +672,8 @@ impl From<io::Error> for ProtoError {
     }
 }
 
-/// Builds one binary frame around an already-encoded binwire document.
-fn binary_frame(kind: u8, job: &str, doc: &[u8]) -> Vec<u8> {
-    let mut w = BinWriter::new(kind);
-    w.str(job);
-    w.raw(doc);
+/// Wraps one finished binwire payload into a length-prefixed frame.
+fn finish_binary_frame(w: BinWriter) -> Vec<u8> {
     let payload = w.finish();
     let mut frame = Vec::with_capacity(payload.len() + 6);
     frame.push(binwire::MAGIC);
@@ -455,25 +819,67 @@ mod tests {
     use super::*;
     use std::io::BufReader;
 
+    fn tiny_scenario() -> Arc<Scenario> {
+        Arc::new(
+            Scenario::from_json(
+                r#"{
+                    "name": "tiny",
+                    "matrix": {
+                        "workloads": ["TPC-C-1"],
+                        "pool": 8,
+                        "seed": 7,
+                        "small": true,
+                        "schedulers": ["baseline"],
+                        "cores": [2]
+                    },
+                    "assertions": [
+                        {
+                            "kind": "throughput_at_least",
+                            "cell": {"workload": "TPC-C-1", "scheduler": "baseline", "cores": 2},
+                            "min": 0.0
+                        }
+                    ]
+                }"#,
+            )
+            .expect("valid scenario"),
+        )
+    }
+
     #[test]
     fn control_frames_round_trip() {
         let originals = [
             Message::Submit {
-                campaign: "quick".into(),
+                work: JobSpec::Catalog("quick".into()),
                 shards: 4,
+            },
+            Message::Submit {
+                work: JobSpec::Scenario(tiny_scenario()),
+                shards: 2,
             },
             Message::Register {
                 name: "host:42".into(),
+                caps: WorkerCaps::detect(),
+            },
+            Message::Register {
+                name: "v1".into(),
+                caps: WorkerCaps::legacy(),
             },
             Message::Heartbeat,
             Message::Assign {
                 job: "ab12".into(),
-                campaign: "quick".into(),
+                work: JobSpec::Catalog("quick".into()),
                 spec: ShardSpec { index: 1, count: 4 },
             },
+            Message::Assign {
+                job: "cd34".into(),
+                work: JobSpec::Scenario(tiny_scenario()),
+                spec: ShardSpec { index: 0, count: 2 },
+            },
             Message::Reject {
+                reason: RejectReason::UnknownCampaign,
                 message: "unknown campaign \"nope\"".into(),
             },
+            Message::StatusRequest,
         ];
         for msg in originals {
             let frame = msg.to_frame();
@@ -485,11 +891,62 @@ mod tests {
     }
 
     #[test]
+    fn v1_frames_still_parse() {
+        // A v1 submit names a catalog campaign with no scenario key.
+        let msg =
+            Message::parse_frame("{\"type\":\"submit\",\"campaign\":\"quick\",\"shards\":4}\n")
+                .expect("v1 submit");
+        match msg {
+            Message::Submit {
+                work: JobSpec::Catalog(name),
+                shards: 4,
+            } => assert_eq!(name, "quick"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A v1 register carries no capability fields: conservative caps.
+        let msg = Message::parse_frame("{\"type\":\"register\",\"name\":\"w\"}\n").expect("v1");
+        match msg {
+            Message::Register { caps, .. } => assert_eq!(caps, WorkerCaps::legacy()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A v1 reject has prose but no reason tag.
+        let msg = Message::parse_frame("{\"type\":\"reject\",\"message\":\"nope\"}\n").expect("v1");
+        match msg {
+            Message::Reject { reason, message } => {
+                assert_eq!(reason, RejectReason::Protocol);
+                assert_eq!(message, "nope");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_capability_declarations_are_refused() {
+        let err = Message::parse_frame(
+            "{\"type\":\"register\",\"name\":\"w\",\"cores\":4,\"pinning\":true}\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("partial"), "{err}");
+    }
+
+    #[test]
+    fn reject_reasons_round_trip_their_tags() {
+        for reason in RejectReason::ALL {
+            assert_eq!(RejectReason::parse(reason.as_str()).unwrap(), reason);
+        }
+        assert!(RejectReason::parse("because").is_err());
+    }
+
+    #[test]
     fn stream_reading_separates_frames_and_reports_clean_eof() {
         let bytes = format!(
             "{}{}",
             Message::Heartbeat.to_frame(),
-            Message::Register { name: "w".into() }.to_frame()
+            Message::Register {
+                name: "w".into(),
+                caps: WorkerCaps::legacy(),
+            }
+            .to_frame()
         );
         let mut r = BufReader::new(bytes.as_bytes());
         assert!(matches!(
@@ -542,31 +999,90 @@ mod tests {
         }
     }
 
+    fn tiny_result() -> Message {
+        use crate::campaign::{merge, CampaignPerf};
+        let one = CampaignShard::from_parts(
+            ShardSpec { index: 0, count: 1 },
+            vec![],
+            CampaignPerf {
+                workers: 2,
+                wall_seconds: 0.25,
+                total_events: 7,
+            },
+        )
+        .expect("valid spec");
+        Message::Result {
+            job: "ab12".into(),
+            result: merge([one]).expect("merges"),
+            outcomes: vec![
+                AssertionOutcome {
+                    kind: "throughput_at_least".into(),
+                    passed: true,
+                    cell: "TPC-C-1/baseline/c2/t8".into(),
+                    expected: "steady throughput >= 0.001 txn/cycle".into(),
+                    observed: "0.0123 txn/cycle".into(),
+                },
+                AssertionOutcome {
+                    kind: "metric_within".into(),
+                    passed: false,
+                    cell: "TPC-E/strex/c4/t8".into(),
+                    expected: "i_mpki in [1, 2]".into(),
+                    observed: "3.5".into(),
+                },
+            ],
+        }
+    }
+
     #[test]
     fn binary_payload_frames_round_trip_through_the_reader() {
-        let msg = tiny_shard_done();
-        let frame = msg.to_frame_bytes(WireFormat::Bin);
-        assert_eq!(frame[0], binwire::MAGIC);
-        assert_eq!(*frame.last().unwrap(), b'\n');
+        for msg in [tiny_shard_done(), tiny_result()] {
+            let frame = msg.to_frame_bytes(WireFormat::Bin);
+            assert_eq!(frame[0], binwire::MAGIC);
+            assert_eq!(*frame.last().unwrap(), b'\n');
 
-        let mut r = FrameReader::new(BufReader::new(&frame[..]));
-        let parsed = r.next_message().expect("parse").expect("one frame");
-        assert_eq!(
-            parsed.to_frame_bytes(WireFormat::Bin),
-            frame,
-            "byte-identical re-emission"
-        );
-        // The decoded message's JSON twin matches the original's, so both
-        // forms carry exactly the same document.
-        assert_eq!(parsed.to_frame(), msg.to_frame());
-        assert!(r.next_message().expect("eof").is_none(), "clean EOF");
+            let mut r = FrameReader::new(BufReader::new(&frame[..]));
+            let parsed = r.next_message().expect("parse").expect("one frame");
+            assert_eq!(
+                parsed.to_frame_bytes(WireFormat::Bin),
+                frame,
+                "byte-identical re-emission"
+            );
+            // The decoded message's JSON twin matches the original's, so both
+            // forms carry exactly the same document.
+            assert_eq!(parsed.to_frame(), msg.to_frame());
+            assert!(r.next_message().expect("eof").is_none(), "clean EOF");
+        }
+    }
+
+    #[test]
+    fn result_diagnostics_survive_both_framings() {
+        let msg = tiny_result();
+        for frame in [
+            msg.to_frame().into_bytes(),
+            msg.to_frame_bytes(WireFormat::Bin),
+        ] {
+            let mut r = FrameReader::new(BufReader::new(&frame[..]));
+            let Some(Message::Result { outcomes, .. }) = r.next_message().expect("parse") else {
+                panic!("expected a result frame");
+            };
+            assert_eq!(outcomes.len(), 2);
+            assert!(outcomes[0].passed && !outcomes[1].passed);
+            assert_eq!(outcomes[1].cell, "TPC-E/strex/c4/t8");
+        }
     }
 
     #[test]
     fn json_and_binary_frames_interleave_on_one_stream() {
         let mut bytes = Message::Heartbeat.to_frame().into_bytes();
         bytes.extend_from_slice(&tiny_shard_done().to_frame_bytes(WireFormat::Bin));
-        bytes.extend_from_slice(Message::Register { name: "w".into() }.to_frame().as_bytes());
+        bytes.extend_from_slice(
+            Message::Register {
+                name: "w".into(),
+                caps: WorkerCaps::legacy(),
+            }
+            .to_frame()
+            .as_bytes(),
+        );
 
         let mut r = FrameReader::new(BufReader::new(&bytes[..]));
         assert!(matches!(
@@ -635,5 +1151,14 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("shard"), "{err}");
+    }
+
+    #[test]
+    fn submit_with_an_invalid_scenario_is_a_wire_error() {
+        let err = Message::parse_frame(
+            "{\"type\":\"submit\",\"scenario\":{\"name\":\"x\"},\"shards\":2}\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("scenario"), "{err}");
     }
 }

@@ -1,14 +1,23 @@
-//! The worker half of the dispatcher: connect, register, execute
-//! assigned shards, heartbeat throughout.
+//! The worker half of the dispatcher: connect, register with declared
+//! capabilities, execute assigned shards, heartbeat throughout.
 //!
 //! A worker is deliberately dumb: it holds no job state, just a
 //! [`ShardRunner`] mapping `(campaign name, shard spec)` to an executed
-//! [`CampaignShard`]. Everything hard — liveness, re-queue, dedup — lives
-//! in the coordinator; a worker that dies mid-shard simply stops
-//! heartbeating and the coordinator hands its shard to someone else.
-//! Because delivery is at-least-once, a worker may legitimately be asked
-//! to run a shard another worker already completed; it runs it anyway and
-//! the coordinator drops the duplicate.
+//! [`CampaignShard`] for catalog jobs — scenario jobs carry their whole
+//! matrix in the `assign` frame and are executed directly from the
+//! document ([`Scenario::campaign`](crate::scenario::Scenario::campaign)
+//! then [`run_shard`](crate::campaign::Campaign::run_shard)), no
+//! runner involved. Everything hard — liveness, re-queue, dedup — lives in the
+//! coordinator; a worker that dies mid-shard simply stops heartbeating
+//! and the coordinator hands its shard to someone else. Because delivery
+//! is at-least-once, a worker may legitimately be asked to run a shard
+//! another worker already completed; it runs it anyway and the
+//! coordinator drops the duplicate.
+//!
+//! Registration declares [`WorkerCaps`] — cores, pinning, AVX2, wire
+//! formats, scenario support — which the coordinator's assignment
+//! respects: a worker registered with `scenarios: false` is never handed
+//! a scenario shard.
 //!
 //! Heartbeats are sent from a separate thread on a fixed cadence so they
 //! keep flowing *while a shard executes* — the whole point: a worker
@@ -25,12 +34,12 @@ use std::time::Duration;
 use crate::binwire::WireFormat;
 use crate::campaign::{CampaignShard, ShardSpec};
 
-use super::proto::{write_message, write_message_wire, FrameReader, Message};
+use super::proto::{write_message, write_message_wire, FrameReader, JobSpec, Message, WorkerCaps};
 use super::DispatchError;
 
-/// Executes one shard of a named campaign. The `Err` string travels into
-/// worker logs (the worker disconnects on it, which is what re-queues the
-/// shard).
+/// Executes one shard of a named catalog campaign. The `Err` string
+/// travels into worker logs (the worker disconnects on it, which is what
+/// re-queues the shard).
 pub trait ShardRunner {
     /// Runs shard `spec` of the campaign named `campaign`.
     fn run(&mut self, campaign: &str, spec: ShardSpec) -> Result<CampaignShard, String>;
@@ -45,11 +54,15 @@ where
     }
 }
 
-/// Worker identity and cadence.
+/// Worker identity, capabilities and cadence.
 #[derive(Clone, Debug)]
 pub struct WorkerOptions {
     /// Label sent in [`Message::Register`]; shows up in coordinator logs.
     pub name: String,
+    /// Capabilities declared at registration; drives the coordinator's
+    /// capability-aware assignment. Defaults to probing the host
+    /// ([`WorkerCaps::detect`]).
+    pub caps: WorkerCaps,
     /// Heartbeat cadence. Keep well below the coordinator's
     /// `worker_timeout_ms` (the serve CLI uses timeout / 4).
     pub heartbeat_interval_ms: u64,
@@ -63,6 +76,7 @@ impl Default for WorkerOptions {
     fn default() -> Self {
         WorkerOptions {
             name: format!("worker:{}", std::process::id()),
+            caps: WorkerCaps::detect(),
             heartbeat_interval_ms: 1_000,
             wire: WireFormat::default(),
         }
@@ -93,6 +107,7 @@ pub fn run_worker(
             &mut *w,
             &Message::Register {
                 name: opts.name.clone(),
+                caps: opts.caps.clone(),
             },
         )?;
     }
@@ -128,6 +143,37 @@ pub fn run_worker(
     result
 }
 
+/// Executes one assigned shard: catalog work through the runner,
+/// scenario work directly from the document (the matrix it declares is
+/// the matrix that runs — no catalog lookup, no re-encoding).
+fn execute(
+    runner: &mut dyn ShardRunner,
+    work: &JobSpec,
+    spec: ShardSpec,
+) -> Result<CampaignShard, DispatchError> {
+    match work {
+        JobSpec::Catalog(campaign) => {
+            runner
+                .run(campaign, spec)
+                .map_err(|e| DispatchError::Runner {
+                    campaign: campaign.clone(),
+                    spec,
+                    message: e,
+                })
+        }
+        JobSpec::Scenario(s) => {
+            let workloads = s.workloads();
+            s.campaign(&workloads)
+                .run_shard(spec)
+                .map_err(|e| DispatchError::Runner {
+                    campaign: s.name.clone(),
+                    spec,
+                    message: e.to_string(),
+                })
+        }
+    }
+}
+
 fn worker_loop(
     reader: TcpStream,
     writer: &Mutex<TcpStream>,
@@ -142,24 +188,14 @@ fn worker_loop(
                 // Coordinator closed the connection: done serving.
                 return Ok(WorkerSummary { shards_run });
             }
-            Some(Message::Assign {
-                job,
-                campaign,
-                spec,
-            }) => {
-                let shard = runner
-                    .run(&campaign, spec)
-                    .map_err(|e| DispatchError::Runner {
-                        campaign,
-                        spec,
-                        message: e,
-                    })?;
+            Some(Message::Assign { job, work, spec }) => {
+                let shard = execute(runner, &work, spec)?;
                 let mut w = writer.lock().expect("frame writer");
                 write_message_wire(&mut *w, &Message::ShardDone { job, shard }, wire)?;
                 shards_run += 1;
             }
-            Some(Message::Reject { message }) => {
-                return Err(DispatchError::Rejected(message));
+            Some(Message::Reject { reason, message }) => {
+                return Err(DispatchError::Rejected { reason, message });
             }
             Some(other) => {
                 return Err(DispatchError::Protocol(format!(

@@ -379,6 +379,48 @@ impl fmt::Display for AssertionOutcome {
     }
 }
 
+impl AssertionOutcome {
+    /// Writes the outcome as one JSON object into an open writer — the
+    /// element form the dispatcher's `result` frame embeds (see
+    /// `docs/PROTOCOL.md`), with a fixed key order so re-emission is
+    /// byte-identical.
+    pub fn write_into(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("kind");
+        w.string(&self.kind);
+        w.key("passed");
+        w.boolean(self.passed);
+        w.key("cell");
+        w.string(&self.cell);
+        w.key("expected");
+        w.string(&self.expected);
+        w.key("observed");
+        w.string(&self.observed);
+        w.end_object();
+    }
+
+    /// The outcome as one standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_into(&mut w);
+        w.finish()
+    }
+
+    /// Parses one outcome object coming off the wire. Diagnostics cross
+    /// a trust boundary (a coordinator evaluated them, a submitter
+    /// prints them), so the failure mode is a typed
+    /// [`WireError`](crate::jsonval::WireError), not a panic.
+    pub fn from_json_value(doc: &JsonValue) -> Result<AssertionOutcome, crate::jsonval::WireError> {
+        Ok(AssertionOutcome {
+            kind: doc.req_str("kind")?.to_string(),
+            passed: doc.req_bool("passed")?,
+            cell: doc.req_str("cell")?.to_string(),
+            expected: doc.req_str("expected")?.to_string(),
+            observed: doc.req_str("observed")?.to_string(),
+        })
+    }
+}
+
 /// The run matrix a scenario declares: which workloads (resolved through
 /// the process-wide [`WorkloadCache`]), which schedulers, and the core /
 /// team-size axes, all over one deterministic `(pool, seed)`.

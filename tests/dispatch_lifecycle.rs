@@ -1,19 +1,22 @@
 //! The dispatcher's job lifecycle on a hand-advanced clock: assignment,
-//! completion, heartbeat-timeout → re-queue, straggler hedging and
-//! duplicate-completion dedup — all driven through the pure
-//! [`Coordinator`] state machine, no socket or sleep anywhere. The
-//! timestamps come from a [`FakeClock`] exactly as the serve shell reads
-//! its `SystemClock`, so the deadline arithmetic under test is the
+//! completion, heartbeat-timeout → re-queue, straggler hedging,
+//! duplicate-completion dedup, token-bucket rate limiting,
+//! capability-aware assignment and status snapshots — all driven through
+//! the pure [`Coordinator`] state machine, no socket or sleep anywhere.
+//! The timestamps come from a [`FakeClock`] exactly as the serve shell
+//! reads its `SystemClock`, so the deadline arithmetic under test is the
 //! production arithmetic.
 
 use std::sync::Arc;
 
+use strex::binwire::WireFormat;
 use strex::campaign::{Campaign, CampaignResult, CampaignShard, ShardSpec};
 use strex::config::{SchedulerKind, SimConfig};
 use strex::dispatch::{
-    job_key, Action, Clock, Coordinator, DispatchConfig, Event, FakeClock, Message,
-    WorkerLossReason,
+    job_key, Action, Clock, Coordinator, DispatchConfig, Event, FakeClock, JobSpec, Message,
+    RejectReason, WorkerCaps, WorkerLossReason,
 };
+use strex::scenario::{EvaluatorRegistry, Scenario};
 use strex_oltp::workload::{Workload, WorkloadKind};
 
 const CAMPAIGN: &str = "tiny";
@@ -41,16 +44,56 @@ fn tiny_sequential() -> CampaignResult {
     tiny_campaign(&workloads).run().expect("valid")
 }
 
+fn tiny_scenario() -> Scenario {
+    Scenario::from_json(
+        r#"{
+            "name": "tiny-scenario",
+            "matrix": {
+                "workloads": ["TPC-C-1"],
+                "pool": 8,
+                "seed": 7,
+                "small": true,
+                "schedulers": ["baseline"],
+                "cores": [2]
+            },
+            "assertions": [
+                {
+                    "kind": "throughput_at_least",
+                    "cell": {"workload": "TPC-C-1", "scheduler": "baseline", "cores": 2},
+                    "min": 0.0
+                }
+            ]
+        }"#,
+    )
+    .expect("valid scenario")
+}
+
 fn cfg() -> DispatchConfig {
     DispatchConfig {
         worker_timeout_ms: 1_000,
         heartbeat_interval_ms: 250,
         shard_deadline_ms: 60_000,
+        // Rate limiting off (refill 0 snaps the bucket full) so lifecycle
+        // tests exercise one mechanism at a time; the rate-limit tests
+        // below opt back in explicitly.
+        submit_refill_ms: 0,
+        ..DispatchConfig::default()
     }
 }
 
 fn coordinator() -> Coordinator {
     Coordinator::new(cfg(), [CAMPAIGN.to_string()])
+}
+
+/// Capabilities of a fully able test worker (scenario execution on).
+fn able_caps() -> WorkerCaps {
+    WorkerCaps {
+        cores: 2,
+        pinning: false,
+        avx2: false,
+        scenarios: true,
+        wires: vec![WireFormat::Json],
+    }
 }
 
 /// Drives `c` with `event` at the fake clock's current reading.
@@ -76,26 +119,54 @@ fn result_to(actions: &[Action], conn: u64) -> Option<CampaignResult> {
     })
 }
 
+/// The typed rejection sent to `conn` within `actions`, if any.
+fn rejection_to(actions: &[Action], conn: u64) -> Option<RejectReason> {
+    actions.iter().find_map(|a| match a {
+        Action::Send(to, Message::Reject { reason, .. }) if *to == conn => Some(*reason),
+        _ => None,
+    })
+}
+
 const SUBMITTER: u64 = 1;
 const WORKER_A: u64 = 2;
 const WORKER_B: u64 = 3;
 
 fn register(c: &mut Coordinator, clock: &FakeClock, conn: u64, name: &str) -> Vec<Action> {
-    step(
-        c,
-        clock,
-        Event::Message(conn, Message::Register { name: name.into() }),
-    )
+    register_with(c, clock, conn, name, able_caps())
 }
 
-fn submit(c: &mut Coordinator, clock: &FakeClock, shards: usize) -> Vec<Action> {
+fn register_with(
+    c: &mut Coordinator,
+    clock: &FakeClock,
+    conn: u64,
+    name: &str,
+    caps: WorkerCaps,
+) -> Vec<Action> {
     step(
         c,
         clock,
         Event::Message(
-            SUBMITTER,
+            conn,
+            Message::Register {
+                name: name.into(),
+                caps,
+            },
+        ),
+    )
+}
+
+fn submit(c: &mut Coordinator, clock: &FakeClock, shards: usize) -> Vec<Action> {
+    submit_from(c, clock, SUBMITTER, shards)
+}
+
+fn submit_from(c: &mut Coordinator, clock: &FakeClock, conn: u64, shards: usize) -> Vec<Action> {
+    step(
+        c,
+        clock,
+        Event::Message(
+            conn,
             Message::Submit {
-                campaign: CAMPAIGN.into(),
+                work: JobSpec::Catalog(CAMPAIGN.into()),
                 shards,
             },
         ),
@@ -258,8 +329,8 @@ fn straggler_is_hedged_and_its_late_duplicate_is_dropped() {
     let mut c = Coordinator::new(
         DispatchConfig {
             worker_timeout_ms: 1_000_000, // liveness out of the picture
-            heartbeat_interval_ms: 250,
-            shard_deadline_ms: 500, // hedge quickly
+            shard_deadline_ms: 500,       // hedge quickly
+            ..cfg()
         },
         [CAMPAIGN.to_string()],
     );
@@ -308,8 +379,8 @@ fn duplicate_completion_before_the_merge_is_deduplicated() {
     let mut c = Coordinator::new(
         DispatchConfig {
             worker_timeout_ms: 1_000_000,
-            heartbeat_interval_ms: 250,
             shard_deadline_ms: 500,
+            ..cfg()
         },
         [CAMPAIGN.to_string()],
     );
@@ -358,19 +429,206 @@ fn finished_jobs_answer_resubmissions_from_the_cache() {
 
     // Same spec again, from a different submitter, with no workers doing
     // any new work: answered straight from the idempotency cache.
-    let replay = step(
-        &mut c,
-        &clock,
-        Event::Message(
-            77,
-            Message::Submit {
-                campaign: CAMPAIGN.into(),
-                shards: 2,
-            },
-        ),
-    );
+    let replay = submit_from(&mut c, &clock, 77, 2);
     let cached = result_to(&replay, 77).expect("cache hit");
     assert_eq!(cached.to_json(), first.to_json());
     assert!(replay.iter().any(|a| matches!(a, Action::Close(77))));
     assert_eq!(c.open_jobs(), 0, "no new job was opened");
+}
+
+#[test]
+fn rate_limit_rejects_a_burst_then_refills_on_schedule() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = Coordinator::new(
+        DispatchConfig {
+            submit_burst: 2,
+            submit_refill_ms: 1_000,
+            ..cfg()
+        },
+        [CAMPAIGN.to_string()],
+    );
+    // Two submissions fit the burst (distinct shard counts → distinct
+    // jobs, so neither is a cache replay); the third is refused with the
+    // typed reason and the connection is closed.
+    assert!(rejection_to(&submit(&mut c, &clock, 1), SUBMITTER).is_none());
+    assert!(rejection_to(&submit(&mut c, &clock, 2), SUBMITTER).is_none());
+    let refused = submit(&mut c, &clock, 3);
+    assert_eq!(
+        rejection_to(&refused, SUBMITTER),
+        Some(RejectReason::RateLimited),
+        "{refused:?}"
+    );
+    assert!(refused
+        .iter()
+        .any(|a| matches!(a, Action::Close(SUBMITTER))));
+    assert_eq!(c.open_jobs(), 2, "the refused submission opened no job");
+
+    // 999 ms later the bucket is still dry; at 1000 ms exactly one token
+    // returns and one more submission goes through.
+    clock.advance(999);
+    assert_eq!(
+        rejection_to(&submit(&mut c, &clock, 3), SUBMITTER),
+        Some(RejectReason::RateLimited)
+    );
+    clock.advance(1);
+    let admitted = submit(&mut c, &clock, 3);
+    assert!(rejection_to(&admitted, SUBMITTER).is_none(), "{admitted:?}");
+    assert_eq!(c.open_jobs(), 3);
+
+    // The whole-interval accounting and the rejections are visible in the
+    // status snapshot.
+    let report = c.status(clock.now_ms());
+    assert_eq!(report.counters.submissions, 3);
+    assert_eq!(report.counters.rejections, 2);
+    let bucket = report
+        .rate
+        .iter()
+        .find(|r| r.peer == format!("conn:{SUBMITTER}"))
+        .expect("bucket tracked");
+    assert_eq!(bucket.tokens, 0);
+}
+
+#[test]
+fn a_full_queue_refuses_new_jobs_but_admits_attaches() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = Coordinator::new(
+        DispatchConfig {
+            max_pending_jobs: 1,
+            ..cfg()
+        },
+        [CAMPAIGN.to_string()],
+    );
+    assert!(rejection_to(&submit(&mut c, &clock, 1), SUBMITTER).is_none());
+    // A second distinct job would exceed the bound: typed refusal.
+    assert_eq!(
+        rejection_to(&submit_from(&mut c, &clock, 7, 2), 7),
+        Some(RejectReason::QueueFull)
+    );
+    // Attaching another waiter to the in-flight job is always admitted —
+    // it creates no new work.
+    assert!(rejection_to(&submit_from(&mut c, &clock, 8, 1), 8).is_none());
+    assert_eq!(c.open_jobs(), 1);
+}
+
+#[test]
+fn scenario_jobs_only_go_to_workers_that_declared_the_capability() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = coordinator();
+    // A v1-era worker (legacy caps: no scenario support) is connected and
+    // idle, but a scenario submission must not be handed to it.
+    register_with(&mut c, &clock, WORKER_A, "legacy", WorkerCaps::legacy());
+    let scenario = tiny_scenario();
+    let submitted = step(
+        &mut c,
+        &clock,
+        Event::Message(
+            SUBMITTER,
+            Message::Submit {
+                work: JobSpec::Scenario(Arc::new(scenario.clone())),
+                shards: 1,
+            },
+        ),
+    );
+    assert!(
+        assignment_to(&submitted, WORKER_A).is_none(),
+        "{submitted:?}"
+    );
+    assert_eq!(c.open_jobs(), 1, "the job waits rather than misassigning");
+
+    // A capable worker registers: the queued scenario shard goes to it,
+    // and the legacy worker can still serve catalog work meanwhile.
+    let able = register(&mut c, &clock, WORKER_B, "able");
+    let (job, spec) = assignment_to(&able, WORKER_B).expect("scenario shard assigned");
+    let catalog = submit_from(&mut c, &clock, 9, 1);
+    assert!(
+        assignment_to(&catalog, WORKER_A).is_some(),
+        "catalog work still flows to the legacy worker: {catalog:?}"
+    );
+
+    // Completing the scenario shard merges the matrix and evaluates the
+    // assertions coordinator-side: the delivered outcomes are exactly
+    // what a local evaluate of the same merged result produces.
+    let workloads = scenario.workloads();
+    let shard = scenario
+        .campaign(&workloads)
+        .run_shard(spec)
+        .expect("valid scenario shard");
+    let done = step(
+        &mut c,
+        &clock,
+        Event::Message(WORKER_B, Message::ShardDone { job, shard }),
+    );
+    let (result, outcomes) = done
+        .iter()
+        .find_map(|a| match a {
+            Action::Send(
+                to,
+                Message::Result {
+                    result, outcomes, ..
+                },
+            ) if *to == SUBMITTER => Some((result.clone(), outcomes.clone())),
+            _ => None,
+        })
+        .expect("scenario result delivered");
+    let local = scenario
+        .evaluate(&result, &EvaluatorRegistry::with_defaults())
+        .expect("evaluable");
+    assert_eq!(outcomes, local);
+    assert!(outcomes.iter().all(|o| o.passed), "{outcomes:?}");
+}
+
+#[test]
+fn status_stays_accurate_across_a_worker_loss() {
+    let clock = Arc::new(FakeClock::new());
+    let mut c = coordinator();
+    register(&mut c, &clock, WORKER_A, "a");
+    clock.advance(100);
+    register(&mut c, &clock, WORKER_B, "b");
+    let actions = submit(&mut c, &clock, 3);
+    assert!(assignment_to(&actions, WORKER_A).is_some());
+
+    // Snapshot with both workers busy: one job, 1 of 3 shards queued,
+    // 2 running, ages measured from the snapshot instant.
+    clock.advance(50);
+    let report = c.status(clock.now_ms());
+    assert_eq!(report.queue_depth, 1);
+    assert_eq!(report.jobs.len(), 1);
+    let job = &report.jobs[0];
+    assert_eq!(
+        (job.shards, job.done, job.queued, job.running),
+        (3, 0, 1, 2)
+    );
+    assert_eq!(job.waiters, 1);
+    assert_eq!(report.workers.len(), 2);
+    let a = report.workers.iter().find(|w| w.name == "a").expect("a");
+    assert_eq!(a.last_seen_ms_ago, 150);
+    let assignment = a.assignment.as_ref().expect("a is running a shard");
+    assert_eq!(assignment.running_ms, 50);
+    assert!(!assignment.hedged);
+
+    // Worker A dies: its shard re-queues, and the next snapshot shows one
+    // worker, two queued shards, one still running.
+    step(&mut c, &clock, Event::Disconnected(WORKER_A));
+    let report = c.status(clock.now_ms());
+    assert_eq!(report.workers.len(), 1);
+    assert_eq!(report.workers[0].name, "b");
+    assert_eq!(report.queue_depth, 2);
+    let job = &report.jobs[0];
+    assert_eq!((job.done, job.queued, job.running), (0, 2, 1));
+
+    // The same snapshot travels the wire: a status request is answered
+    // with a frame carrying an identical report, connection kept open.
+    let asked = step(&mut c, &clock, Event::Message(55, Message::StatusRequest));
+    let wired = asked
+        .iter()
+        .find_map(|a| match a {
+            Action::Send(55, Message::Status { report }) => Some(report.clone()),
+            _ => None,
+        })
+        .expect("status frame");
+    assert_eq!(wired, report);
+    assert!(
+        !asked.iter().any(|a| matches!(a, Action::Close(55))),
+        "a status poll must not hang up the watcher: {asked:?}"
+    );
 }

@@ -2,8 +2,9 @@
 //! fleet of in-process workers, and blocking submitters — asserting the
 //! tentpole guarantee (the dispatched merge is bit-identical to a
 //! sequential in-process run) including the run where a worker dies
-//! mid-shard and its shard is re-queued, and that a garbage-speaking
-//! peer cannot take the coordinator down.
+//! mid-shard and its shard is re-queued, that a scenario file dispatched
+//! to the fleet yields the same diagnostics as an in-process check, and
+//! that a garbage-speaking peer cannot take the coordinator down.
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -13,9 +14,10 @@ use std::time::Duration;
 use strex::campaign::{Campaign, CampaignResult, CampaignShard, ShardSpec};
 use strex::config::{SchedulerKind, SimConfig};
 use strex::dispatch::{
-    read_message, run_worker, submit, write_message, DispatchConfig, Message, ServeOptions, Server,
-    SystemClock, WorkerOptions,
+    read_message, run_worker, submit, submit_scenario, write_message, DispatchConfig, Message,
+    ServeOptions, Server, SystemClock, WorkerCaps, WorkerOptions,
 };
+use strex::scenario::{EvaluatorRegistry, Scenario};
 use strex::WireFormat;
 use strex_oltp::workload::{Workload, WorkloadKind};
 
@@ -95,6 +97,7 @@ fn spawn_worker_wire(
         name: name.to_string(),
         heartbeat_interval_ms: 50,
         wire,
+        ..WorkerOptions::default()
     };
     std::thread::spawn(move || {
         run_worker(addr, &opts, &mut tiny_runner)
@@ -139,6 +142,7 @@ fn worker_killed_mid_shard_requeues_and_the_job_still_merges_identically() {
         &mut faulty,
         &Message::Register {
             name: "faulty".into(),
+            caps: WorkerCaps::legacy(),
         },
     )
     .expect("register");
@@ -218,6 +222,75 @@ fn mixed_wire_formats_on_one_coordinator_stay_bit_identical() {
     assert_eq!(server.join().expect("server thread"), 1);
     let ran = w1.join().expect("w1") + w2.join().expect("w2");
     assert_eq!(ran, 3);
+}
+
+#[test]
+fn scenario_file_dispatched_to_the_fleet_matches_the_in_process_check() {
+    // The remote half of `repro check`: a scenario document read from a
+    // file, submitted over TCP, run by a two-worker fleet, assertions
+    // evaluated coordinator-side — and everything it reports (merged
+    // result, per-assertion diagnostics, their printed lines) must be
+    // bit-identical to an in-process check of the same file.
+    const SCENARIO_JSON: &str = r#"{
+        "name": "loopback-tiny",
+        "description": "Tiny two-cell matrix for the loopback dispatch test",
+        "matrix": {
+            "workloads": ["TPC-C-1"],
+            "pool": 8,
+            "seed": 7,
+            "small": true,
+            "schedulers": ["baseline", "strex"],
+            "cores": [2]
+        },
+        "assertions": [
+            {
+                "kind": "throughput_at_least",
+                "cell": {"workload": "TPC-C-1", "scheduler": "baseline", "cores": 2},
+                "min": 0.0
+            },
+            {
+                "kind": "throughput_at_least",
+                "cell": {"workload": "TPC-C-1", "scheduler": "strex", "cores": 2},
+                "min": 0.0
+            }
+        ]
+    }"#;
+    let path = std::env::temp_dir().join(format!(
+        "strex-loopback-scenario-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, SCENARIO_JSON).expect("write scenario file");
+    let text = std::fs::read_to_string(&path).expect("read scenario file");
+    let _ = std::fs::remove_file(&path);
+    let scenario = Scenario::from_json(&text).expect("valid scenario");
+
+    let (addr, server) = spawn_server(DispatchConfig::default(), 1);
+    let w1 = spawn_worker(addr, "w1");
+    let w2 = spawn_worker(addr, "w2");
+
+    let (result, outcomes) = submit_scenario(addr, &scenario, 2).expect("dispatched scenario");
+
+    let workloads = scenario.workloads();
+    let sequential = scenario.campaign(&workloads).run().expect("valid matrix");
+    let local = scenario
+        .evaluate(&sequential, &EvaluatorRegistry::with_defaults())
+        .expect("evaluable");
+    assert_eq!(
+        result.to_json(),
+        sequential.to_json(),
+        "dispatched scenario merge must be bit-identical to the in-process run"
+    );
+    assert_eq!(outcomes, local);
+    assert_eq!(
+        outcomes.iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+        local.iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+        "the diagnostic lines a remote check prints are the in-process lines"
+    );
+    assert!(outcomes.iter().all(|o| o.passed), "{outcomes:?}");
+
+    assert_eq!(server.join().expect("server"), 1);
+    let ran = w1.join().expect("w1") + w2.join().expect("w2");
+    assert_eq!(ran, 2, "the fleet ran both scenario shards");
 }
 
 #[test]

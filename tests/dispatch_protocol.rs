@@ -8,12 +8,14 @@
 //! `ShardDone`/`Result` under `--wire bin`.
 
 use std::io::BufReader;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use strex::binwire::WireFormat;
 use strex::campaign::{CampaignShard, ShardSpec};
-use strex::dispatch::{read_message, Message, ProtoError};
+use strex::dispatch::{read_message, JobSpec, Message, ProtoError, RejectReason, WorkerCaps};
+use strex::scenario::Scenario;
 
 /// Short strings over the whole scalar range (surrogates excluded, plus
 /// weight on ASCII and JSON-escape-relevant characters), as message
@@ -34,23 +36,85 @@ fn wire_text() -> impl Strategy<Value = String> {
     .prop_map(|chars| chars.into_iter().collect())
 }
 
+/// A small fixed scenario document for the scenario-carrying frames —
+/// its canonical JSON is deterministic, so the round-trip property holds
+/// on it like on any other payload.
+fn tiny_scenario() -> Arc<Scenario> {
+    Arc::new(
+        Scenario::from_json(
+            r#"{
+                "name": "proto-tiny",
+                "matrix": {
+                    "workloads": ["TPC-C-1"],
+                    "pool": 8,
+                    "seed": 7,
+                    "small": true,
+                    "schedulers": ["baseline"],
+                    "cores": [2]
+                },
+                "assertions": [
+                    {
+                        "kind": "throughput_at_least",
+                        "cell": {"workload": "TPC-C-1", "scheduler": "baseline", "cores": 2},
+                        "min": 0.0
+                    }
+                ]
+            }"#,
+        )
+        .expect("valid scenario"),
+    )
+}
+
+fn job_specs() -> impl Strategy<Value = JobSpec> {
+    prop_oneof![
+        wire_text().prop_map(JobSpec::Catalog),
+        Just(JobSpec::Scenario(tiny_scenario())),
+    ]
+}
+
+fn worker_caps() -> impl Strategy<Value = WorkerCaps> {
+    (
+        1usize..256,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..3,
+    )
+        .prop_map(|(cores, pinning, avx2, scenarios, wires_pick)| WorkerCaps {
+            cores,
+            pinning,
+            avx2,
+            scenarios,
+            wires: match wires_pick {
+                0 => vec![WireFormat::Json],
+                1 => vec![WireFormat::Bin],
+                _ => vec![WireFormat::Json, WireFormat::Bin],
+            },
+        })
+}
+
 fn control_messages() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (wire_text(), 1usize..64)
-            .prop_map(|(campaign, shards)| Message::Submit { campaign, shards }),
-        wire_text().prop_map(|name| Message::Register { name }),
+        (job_specs(), 1usize..64).prop_map(|(work, shards)| Message::Submit { work, shards }),
+        (wire_text(), worker_caps()).prop_map(|(name, caps)| Message::Register { name, caps }),
         Just(Message::Heartbeat),
-        (wire_text(), wire_text(), 1usize..64, 0usize..64).prop_map(
-            |(job, campaign, count, index_seed)| Message::Assign {
+        Just(Message::StatusRequest),
+        (wire_text(), job_specs(), 1usize..64, 0usize..64).prop_map(
+            |(job, work, count, index_seed)| Message::Assign {
                 job,
-                campaign,
+                work,
                 spec: ShardSpec {
                     index: index_seed % count,
                     count,
                 },
             }
         ),
-        wire_text().prop_map(|message| Message::Reject { message }),
+        (0usize..RejectReason::ALL.len(), wire_text()).prop_map(|(pick, message)| {
+            Message::Reject {
+                reason: RejectReason::ALL[pick],
+                message,
+            }
+        }),
     ]
 }
 
@@ -163,7 +227,7 @@ fn a_frame_split_across_reads_still_parses_once_whole() {
     // BufRead assembles a line across TCP segment boundaries; emulate a
     // stream delivering a frame in two chunks followed by a clean close.
     let frame = Message::Submit {
-        campaign: "quick".into(),
+        work: JobSpec::Catalog("quick".into()),
         shards: 4,
     }
     .to_frame();
