@@ -141,6 +141,7 @@ fn main() -> ExitCode {
         Some("work") => return work_mode(&args[1..]),
         Some("submit") => return submit_mode(&args[1..]),
         Some("status") => return status_mode(&args[1..]),
+        Some("chaos-proxy") => return chaos_proxy_mode(&args[1..]),
         _ => {}
     }
     // `--check [path]` takes an optional value: extract it before flag
@@ -737,6 +738,7 @@ fn serve_mode(rest: &[String]) -> ExitCode {
 
     let mut listen: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut journal: Option<std::path::PathBuf> = None;
     let mut wire = strex::WireFormat::default();
     let mut cfg = DispatchConfig::default();
     let mut it = rest.iter();
@@ -801,10 +803,18 @@ fn serve_mode(rest: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--journal" => match it.next() {
+                Some(path) => journal = Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("--journal needs a ledger file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!(
-                    "serve takes --listen ADDR [--jobs N] [--timeout-ms MS] [--burst N] \
-                     [--refill-ms MS] [--max-pending N] [--wire json|bin]; unexpected `{other}`"
+                    "serve takes --listen ADDR [--jobs N] [--journal PATH] [--timeout-ms MS] \
+                     [--burst N] [--refill-ms MS] [--max-pending N] [--wire json|bin]; \
+                     unexpected `{other}`"
                 );
                 return ExitCode::FAILURE;
             }
@@ -812,8 +822,8 @@ fn serve_mode(rest: &[String]) -> ExitCode {
     }
     let Some(listen) = listen else {
         eprintln!(
-            "usage: repro serve --listen ADDR [--jobs N] [--timeout-ms MS] [--burst N] \
-             [--refill-ms MS] [--max-pending N] [--wire json|bin]"
+            "usage: repro serve --listen ADDR [--jobs N] [--journal PATH] [--timeout-ms MS] \
+             [--burst N] [--refill-ms MS] [--max-pending N] [--wire json|bin]"
         );
         return ExitCode::FAILURE;
     };
@@ -836,6 +846,8 @@ fn serve_mode(rest: &[String]) -> ExitCode {
     match server.run(ServeOptions {
         max_jobs: jobs,
         wire,
+        journal,
+        stop: None,
     }) {
         Ok(summary) => {
             println!("served {} job(s); exiting", summary.jobs_completed);
@@ -852,11 +864,16 @@ fn serve_mode(rest: &[String]) -> ExitCode {
 /// registers, and executes assigned quick-matrix shards until the
 /// coordinator closes the connection. `--pin C` pins the process first
 /// (best-effort, like `shard`); `--name` labels it in coordinator logs.
+/// `--reconnect N` survives N coordinator outages: a transport failure
+/// re-dials under jittered exponential backoff and re-registers, so a
+/// fleet rides out a coordinator restart (`serve --journal`) without
+/// being relaunched.
 fn work_mode(rest: &[String]) -> ExitCode {
-    use strex::dispatch::{connect_with_retry, run_worker, WorkerOptions};
+    use strex::dispatch::{connect_with_retry, run_worker, Backoff, DispatchError, WorkerOptions};
 
     let mut connect: Option<String> = None;
     let mut pin: Option<usize> = None;
+    let mut reconnect: usize = 0;
     let mut opts = WorkerOptions::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -893,17 +910,27 @@ fn work_mode(rest: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--reconnect" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => reconnect = n,
+                None => {
+                    eprintln!("--reconnect needs a retry count (0 disables)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!(
-                    "work takes --connect ADDR [--pin CORE] [--name LABEL] [--wire json|bin]; \
-                     unexpected `{other}`"
+                    "work takes --connect ADDR [--pin CORE] [--name LABEL] [--reconnect N] \
+                     [--wire json|bin]; unexpected `{other}`"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(connect) = connect else {
-        eprintln!("usage: repro work --connect ADDR [--pin CORE] [--name LABEL] [--wire json|bin]");
+        eprintln!(
+            "usage: repro work --connect ADDR [--pin CORE] [--name LABEL] [--reconnect N] \
+             [--wire json|bin]"
+        );
         return ExitCode::FAILURE;
     };
     if let Some(core) = pin {
@@ -923,17 +950,46 @@ fn work_mode(rest: &[String]) -> ExitCode {
         };
     drop(stream);
     let mut runner = strex_bench::perf::dispatch_runner();
-    match run_worker(connect.as_str(), &opts, &mut runner) {
-        Ok(summary) => {
-            println!(
-                "worker {} done: {} shard(s) executed",
-                opts.name, summary.shards_run
-            );
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("worker {} failed: {e}", opts.name);
-            ExitCode::FAILURE
+    // Transport failures are survivable up to --reconnect times: the
+    // coordinator crashed or the network hiccuped, and a journal-backed
+    // coordinator will come back with the same jobs. Typed rejections
+    // and runner errors are final — retrying those is a retry storm.
+    let mut backoff = Backoff::new(200, 10_000, u64::from(std::process::id()));
+    let mut reconnects_left = reconnect;
+    let mut total_shards = 0usize;
+    loop {
+        match run_worker(connect.as_str(), &opts, &mut runner) {
+            Ok(summary) if reconnects_left > 0 => {
+                // EOF with reconnects left: a restarting (or
+                // chaos-killed) coordinator closes connections exactly
+                // like a finished one — come back and see.
+                total_shards += summary.shards_run;
+                reconnects_left -= 1;
+                let delay = backoff.next_delay_ms();
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+            Ok(summary) => {
+                total_shards += summary.shards_run;
+                println!(
+                    "worker {} done: {} shard(s) executed",
+                    opts.name, total_shards
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e @ (DispatchError::Io(_) | DispatchError::Proto(_))) if reconnects_left > 0 => {
+                reconnects_left -= 1;
+                let delay = backoff.next_delay_ms();
+                eprintln!(
+                    "worker {}: coordinator unreachable ({e}); reconnecting in {delay} ms \
+                     ({reconnects_left} reconnect(s) left)",
+                    opts.name
+                );
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+            Err(e) => {
+                eprintln!("worker {} failed: {e}", opts.name);
+                return ExitCode::FAILURE;
+            }
         }
     }
 }
@@ -953,6 +1009,7 @@ fn submit_mode(rest: &[String]) -> ExitCode {
     let mut scenario_path: Option<String> = None;
     let mut shards: usize = 4;
     let mut verify = false;
+    let mut retry: usize = 1;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -978,17 +1035,27 @@ fn submit_mode(rest: &[String]) -> ExitCode {
                 }
             },
             "--verify" => verify = true,
+            "--retry" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => retry = n,
+                _ => {
+                    eprintln!("--retry needs a positive attempt count");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!(
-                    "submit takes --connect ADDR [--scenario PATH] [--shards N] [--verify]; \
-                     unexpected `{other}`"
+                    "submit takes --connect ADDR [--scenario PATH] [--shards N] [--retry N] \
+                     [--verify]; unexpected `{other}`"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(connect) = connect else {
-        eprintln!("usage: repro submit --connect ADDR [--scenario PATH] [--shards N] [--verify]");
+        eprintln!(
+            "usage: repro submit --connect ADDR [--scenario PATH] [--shards N] [--retry N] \
+             [--verify]"
+        );
         return ExitCode::FAILURE;
     };
     // The scenario must validate locally before anything crosses the
@@ -1019,15 +1086,25 @@ fn submit_mode(rest: &[String]) -> ExitCode {
         eprintln!("cannot reach coordinator {connect}: {e}");
         return ExitCode::FAILURE;
     }
+    // `--retry N` rides the coordinator's idempotency: a resubmission
+    // after a crash attaches to the journal-restored job (or its cached
+    // result), so N attempts never run the matrix more than once.
     let (result, outcomes) = match &scenario {
-        Some(s) => match strex::dispatch::submit_scenario(connect.as_str(), s, shards) {
-            Ok(pair) => pair,
-            Err(e) => {
-                eprintln!("submit failed: {e}");
-                return ExitCode::FAILURE;
+        Some(s) => {
+            match strex::dispatch::submit_scenario_with_retry(connect.as_str(), s, shards, retry) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("submit failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
-        None => match strex::dispatch::submit(connect.as_str(), perf::QUICK_CAMPAIGN, shards) {
+        }
+        None => match strex::dispatch::submit_with_retry(
+            connect.as_str(),
+            perf::QUICK_CAMPAIGN,
+            shards,
+            retry,
+        ) {
             Ok(result) => (result, Vec::new()),
             Err(e) => {
                 eprintln!("submit failed: {e}");
@@ -1094,6 +1171,88 @@ fn submit_mode(rest: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// A deterministic fault-injecting TCP proxy between dispatcher peers:
+/// listens on `--listen`, forwards frames to `--connect`, mangling them
+/// per the [`strex::dispatch::FaultPlan`] derived from `--seed N`
+/// (`--benign` forwards untouched). Point `work`/`submit` at the proxy
+/// instead of the coordinator; same seed, same fault schedule. Runs
+/// until killed — the chaos CI smoke owns its lifetime.
+fn chaos_proxy_mode(rest: &[String]) -> ExitCode {
+    use strex::dispatch::{ChaosProxy, FaultPlan};
+
+    let mut listen: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut seed: u64 = 0;
+    let mut benign = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => {
+                    eprintln!("--listen needs an ADDR");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--connect" => match it.next() {
+                Some(addr) => connect = Some(addr.clone()),
+                None => {
+                    eprintln!("--connect needs the upstream coordinator ADDR");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--benign" => benign = true,
+            other => {
+                eprintln!(
+                    "chaos-proxy takes --listen ADDR --connect ADDR [--seed N] [--benign]; \
+                     unexpected `{other}`"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(listen), Some(connect)) = (listen, connect) else {
+        eprintln!("usage: repro chaos-proxy --listen ADDR --connect ADDR [--seed N] [--benign]");
+        return ExitCode::FAILURE;
+    };
+    let upstream = match std::net::ToSocketAddrs::to_socket_addrs(&connect.as_str())
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+    {
+        Some(addr) => addr,
+        None => {
+            eprintln!("cannot resolve upstream {connect}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = if benign {
+        FaultPlan::benign(seed)
+    } else {
+        FaultPlan::from_seed(seed)
+    };
+    let proxy = match ChaosProxy::start(listen.as_str(), upstream, plan) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "chaos proxy on {} -> {upstream}, plan {plan:?}",
+        proxy.local_addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 /// Asks a running coordinator for a fleet snapshot and prints it

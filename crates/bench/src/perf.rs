@@ -592,15 +592,46 @@ pub fn dispatch_catalog() -> Vec<String> {
 }
 
 /// The [`strex::dispatch::ShardRunner`] a `repro work` worker serves
-/// with: maps the catalog names to their shard executors.
-pub fn dispatch_runner() -> impl FnMut(&str, ShardSpec) -> Result<CampaignShard, String> {
-    |campaign: &str, spec: ShardSpec| {
-        if campaign == QUICK_CAMPAIGN {
-            Ok(run_quick_shard(spec))
-        } else {
-            Err(format!("worker has no runner for campaign {campaign:?}"))
-        }
+/// with: maps the catalog names to their shard executors, resumably —
+/// a shard re-assigned with a checkpoint skips the cells some dead
+/// worker already simulated, and progress is reported cell by cell so
+/// the coordinator always holds a fresh resume point.
+#[derive(Default)]
+pub struct QuickRunner;
+
+impl strex::dispatch::ShardRunner for QuickRunner {
+    fn run(&mut self, campaign: &str, spec: ShardSpec) -> Result<CampaignShard, String> {
+        self.run_resumable(campaign, spec, None, &mut |_| {})
     }
+
+    fn run_resumable(
+        &mut self,
+        campaign: &str,
+        spec: ShardSpec,
+        checkpoint: Option<strex::campaign::ShardCheckpoint>,
+        on_cell: &mut dyn FnMut(&strex::campaign::ShardCheckpoint),
+    ) -> Result<CampaignShard, String> {
+        if campaign != QUICK_CAMPAIGN {
+            return Err(format!("worker has no runner for campaign {campaign:?}"));
+        }
+        let workloads = quick_matrix_workloads();
+        let quick = quick_campaign(&workloads);
+        let run = match quick.run_shard_resumable(spec, checkpoint, on_cell) {
+            // A checkpoint that does not line up with this build's quick
+            // matrix (version skew across the fleet) costs a fresh run,
+            // never a failed worker.
+            Err(strex::ConfigError::CheckpointMismatch { .. }) => {
+                quick.run_shard_resumable(spec, None, on_cell)
+            }
+            other => other,
+        };
+        run.map_err(|e| e.to_string())
+    }
+}
+
+/// The runner a `repro work` worker serves with.
+pub fn dispatch_runner() -> QuickRunner {
+    QuickRunner
 }
 
 /// [`campaign_scaling`] for a whole worker-count sweep: the sequential

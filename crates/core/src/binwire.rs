@@ -43,6 +43,8 @@ pub const KIND_REPORT: u8 = b'R';
 pub const KIND_SHARD: u8 = b'S';
 /// Document kind byte for a `CampaignResult`.
 pub const KIND_RESULT: u8 = b'C';
+/// Document kind byte for a `ShardCheckpoint`.
+pub const KIND_CHECKPOINT: u8 = b'K';
 
 /// `true` when a payload starting with `first` is binwire (vs JSON).
 #[inline]

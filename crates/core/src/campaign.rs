@@ -356,14 +356,86 @@ impl<'w> Campaign<'w> {
         spec: ShardSpec,
         reg: &SchedulerRegistry,
     ) -> Result<CampaignShard, ConfigError> {
+        self.run_shard_resumable_on(spec, reg, None, &mut |_| {})
+    }
+
+    /// [`run_shard_resumable_on`](Campaign::run_shard_resumable_on)
+    /// against the [global registry](crate::sched::registry::global).
+    pub fn run_shard_resumable(
+        &self,
+        spec: ShardSpec,
+        checkpoint: Option<ShardCheckpoint>,
+        on_cell: &mut dyn FnMut(&ShardCheckpoint),
+    ) -> Result<CampaignShard, ConfigError> {
+        self.run_shard_resumable_on(spec, registry::global(), checkpoint, on_cell)
+    }
+
+    /// [`run_shard_on`](Campaign::run_shard_on) with checkpoint/resume:
+    /// executes the cells `spec` owns, starting from an optional
+    /// [`ShardCheckpoint`] and reporting progress at every cell boundary.
+    ///
+    /// A checkpoint's completed cells are adopted verbatim and its matrix
+    /// cursor skips everything already done; execution continues with the
+    /// first owned cell at or past the cursor. After each newly executed
+    /// cell, `on_cell` observes the updated checkpoint — callers persist
+    /// or ship it (the dispatcher's `checkpoint` frames), and a preempted
+    /// run resumed from *any* observed checkpoint produces a shard whose
+    /// merged result is byte-identical to the uninterrupted run
+    /// (property-tested in `tests/checkpoint_resume.rs`).
+    ///
+    /// The checkpoint must match: same [`ShardSpec`], a cursor within the
+    /// matrix, and every completed cell's key equal to the matrix cell at
+    /// its recorded index — anything else is a typed
+    /// [`ConfigError::CheckpointMismatch`] (a checkpoint from a different
+    /// campaign must fail loudly, not corrupt a merge). `total_events`
+    /// and the shard perf are recomputed over *all* cells, adopted and
+    /// fresh; `wall_seconds` covers only this process's portion.
+    pub fn run_shard_resumable_on(
+        &self,
+        spec: ShardSpec,
+        reg: &SchedulerRegistry,
+        checkpoint: Option<ShardCheckpoint>,
+        on_cell: &mut dyn FnMut(&ShardCheckpoint),
+    ) -> Result<CampaignShard, ConfigError> {
         spec.validate()?;
         let cells = self.cells(reg)?;
+        let mut ckpt = match checkpoint {
+            Some(c) => {
+                if c.spec != spec {
+                    return Err(ConfigError::CheckpointMismatch {
+                        detail: format!("checkpoint is for shard {}, not {spec}", c.spec),
+                    });
+                }
+                if c.cursor > cells.len() {
+                    return Err(ConfigError::CheckpointMismatch {
+                        detail: format!(
+                            "cursor {} is beyond the {}-cell matrix",
+                            c.cursor,
+                            cells.len()
+                        ),
+                    });
+                }
+                for (i, cell) in &c.cells {
+                    match cells.get(*i) {
+                        Some((key, _)) if *key == cell.key => {}
+                        _ => {
+                            return Err(ConfigError::CheckpointMismatch {
+                                detail: format!(
+                                    "completed cell {i} ({}) is not cell {i} of this matrix",
+                                    cell.key
+                                ),
+                            });
+                        }
+                    }
+                }
+                c
+            }
+            None => ShardCheckpoint::new(spec),
+        };
         let start = Instant::now();
         let mut scratch = SimScratch::new();
-        let mut owned: Vec<(usize, CampaignCell)> = Vec::new();
-        let mut total_events = 0u64;
         for (i, (key, cfg)) in cells.into_iter().enumerate() {
-            if !spec.owns(&key) {
+            if i < ckpt.cursor || !spec.owns(&key) {
                 continue;
             }
             let workload = self.workloads[key.workload_idx];
@@ -371,12 +443,20 @@ impl<'w> Campaign<'w> {
                 .get(&key.scheduler)
                 .expect("cells() checked registration");
             let report = run_factory(factory, workload, &cfg, &mut scratch);
-            total_events += report_events(&report);
-            owned.push((i, CampaignCell { key, report }));
+            ckpt.cells.push((i, CampaignCell { key, report }));
+            ckpt.cursor = i + 1;
+            on_cell(&ckpt);
         }
+        // Recomputed over adopted + fresh cells, so a resumed shard's
+        // event count equals the uninterrupted run's.
+        let total_events = ckpt
+            .cells
+            .iter()
+            .map(|(_, c)| report_events(&c.report))
+            .sum();
         Ok(CampaignShard {
             spec,
-            cells: owned,
+            cells: ckpt.cells,
             perf: CampaignPerf {
                 workers: 1,
                 wall_seconds: start.elapsed().as_secs_f64(),
@@ -993,6 +1073,173 @@ impl CampaignShard {
         }
         r.finish()?;
         Ok(CampaignShard { spec, cells, perf })
+    }
+}
+
+/// A shard's resumable progress: the cells completed so far (with their
+/// matrix indices) and the matrix cursor where execution continues.
+///
+/// Produced incrementally by
+/// [`Campaign::run_shard_resumable`] at every cell boundary and consumed
+/// by the same entry point to resume after preemption; the dispatcher
+/// ships it in `checkpoint` frames so a reaped worker's shard re-queues
+/// from its last observed boundary instead of from zero. Serializes
+/// through both wire formats ([`to_json`](ShardCheckpoint::to_json) /
+/// [`to_bin`](ShardCheckpoint::to_bin)) with full fidelity.
+///
+/// Invariants (enforced on parse and on resume): every completed cell's
+/// index is below `cursor`, indices strictly increase (matrix order),
+/// and each cell is owned by `spec` — so a decoded checkpoint can never
+/// smuggle a foreign or duplicated cell into a merge.
+#[derive(Clone, Debug)]
+pub struct ShardCheckpoint {
+    spec: ShardSpec,
+    cells: Vec<(usize, CampaignCell)>,
+    cursor: usize,
+}
+
+impl ShardCheckpoint {
+    /// An empty checkpoint: nothing completed, cursor at the start of
+    /// the matrix. Resuming from it is identical to a fresh run.
+    pub fn new(spec: ShardSpec) -> ShardCheckpoint {
+        ShardCheckpoint {
+            spec,
+            cells: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Which shard this progress belongs to.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The completed cells with their matrix indices, in matrix order.
+    pub fn cells(&self) -> &[(usize, CampaignCell)] {
+        &self.cells
+    }
+
+    /// The matrix index execution resumes scanning from: every completed
+    /// cell sits below it, every unstarted owned cell at or above it.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Checks the structural invariants shared by both decode paths.
+    fn validate(&self) -> Result<(), WireError> {
+        self.spec
+            .validate()
+            .map_err(|e| WireError::new(e.to_string()))?;
+        let mut last: Option<usize> = None;
+        for (i, cell) in &self.cells {
+            if last.is_some_and(|prev| *i <= prev) {
+                return Err(WireError::new(format!(
+                    "checkpoint cells are not in strictly increasing matrix order at index {i}"
+                )));
+            }
+            if *i >= self.cursor {
+                return Err(WireError::new(format!(
+                    "checkpoint cell {i} is at or beyond the cursor {}",
+                    self.cursor
+                )));
+            }
+            if !self.spec.owns(&cell.key) {
+                return Err(WireError::new(format!(
+                    "checkpoint cell {} is not owned by shard {}",
+                    cell.key, self.spec
+                )));
+            }
+            last = Some(*i);
+        }
+        Ok(())
+    }
+
+    /// Serializes the checkpoint for the wire: spec, cursor, and every
+    /// completed cell in the shard cell layout (matrix index + full key).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("checkpoint");
+        w.begin_object();
+        w.key("index");
+        w.number_u64(self.spec.index as u64);
+        w.key("count");
+        w.number_u64(self.spec.count as u64);
+        w.key("cursor");
+        w.number_u64(self.cursor as u64);
+        w.end_object();
+        w.key("cells");
+        w.begin_array();
+        for (i, cell) in &self.cells {
+            write_cell_json(&mut w, Some(*i), cell);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses a checkpoint from its [`to_json`](ShardCheckpoint::to_json)
+    /// form, re-checking every structural invariant.
+    pub fn from_json(text: &str) -> Result<ShardCheckpoint, WireError> {
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// [`from_json`](ShardCheckpoint::from_json) over an already-parsed
+    /// document — the entry point the dispatch protocol uses, where the
+    /// checkpoint arrives embedded in a `checkpoint` frame.
+    pub fn from_json_value(doc: &JsonValue) -> Result<ShardCheckpoint, WireError> {
+        let ckpt = ShardCheckpoint {
+            spec: ShardSpec {
+                index: doc.req_u64("checkpoint.index")? as usize,
+                count: doc.req_u64("checkpoint.count")? as usize,
+            },
+            cursor: doc.req_u64("checkpoint.cursor")? as usize,
+            cells: doc
+                .req_array("cells")?
+                .iter()
+                .map(cell_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Serializes the checkpoint as a binwire document — the binary twin
+    /// of [`to_json`](ShardCheckpoint::to_json).
+    pub fn to_bin(&self) -> Vec<u8> {
+        let mut w = BinWriter::new(binwire::KIND_CHECKPOINT);
+        w.u64(self.spec.index as u64);
+        w.u64(self.spec.count as u64);
+        w.u64(self.cursor as u64);
+        w.len(self.cells.len());
+        for (i, cell) in &self.cells {
+            write_cell_bin(&mut w, Some(*i), cell);
+        }
+        w.finish()
+    }
+
+    /// Parses a checkpoint from its [`to_bin`](ShardCheckpoint::to_bin)
+    /// form, with the same invariant checks as the JSON path.
+    pub fn from_bin(bytes: &[u8]) -> Result<ShardCheckpoint, WireError> {
+        let mut r = BinReader::new(bytes, binwire::KIND_CHECKPOINT)?;
+        let spec = ShardSpec {
+            index: r.u64()? as usize,
+            count: r.u64()? as usize,
+        };
+        let cursor = r.u64()? as usize;
+        let n = r.len(1)?;
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            cells.push(cell_from_bin(&mut r, true)?);
+        }
+        r.finish()?;
+        let ckpt = ShardCheckpoint {
+            spec,
+            cells,
+            cursor,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
     }
 }
 

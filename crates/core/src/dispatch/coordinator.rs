@@ -58,19 +58,21 @@
 //! machine; the shell only moves bytes (and reports each connection's
 //! peer IP so the rate limiter has an identity to key on).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::campaign::{fnv64, merge, CampaignShard, ShardSpec};
+use crate::campaign::{fnv64, merge, CampaignShard, ShardCheckpoint, ShardSpec};
 use crate::scenario::EvaluatorRegistry;
 
 use super::clock::Clock;
+use super::journal::{replay_journal_file, Journal, JournalEntry};
 use super::proto::{
     write_message_wire, FrameReader, JobSpec, Message, ProtoError, RejectReason, WorkerCaps,
 };
@@ -112,6 +114,11 @@ pub struct DispatchConfig {
     /// At most this many distinct jobs in flight; submissions that
     /// would create one more are rejected `queue_full`.
     pub max_pending_jobs: usize,
+    /// Once a frame's first byte arrives, the rest must follow within
+    /// this deadline or the connection is dropped ([`ProtoError::Stalled`]).
+    /// Guards the reader threads against byte-dribbling peers; `0`
+    /// disables the deadline.
+    pub frame_deadline_ms: u64,
 }
 
 impl Default for DispatchConfig {
@@ -123,6 +130,7 @@ impl Default for DispatchConfig {
             submit_burst: 10,
             submit_refill_ms: 1_000,
             max_pending_jobs: 64,
+            frame_deadline_ms: 30_000,
         }
     }
 }
@@ -289,6 +297,11 @@ struct Job {
     done: Vec<Option<CampaignShard>>,
     /// Submitter connections awaiting the result.
     waiters: Vec<ConnId>,
+    /// Latest resume point per shard index, from advisory `checkpoint`
+    /// frames. A re-queued shard is re-assigned with its checkpoint so
+    /// the next worker skips the cells already simulated. Entries are
+    /// dropped the moment the slot completes.
+    checkpoints: BTreeMap<usize, ShardCheckpoint>,
 }
 
 impl Job {
@@ -396,18 +409,24 @@ impl Coordinator {
         match msg {
             Message::Submit { work, shards } => self.on_submit(now_ms, conn, work, shards, actions),
             Message::Register { name, caps } => {
+                // Registration refreshes name/caps but must carry any
+                // in-flight assignment over: a duplicated register frame
+                // that reset the slot to idle would leak the assigned
+                // shard out of queued/running/done for good.
+                let assignment = self.workers.remove(&conn).and_then(|w| w.assignment);
                 self.workers.insert(
                     conn,
                     WorkerState {
                         name,
                         caps,
                         last_seen_ms: now_ms,
-                        assignment: None,
+                        assignment,
                     },
                 );
             }
             Message::Heartbeat => {}
             Message::ShardDone { job, shard } => self.on_shard_done(conn, job, shard, actions),
+            Message::Checkpoint { job, checkpoint } => self.on_checkpoint(job, checkpoint),
             Message::StatusRequest => {
                 // Answered in place; the connection stays open so a
                 // watcher can poll on one socket.
@@ -513,6 +532,7 @@ impl Coordinator {
                 queue: (0..shards).collect(),
                 done: (0..shards).map(|_| None).collect(),
                 waiters: Vec::new(),
+                checkpoints: BTreeMap::new(),
             })
             .waiters
             .push(conn);
@@ -525,9 +545,20 @@ impl Coordinator {
         shard: CampaignShard,
         actions: &mut Vec<Action>,
     ) {
-        // The worker is idle again regardless of what it delivered.
+        // The worker is idle again — but only if this delivery answers
+        // its *current* assignment. A duplicated `shard_done` (network
+        // dup, or a straggler answering after a hedge) arriving after the
+        // worker was handed its next shard must not wipe that in-flight
+        // assignment: the slot is the only record of the new shard, and
+        // clearing it here would leak the shard out of queued/running/done
+        // entirely if the connection then died before delivering it.
         if let Some(w) = self.workers.get_mut(&conn) {
-            w.assignment = None;
+            if w.assignment
+                .as_ref()
+                .is_some_and(|a| a.job == job_id && a.spec == shard.spec())
+            {
+                w.assignment = None;
+            }
         }
         let Some(job) = self.jobs.get_mut(&job_id) else {
             // Unknown or already-finished job — a straggler's duplicate
@@ -543,6 +574,11 @@ impl Coordinator {
         if slot.is_none() {
             *slot = Some(shard);
             self.counters.shards_completed += 1;
+            // The shard is finished: its resume point is obsolete, and a
+            // still-queued copy (hedge, or journal replay with no workers
+            // to drain the queue) would only re-run completed work.
+            job.checkpoints.remove(&spec.index);
+            job.queue.retain(|&queued| queued != spec.index);
         }
         // else: duplicate completion from a hedged straggler — first one
         // won, this one is dropped (merge's DuplicateShard is the backstop).
@@ -585,6 +621,32 @@ impl Coordinator {
             }
             self.finished.insert(job_id.clone(), outcome);
             actions.push(Action::JobCompleted { job: job_id });
+        }
+    }
+
+    /// Records a worker's advisory resume point for an in-flight shard.
+    /// Best-effort by design: anything that does not line up (finished
+    /// job, foreign partitioning, stale cursor) is silently dropped —
+    /// losing a checkpoint only costs re-simulation, never correctness.
+    fn on_checkpoint(&mut self, job_id: String, checkpoint: ShardCheckpoint) {
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return;
+        };
+        let spec = checkpoint.spec();
+        if spec.count != job.count || spec.index >= job.count {
+            return;
+        }
+        if job.done[spec.index].is_some() {
+            // Completed shards need no resume point.
+            return;
+        }
+        // Keep the furthest progress: a hedged duplicate running behind
+        // the original must not roll the resume point back.
+        match job.checkpoints.get(&spec.index) {
+            Some(existing) if existing.cursor() >= checkpoint.cursor() => {}
+            _ => {
+                job.checkpoints.insert(spec.index, checkpoint);
+            }
         }
     }
 
@@ -709,6 +771,7 @@ impl Coordinator {
                         job: job_id.clone(),
                         work: job.work.clone(),
                         spec,
+                        checkpoint: job.checkpoints.get(&index).cloned(),
                     },
                 ));
             }
@@ -770,6 +833,44 @@ impl Coordinator {
             rate,
         }
     }
+
+    /// Rebuilds durable state from a journal: each recorded frame is
+    /// replayed through [`handle`](Coordinator::handle) at its recorded
+    /// timestamp (so rate-limit accounting is exact), then every journal
+    /// connection is synthetically disconnected — the peers behind them
+    /// are gone, and their waiter slots must not leak onto whatever
+    /// connections the restarted shell hands out next.
+    ///
+    /// Only submitter/worker *data* frames are journaled (never
+    /// `register`/`heartbeat`), so replay re-creates jobs, completion
+    /// slots, checkpoints, the finished-result cache and the token
+    /// buckets — but no phantom workers, and `assign_pending` stays a
+    /// no-op throughout.
+    pub fn replay_journal(&mut self, entries: Vec<JournalEntry>) {
+        let mut conns: BTreeSet<ConnId> = BTreeSet::new();
+        let mut last_now_ms = 0;
+        for entry in entries {
+            conns.insert(entry.conn);
+            last_now_ms = last_now_ms.max(entry.now_ms);
+            self.peers.insert(entry.conn, entry.peer);
+            let _ = self.handle(entry.now_ms, Event::Message(entry.conn, entry.msg));
+        }
+        for conn in conns {
+            let _ = self.handle(last_now_ms, Event::Disconnected(conn));
+        }
+    }
+
+    /// Re-bases every token bucket's refill epoch to `now_ms`, keeping
+    /// the replayed token counts. After a restart the journal's
+    /// timestamps come from the dead process's clock (the system clock
+    /// counts from process start), so elapsed-time credit across the
+    /// outage cannot be computed — this conservatively grants none:
+    /// peers resume with the tokens they had and earn from now.
+    pub fn rebase_buckets(&mut self, now_ms: u64) {
+        for bucket in self.buckets.values_mut() {
+            bucket.last_refill_ms = now_ms;
+        }
+    }
 }
 
 /// How long a [`Server`] run may keep going, and how it talks.
@@ -782,6 +883,16 @@ pub struct ServeOptions {
     /// Control frames are always JSON; the read side negotiates per
     /// frame, so workers pick their own `shard_done` encoding.
     pub wire: WireFormat,
+    /// Append-only job journal. When set, every durable frame
+    /// (`submit`, `shard_done`, `checkpoint`) is fsync'd here *before*
+    /// the state machine sees it, and an existing file is replayed
+    /// before the listener accepts — so a crashed coordinator restarted
+    /// on the same journal resumes its jobs instead of losing them.
+    pub journal: Option<PathBuf>,
+    /// External stop flag, polled every drain interval. Lets a harness
+    /// (the chaos suite, a signal handler) end an unbounded serve
+    /// cleanly — or kill one mid-job to exercise the journal.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 /// What a bounded [`Server::run`] did.
@@ -833,19 +944,46 @@ impl Server {
     /// actions. A connection whose peer speaks garbage is treated exactly
     /// like one that died: disconnected, shard re-queued.
     pub fn run(mut self, opts: ServeOptions) -> Result<ServeSummary, DispatchError> {
+        // Durability first: replay an existing journal into the state
+        // machine before the listener accepts anything, then open it for
+        // write-ahead appends. Replayed timestamps belong to the dead
+        // process's clock, so bucket epochs are re-based to ours.
+        let mut journal = match &opts.journal {
+            Some(path) => {
+                let entries = replay_journal_file(path).map_err(DispatchError::Io)?;
+                if !entries.is_empty() {
+                    eprintln!(
+                        "dispatch: replayed {} journal record(s) from {}",
+                        entries.len(),
+                        path.display()
+                    );
+                    self.coordinator.replay_journal(entries);
+                    self.coordinator.rebase_buckets(self.clock.now_ms());
+                }
+                Some(Journal::open_append(path).map_err(DispatchError::Io)?)
+            }
+            None => None,
+        };
+
         let (tx, rx) = mpsc::channel::<ConnEvent>();
         let stop = Arc::new(AtomicBool::new(false));
         let writers: Arc<Mutex<BTreeMap<ConnId, TcpStream>>> =
             Arc::new(Mutex::new(BTreeMap::new()));
+        // Submitter identity per live connection, mirrored from Opened
+        // events so journal records carry the identity the rate limiter
+        // will key on at replay.
+        let mut identities: BTreeMap<ConnId, String> = BTreeMap::new();
 
         // Accept loop: non-blocking with a short sleep so the stop flag
         // is honored promptly when the run bound is reached.
         self.listener.set_nonblocking(true)?;
+        let frame_deadline_ms = self.coordinator.cfg.frame_deadline_ms;
         let acceptor = {
             let listener = self.listener.try_clone()?;
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
             let writers = Arc::clone(&writers);
+            let clock = Arc::clone(&self.clock);
             std::thread::spawn(move || {
                 let mut next_id: ConnId = 1;
                 while !stop.load(Ordering::SeqCst) {
@@ -865,13 +1003,28 @@ impl Server {
                                 if tx.send(ConnEvent::Opened(conn, identity)).is_err() {
                                     return;
                                 }
-                                spawn_reader(conn, stream, tx.clone());
+                                spawn_reader(
+                                    conn,
+                                    stream,
+                                    tx.clone(),
+                                    frame_deadline_ms,
+                                    Arc::clone(&clock),
+                                );
                             }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
                         }
-                        Err(_) => break,
+                        Err(e) => {
+                            // Per-connection failures (ECONNABORTED: the
+                            // peer RST a connection still in the backlog)
+                            // surface as accept() errors; a listener that
+                            // stopped accepting would strand every future
+                            // peer in the backlog, so only the stop flag
+                            // ends this loop.
+                            eprintln!("dispatch: accept failed (transient): {e}");
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
                     }
                 }
             })
@@ -879,13 +1032,46 @@ impl Server {
 
         let mut completed = 0usize;
         'serve: loop {
+            if opts
+                .stop
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::SeqCst))
+            {
+                break 'serve;
+            }
             let event = match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(ConnEvent::Opened(conn, identity)) => Event::Connected(conn, identity),
-                Ok(ConnEvent::Frame(conn, msg)) => Event::Message(conn, msg),
+                Ok(ConnEvent::Opened(conn, identity)) => {
+                    identities.insert(conn, identity.clone());
+                    Event::Connected(conn, identity)
+                }
+                Ok(ConnEvent::Frame(conn, msg)) => {
+                    // Write-ahead: the journal holds the frame before the
+                    // state machine acts on it, so a crash at any point
+                    // leaves the ledger a superset of the applied state —
+                    // replay is idempotent, loss is not.
+                    if let Some(journal) = journal.as_mut() {
+                        if Journal::records(&msg) {
+                            let peer = identities
+                                .get(&conn)
+                                .cloned()
+                                .unwrap_or_else(|| format!("conn:{conn}"));
+                            if let Err(e) = journal.append(self.clock.now_ms(), conn, &peer, &msg) {
+                                // The durability promise is broken; better
+                                // to die visibly than serve amnesiac.
+                                eprintln!("dispatch: journal append failed: {e}");
+                                stop.store(true, Ordering::SeqCst);
+                                let _ = acceptor.join();
+                                return Err(DispatchError::Io(e));
+                            }
+                        }
+                    }
+                    Event::Message(conn, msg)
+                }
                 Ok(ConnEvent::Gone(conn, reason)) => {
                     if let Some(err) = reason {
                         eprintln!("dispatch: connection {conn} lost: {err}");
                     }
+                    identities.remove(&conn);
                     writers.lock().expect("writer map").remove(&conn);
                     Event::Disconnected(conn)
                 }
@@ -946,10 +1132,24 @@ impl Server {
 
 /// One reader thread: frames (or the reason the connection died) into the
 /// shared channel. A protocol violation ends the connection — same as a
-/// death, so the state machine has exactly one failure path.
-fn spawn_reader(conn: ConnId, stream: TcpStream, tx: mpsc::Sender<ConnEvent>) {
+/// death, so the state machine has exactly one failure path. A non-zero
+/// `frame_deadline_ms` arms the per-frame stall deadline: the socket gets
+/// a short read timeout so the deadline is polled, and a peer that opens
+/// a frame but dribbles it out is dropped with [`ProtoError::Stalled`].
+fn spawn_reader(
+    conn: ConnId,
+    stream: TcpStream,
+    tx: mpsc::Sender<ConnEvent>,
+    frame_deadline_ms: u64,
+    clock: Arc<dyn Clock>,
+) {
     std::thread::spawn(move || {
-        let mut reader = FrameReader::new(BufReader::new(stream));
+        if frame_deadline_ms > 0 {
+            let poll = (frame_deadline_ms / 4).clamp(10, 1_000);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(poll)));
+        }
+        let mut reader =
+            FrameReader::with_deadline(BufReader::new(stream), frame_deadline_ms, clock);
         loop {
             match reader.next_message() {
                 Ok(Some(msg)) => {

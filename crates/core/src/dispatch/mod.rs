@@ -32,9 +32,13 @@
 //! * [`mod@status`] — the fleet snapshot ([`StatusReport`]) behind the
 //!   `status` frames and `repro status`.
 //! * [`worker`] — the worker loop: register with capabilities, execute,
-//!   heartbeat.
+//!   heartbeat, and checkpoint shard progress.
 //! * [`client`] — the blocking submitter (campaigns, scenarios, status
-//!   polls).
+//!   polls) with jittered-exponential-backoff reconnects.
+//! * [`journal`] — the coordinator's fsync'd write-ahead ledger; a
+//!   restarted coordinator replays it and resumes its jobs.
+//! * [`chaos`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   driving a frame-mangling TCP proxy, for the crash-recovery suites.
 //!
 //! Wire format and failure semantics are documented in
 //! `docs/PROTOCOL.md`; deployment, tuning and failure playbooks in
@@ -42,19 +46,26 @@
 //! submit` / `repro status` subcommands in `strex-bench` are thin CLIs
 //! over these entry points.
 
+pub mod chaos;
 pub mod client;
 pub mod clock;
 pub mod coordinator;
+pub mod journal;
 pub mod proto;
 pub mod status;
 pub mod worker;
 
-pub use client::{connect_with_retry, status, submit, submit_scenario};
+pub use chaos::{ChaosProxy, ChaosRng, FaultPlan};
+pub use client::{
+    connect_with_retry, connect_with_retry_seeded, status, submit, submit_scenario,
+    submit_scenario_with_retry, submit_with_retry, Backoff,
+};
 pub use clock::{Clock, FakeClock, SystemClock};
 pub use coordinator::{
     job_key, Action, ConnId, Coordinator, DispatchConfig, Event, ServeOptions, ServeSummary,
     Server, WorkerLossReason, MAX_SHARDS,
 };
+pub use journal::{replay_journal_file, Journal, JournalEntry};
 pub use proto::{
     read_message, read_message_buffered, write_message, write_message_wire, FrameReader, JobSpec,
     Message, ProtoError, RejectReason, WorkerCaps,

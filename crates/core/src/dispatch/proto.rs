@@ -38,17 +38,20 @@ use std::io::{self, BufRead, Read, Write};
 use std::sync::Arc;
 
 use crate::binwire::{self, BinReader, BinWriter, WireFormat};
-use crate::campaign::{CampaignResult, CampaignShard, ShardSpec};
+use crate::campaign::{CampaignResult, CampaignShard, ShardCheckpoint, ShardSpec};
 use crate::json::JsonWriter;
 use crate::jsonval::{JsonValue, WireError};
 use crate::scenario::{AssertionOutcome, Scenario};
 
+use super::clock::Clock;
 use super::status::StatusReport;
 
 /// Payload kind byte of a binary `shard_done` frame.
 pub const KIND_SHARD_DONE: u8 = b'D';
 /// Payload kind byte of a binary `result` frame.
 pub const KIND_RESULT_FRAME: u8 = b'Z';
+/// Payload kind byte of a binary `checkpoint` frame (v2.1).
+pub const KIND_CHECKPOINT_FRAME: u8 = b'P';
 
 /// Cap on one binary frame's declared payload length. A full quick
 /// matrix is a few MiB on the wire; the cap only exists so a corrupt or
@@ -345,6 +348,23 @@ pub enum Message {
         work: JobSpec,
         /// Which shard of how many.
         spec: ShardSpec,
+        /// Progress to resume from, when the coordinator holds a
+        /// checkpoint for this shard (v2.1: a re-queued shard continues
+        /// from its last reported cell boundary). Absent on fresh
+        /// assignments and in every v2 frame; a v2 worker that ignores
+        /// it just re-runs the shard from zero, which stays correct.
+        checkpoint: Option<ShardCheckpoint>,
+    },
+    /// Worker → coordinator (v2.1): resumable progress for the shard
+    /// this connection is executing — sent at cell boundaries so a
+    /// reaped or disconnected worker's shard re-queues from its last
+    /// checkpoint instead of from zero. Purely advisory: a coordinator
+    /// that ignores it (v2) keeps the at-least-once contract.
+    Checkpoint {
+        /// The job key from the [`Message::Assign`] this reports on.
+        job: String,
+        /// The shard's progress so far.
+        checkpoint: ShardCheckpoint,
     },
     /// Worker → coordinator: a finished shard, full payload inline.
     ShardDone {
@@ -394,6 +414,7 @@ impl Message {
             Message::Register { .. } => "register",
             Message::Heartbeat => "heartbeat",
             Message::Assign { .. } => "assign",
+            Message::Checkpoint { .. } => "checkpoint",
             Message::ShardDone { .. } => "shard_done",
             Message::Result { .. } => "result",
             Message::Reject { .. } => "reject",
@@ -420,7 +441,12 @@ impl Message {
                 caps.write_fields(&mut w);
             }
             Message::Heartbeat => {}
-            Message::Assign { job, work, spec } => {
+            Message::Assign {
+                job,
+                work,
+                spec,
+                checkpoint,
+            } => {
                 w.key("job");
                 w.string(job);
                 work.write_field(&mut w);
@@ -428,6 +454,16 @@ impl Message {
                 w.number_u64(spec.index as u64);
                 w.key("count");
                 w.number_u64(spec.count as u64);
+                if let Some(ckpt) = checkpoint {
+                    w.key("checkpoint");
+                    w.raw(&ckpt.to_json());
+                }
+            }
+            Message::Checkpoint { job, checkpoint } => {
+                w.key("job");
+                w.string(job);
+                w.key("checkpoint");
+                w.raw(&checkpoint.to_json());
             }
             Message::ShardDone { job, shard } => {
                 w.key("job");
@@ -473,6 +509,7 @@ impl Message {
     /// [MAGIC][payload len: u32 LE][payload][\n]
     /// shard_done payload = [MAGIC]['D'][job: str][binwire shard]
     /// result payload     = [MAGIC]['Z'][job: str][outcomes: str (JSON array)][binwire result]
+    /// checkpoint payload = [MAGIC]['P'][job: str][binwire checkpoint]
     /// ```
     pub fn to_frame_bytes(&self, wire: WireFormat) -> Vec<u8> {
         match (wire, self) {
@@ -480,6 +517,12 @@ impl Message {
                 let mut w = BinWriter::new(KIND_SHARD_DONE);
                 w.str(job);
                 w.raw(&shard.to_bin());
+                finish_binary_frame(w)
+            }
+            (WireFormat::Bin, Message::Checkpoint { job, checkpoint }) => {
+                let mut w = BinWriter::new(KIND_CHECKPOINT_FRAME);
+                w.str(job);
+                w.raw(&checkpoint.to_bin());
                 finish_binary_frame(w)
             }
             (
@@ -514,6 +557,13 @@ impl Message {
                 let job = r.str().map_err(ProtoError::Wire)?.to_string();
                 let shard = CampaignShard::from_bin(r.rest()).map_err(ProtoError::Wire)?;
                 Ok(Message::ShardDone { job, shard })
+            }
+            KIND_CHECKPOINT_FRAME => {
+                let mut r =
+                    BinReader::new(payload, KIND_CHECKPOINT_FRAME).map_err(ProtoError::Wire)?;
+                let job = r.str().map_err(ProtoError::Wire)?.to_string();
+                let checkpoint = ShardCheckpoint::from_bin(r.rest()).map_err(ProtoError::Wire)?;
+                Ok(Message::Checkpoint { job, checkpoint })
             }
             KIND_RESULT_FRAME => {
                 let mut r = BinReader::new(payload, KIND_RESULT_FRAME).map_err(ProtoError::Wire)?;
@@ -553,12 +603,29 @@ impl Message {
                     count: doc.req_u64("count")? as usize,
                 };
                 spec.validate().map_err(|e| WireError::new(e.to_string()))?;
+                let checkpoint = match doc.get("checkpoint") {
+                    Some(v) => Some(ShardCheckpoint::from_json_value(v)?),
+                    None => None,
+                };
+                if let Some(ckpt) = &checkpoint {
+                    if ckpt.spec() != spec {
+                        return Err(WireError::new(format!(
+                            "assign carries a checkpoint for shard {}, not {spec}",
+                            ckpt.spec()
+                        )));
+                    }
+                }
                 Ok(Message::Assign {
                     job: doc.req_str("job")?.to_string(),
                     work: JobSpec::from_doc(doc)?,
                     spec,
+                    checkpoint,
                 })
             }
+            "checkpoint" => Ok(Message::Checkpoint {
+                job: doc.req_str("job")?.to_string(),
+                checkpoint: ShardCheckpoint::from_json_value(doc.req("checkpoint")?)?,
+            }),
             "shard_done" => Ok(Message::ShardDone {
                 job: doc.req_str("job")?.to_string(),
                 shard: CampaignShard::from_json_value(doc.req("shard")?)?,
@@ -646,6 +713,14 @@ pub enum ProtoError {
     /// The document is valid JSON but not a valid message (missing or
     /// mistyped field, unknown `"type"`).
     Wire(WireError),
+    /// A frame started arriving but did not complete within the reader's
+    /// per-frame deadline — the typed form of "a peer is dribbling one
+    /// byte per heartbeat to pin this reader thread forever". Only
+    /// surfaced by readers built with [`FrameReader::with_deadline`].
+    Stalled {
+        /// The deadline that elapsed, in milliseconds.
+        ms: u64,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -660,6 +735,12 @@ impl fmt::Display for ProtoError {
             }
             ProtoError::Malformed(e) => write!(f, "malformed frame: {e}"),
             ProtoError::Wire(e) => write!(f, "invalid message: {e}"),
+            ProtoError::Stalled { ms } => {
+                write!(
+                    f,
+                    "frame stalled: incomplete after the {ms} ms read deadline"
+                )
+            }
         }
     }
 }
@@ -695,6 +776,12 @@ fn finish_binary_frame(w: BinWriter) -> Vec<u8> {
 pub struct FrameReader<R> {
     reader: R,
     buf: Vec<u8>,
+    deadline: Option<FrameDeadline>,
+}
+
+struct FrameDeadline {
+    clock: Arc<dyn Clock>,
+    ms: u64,
 }
 
 impl<R: BufRead> FrameReader<R> {
@@ -703,14 +790,165 @@ impl<R: BufRead> FrameReader<R> {
         FrameReader {
             reader,
             buf: Vec::new(),
+            deadline: None,
+        }
+    }
+
+    /// Wraps a buffered transport with a per-frame read deadline: once a
+    /// frame's *first byte* arrives, the whole frame must complete within
+    /// `deadline_ms` or [`next_message`](FrameReader::next_message)
+    /// returns [`ProtoError::Stalled`] — the defense against a peer that
+    /// dribbles one byte per heartbeat interval to pin a reader thread
+    /// forever. Waiting *between* frames is unbounded (an idle submitter
+    /// connection is legal).
+    ///
+    /// The clock is only consulted when a read returns — the transport
+    /// must wake periodically for the deadline to fire while blocked, so
+    /// pair this with a socket read timeout (the coordinator's reader
+    /// threads do; `WouldBlock`/`TimedOut` wakes are absorbed here, not
+    /// surfaced). `deadline_ms == 0` disables the deadline.
+    pub fn with_deadline(reader: R, deadline_ms: u64, clock: Arc<dyn Clock>) -> FrameReader<R> {
+        FrameReader {
+            reader,
+            buf: Vec::new(),
+            deadline: (deadline_ms > 0).then_some(FrameDeadline {
+                clock,
+                ms: deadline_ms,
+            }),
         }
     }
 
     /// Reads one frame. `Ok(None)` is a clean end of stream (the peer
     /// closed between frames); a partial frame is
-    /// [`ProtoError::Truncated`].
+    /// [`ProtoError::Truncated`]; a frame still incomplete when the
+    /// configured per-frame deadline elapses is [`ProtoError::Stalled`].
     pub fn next_message(&mut self) -> Result<Option<Message>, ProtoError> {
-        read_message_buffered(&mut self.reader, &mut self.buf)
+        match &self.deadline {
+            None => read_message_buffered(&mut self.reader, &mut self.buf),
+            Some(deadline) => {
+                let mut guarded = DeadlineReader {
+                    inner: &mut self.reader,
+                    clock: &*deadline.clock,
+                    deadline_ms: deadline.ms,
+                    frame_started_ms: None,
+                };
+                match read_message_buffered(&mut guarded, &mut self.buf) {
+                    Err(ProtoError::Io(e)) if is_stall(&e) => {
+                        Err(ProtoError::Stalled { ms: deadline.ms })
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+}
+
+/// The marker error [`DeadlineReader`] raises when a frame overruns its
+/// deadline, so [`FrameReader::next_message`] can distinguish a stall
+/// from a genuine transport failure.
+#[derive(Debug)]
+struct StallElapsed {
+    ms: u64,
+}
+
+impl fmt::Display for StallElapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame incomplete after {} ms", self.ms)
+    }
+}
+
+impl std::error::Error for StallElapsed {}
+
+fn is_stall(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<StallElapsed>())
+}
+
+/// `true` for the error kinds a timed-out socket read reports; the
+/// deadline reader absorbs these and re-checks the clock instead of
+/// surfacing them.
+fn is_read_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// A [`BufRead`] shim enforcing one frame's read deadline: the timer
+/// starts when the frame's first byte arrives and is checked every time
+/// the inner read returns — after data (the dribble defense) and after a
+/// socket-timeout wake (the silence defense).
+struct DeadlineReader<'a, R: BufRead> {
+    inner: &'a mut R,
+    clock: &'a dyn Clock,
+    deadline_ms: u64,
+    frame_started_ms: Option<u64>,
+}
+
+impl<R: BufRead> DeadlineReader<'_, R> {
+    /// Errors with the stall marker once the frame has overrun.
+    fn check(&self) -> io::Result<()> {
+        if let Some(started) = self.frame_started_ms {
+            if self.clock.now_ms().saturating_sub(started) >= self.deadline_ms {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    StallElapsed {
+                        ms: self.deadline_ms,
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts the frame timer at the first byte.
+    fn mark_progress(&mut self) {
+        if self.frame_started_ms.is_none() {
+            self.frame_started_ms = Some(self.clock.now_ms());
+        }
+    }
+}
+
+impl<R: BufRead> Read for DeadlineReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            self.check()?;
+            match self.inner.read(buf) {
+                Ok(0) => return Ok(0),
+                Ok(n) => {
+                    self.mark_progress();
+                    return Ok(n);
+                }
+                Err(e) if is_read_timeout(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<R: BufRead> BufRead for DeadlineReader<'_, R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        // Probe without letting the borrow escape the loop; the buffered
+        // re-call below is free once data (or EOF) arrived.
+        let got_data;
+        loop {
+            self.check()?;
+            match self.inner.fill_buf() {
+                Ok(b) => {
+                    got_data = !b.is_empty();
+                    break;
+                }
+                Err(e) if is_read_timeout(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if got_data {
+            self.mark_progress();
+        }
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
     }
 }
 
@@ -869,11 +1107,13 @@ mod tests {
                 job: "ab12".into(),
                 work: JobSpec::Catalog("quick".into()),
                 spec: ShardSpec { index: 1, count: 4 },
+                checkpoint: None,
             },
             Message::Assign {
                 job: "cd34".into(),
                 work: JobSpec::Scenario(tiny_scenario()),
                 spec: ShardSpec { index: 0, count: 2 },
+                checkpoint: None,
             },
             Message::Reject {
                 reason: RejectReason::UnknownCampaign,

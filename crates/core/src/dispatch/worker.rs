@@ -32,7 +32,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::binwire::WireFormat;
-use crate::campaign::{CampaignShard, ShardSpec};
+use crate::campaign::{CampaignShard, ShardCheckpoint, ShardSpec};
+use crate::error::ConfigError;
 
 use super::proto::{write_message, write_message_wire, FrameReader, JobSpec, Message, WorkerCaps};
 use super::DispatchError;
@@ -43,6 +44,26 @@ use super::DispatchError;
 pub trait ShardRunner {
     /// Runs shard `spec` of the campaign named `campaign`.
     fn run(&mut self, campaign: &str, spec: ShardSpec) -> Result<CampaignShard, String>;
+
+    /// Runs shard `spec`, optionally resuming from `checkpoint` and
+    /// reporting progress through `on_cell` after each completed cell.
+    ///
+    /// The default ignores both and calls [`run`](ShardRunner::run) —
+    /// a runner without resume support stays correct, it just re-runs
+    /// from the first cell and never checkpoints. Runners backed by
+    /// [`Campaign::run_shard_resumable`](crate::campaign::Campaign::run_shard_resumable)
+    /// should forward to it; a checkpoint that does not match the shard
+    /// should fall back to a fresh run, never fail the worker.
+    fn run_resumable(
+        &mut self,
+        campaign: &str,
+        spec: ShardSpec,
+        checkpoint: Option<ShardCheckpoint>,
+        on_cell: &mut dyn FnMut(&ShardCheckpoint),
+    ) -> Result<CampaignShard, String> {
+        let _ = (checkpoint, on_cell);
+        self.run(campaign, spec)
+    }
 }
 
 impl<F> ShardRunner for F
@@ -70,6 +91,11 @@ pub struct WorkerOptions {
     /// frames are always JSON; the read side negotiates per frame, so
     /// this only picks the emit path.
     pub wire: WireFormat,
+    /// Send an advisory `checkpoint` frame (protocol v2.1) after every
+    /// this many completed cells, so the coordinator can resume this
+    /// shard elsewhere if the worker dies. `0` disables checkpointing —
+    /// a v2 coordinator never sees the frame.
+    pub checkpoint_every_cells: usize,
 }
 
 impl Default for WorkerOptions {
@@ -79,6 +105,7 @@ impl Default for WorkerOptions {
             caps: WorkerCaps::detect(),
             heartbeat_interval_ms: 1_000,
             wire: WireFormat::default(),
+            checkpoint_every_cells: 1,
         }
     }
 }
@@ -131,7 +158,7 @@ pub fn run_worker(
         })
     };
 
-    let result = worker_loop(reader, &writer, runner, opts.wire);
+    let result = worker_loop(reader, &writer, runner, opts);
     stop.store(true, Ordering::SeqCst);
     // Unblock the coordinator side promptly; the heartbeat thread exits
     // on its next tick either way.
@@ -145,31 +172,39 @@ pub fn run_worker(
 
 /// Executes one assigned shard: catalog work through the runner,
 /// scenario work directly from the document (the matrix it declares is
-/// the matrix that runs — no catalog lookup, no re-encoding).
+/// the matrix that runs — no catalog lookup, no re-encoding). A resume
+/// checkpoint is an optimization, never a hazard: one that does not
+/// match the matrix (scenario drift across coordinator restarts, say)
+/// falls back to a fresh run instead of failing the worker.
 fn execute(
     runner: &mut dyn ShardRunner,
     work: &JobSpec,
     spec: ShardSpec,
+    checkpoint: Option<ShardCheckpoint>,
+    on_cell: &mut dyn FnMut(&ShardCheckpoint),
 ) -> Result<CampaignShard, DispatchError> {
     match work {
-        JobSpec::Catalog(campaign) => {
-            runner
-                .run(campaign, spec)
-                .map_err(|e| DispatchError::Runner {
-                    campaign: campaign.clone(),
-                    spec,
-                    message: e,
-                })
-        }
+        JobSpec::Catalog(campaign) => runner
+            .run_resumable(campaign, spec, checkpoint, on_cell)
+            .map_err(|e| DispatchError::Runner {
+                campaign: campaign.clone(),
+                spec,
+                message: e,
+            }),
         JobSpec::Scenario(s) => {
             let workloads = s.workloads();
-            s.campaign(&workloads)
-                .run_shard(spec)
-                .map_err(|e| DispatchError::Runner {
-                    campaign: s.name.clone(),
-                    spec,
-                    message: e.to_string(),
-                })
+            let campaign = s.campaign(&workloads);
+            let run = match campaign.run_shard_resumable(spec, checkpoint, on_cell) {
+                Err(ConfigError::CheckpointMismatch { .. }) => {
+                    campaign.run_shard_resumable(spec, None, on_cell)
+                }
+                other => other,
+            };
+            run.map_err(|e| DispatchError::Runner {
+                campaign: s.name.clone(),
+                spec,
+                message: e.to_string(),
+            })
         }
     }
 }
@@ -178,8 +213,9 @@ fn worker_loop(
     reader: TcpStream,
     writer: &Mutex<TcpStream>,
     runner: &mut dyn ShardRunner,
-    wire: WireFormat,
+    opts: &WorkerOptions,
 ) -> Result<WorkerSummary, DispatchError> {
+    let wire = opts.wire;
     let mut reader = FrameReader::new(BufReader::new(reader));
     let mut shards_run = 0usize;
     loop {
@@ -188,8 +224,32 @@ fn worker_loop(
                 // Coordinator closed the connection: done serving.
                 return Ok(WorkerSummary { shards_run });
             }
-            Some(Message::Assign { job, work, spec }) => {
-                let shard = execute(runner, &work, spec)?;
+            Some(Message::Assign {
+                job,
+                work,
+                spec,
+                checkpoint,
+            }) => {
+                // Advisory progress frames, through the same writer lock
+                // as heartbeats. A failed send is ignored here: losing a
+                // checkpoint costs re-simulation only, and if the
+                // coordinator is truly gone the `shard_done` write (or
+                // the read loop) surfaces it.
+                let every = opts.checkpoint_every_cells;
+                let mut cells_done = 0usize;
+                let mut on_cell = |ckpt: &ShardCheckpoint| {
+                    cells_done += 1;
+                    if every == 0 || !cells_done.is_multiple_of(every) {
+                        return;
+                    }
+                    let frame = Message::Checkpoint {
+                        job: job.clone(),
+                        checkpoint: ckpt.clone(),
+                    };
+                    let mut w = writer.lock().expect("frame writer");
+                    let _ = write_message_wire(&mut *w, &frame, wire);
+                };
+                let shard = execute(runner, &work, spec, checkpoint, &mut on_cell)?;
                 let mut w = writer.lock().expect("frame writer");
                 write_message_wire(&mut *w, &Message::ShardDone { job, shard }, wire)?;
                 shards_run += 1;

@@ -67,6 +67,12 @@ pub enum ConfigError {
         /// The rejected shard count.
         count: usize,
     },
+    /// A [`ShardCheckpoint`](crate::campaign::ShardCheckpoint) does not
+    /// belong to the shard (or matrix) it was offered to resume.
+    CheckpointMismatch {
+        /// What disagreed — spec, cursor, or a cell key.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -105,6 +111,9 @@ impl fmt::Display for ConfigError {
                     f,
                     "shard {index}/{count} is not a valid shard of a campaign"
                 )
+            }
+            ConfigError::CheckpointMismatch { detail } => {
+                write!(f, "checkpoint does not match this shard: {detail}")
             }
         }
     }

@@ -91,7 +91,7 @@ pub mod thread;
 pub use binwire::WireFormat;
 pub use campaign::{
     fnv64, merge, scaling_efficiency, Campaign, CampaignCell, CampaignPerf, CampaignResult,
-    CampaignShard, CellKey, MergeError, ShardSpec,
+    CampaignShard, CellKey, MergeError, ShardCheckpoint, ShardSpec,
 };
 pub use config::{SchedulerKind, SimConfig, SimConfigBuilder, SliccParams, StrexParams};
 pub use dispatch::DispatchError;

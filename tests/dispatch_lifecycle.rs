@@ -632,3 +632,263 @@ fn status_stays_accurate_across_a_worker_loss() {
         "a status poll must not hang up the watcher: {asked:?}"
     );
 }
+
+/// The journal's crash-recovery contract: a coordinator restarted on a
+/// ledger of durable frames must be indistinguishable — status counters,
+/// pending queue, per-peer rate buckets — from one that never crashed
+/// but whose peers all hung up, and a partially completed job must run
+/// its remaining shards to the same bit-identical merge.
+mod journal_restart {
+    use super::*;
+    use strex::campaign::ShardCheckpoint;
+    use strex::dispatch::{replay_journal_file, Journal};
+
+    /// Rate limiting on, so the replayed bucket state is part of the
+    /// equivalence claim.
+    fn limited_cfg() -> DispatchConfig {
+        DispatchConfig {
+            submit_burst: 2,
+            submit_refill_ms: 1_000,
+            ..cfg()
+        }
+    }
+
+    fn scratch_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("strex-journal-{tag}-{}.bin", std::process::id()))
+    }
+
+    /// Journals `msg` exactly as the serve shell does (write-ahead),
+    /// then feeds it to the lived coordinator.
+    fn deliver(
+        c: &mut Coordinator,
+        journal: &mut Journal,
+        now_ms: u64,
+        conn: u64,
+        peer: &str,
+        msg: Message,
+    ) -> Vec<Action> {
+        journal
+            .append(now_ms, conn, peer, &msg)
+            .expect("journal append");
+        c.handle(now_ms, Event::Message(conn, msg))
+    }
+
+    /// The first cell-boundary checkpoint of `spec`, if the shard owns
+    /// any cells (ownership is by cell-key hash, so some shards of a
+    /// small matrix may legitimately be empty).
+    fn first_boundary(spec: ShardSpec) -> Option<ShardCheckpoint> {
+        let workloads = tiny_workloads();
+        let mut first = None;
+        tiny_campaign(&workloads)
+            .run_shard_resumable(spec, None, &mut |c| {
+                if first.is_none() {
+                    first = Some(c.clone());
+                }
+            })
+            .expect("valid shard");
+        first
+    }
+
+    #[test]
+    fn replaying_the_journal_reproduces_the_never_crashed_coordinator() {
+        let path = scratch_journal("equivalence");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = Journal::open_append(&path).expect("open journal");
+        let mut lived = Coordinator::new(limited_cfg(), [CAMPAIGN.to_string()]);
+
+        // Identities arrive via Connected in the shell; the journal
+        // records them per entry.
+        for (conn, peer) in [
+            (10, "ip:a"),
+            (11, "ip:a"),
+            (12, "ip:a"),
+            (13, "ip:b"),
+            (20, "ip:w"),
+        ] {
+            lived.handle(0, Event::Connected(conn, peer.to_string()));
+        }
+
+        // Two admitted submissions drain ip:a's burst; the third is
+        // rate-limited (journaled anyway — write-ahead means the ledger
+        // records what arrived, and the replay re-derives the verdict).
+        let submit = |shards: usize| Message::Submit {
+            work: JobSpec::Catalog(CAMPAIGN.into()),
+            shards,
+        };
+        deliver(&mut lived, &mut journal, 0, 10, "ip:a", submit(3));
+        deliver(&mut lived, &mut journal, 10, 11, "ip:a", submit(2));
+        let refused = deliver(&mut lived, &mut journal, 20, 12, "ip:a", submit(4));
+        assert_eq!(
+            rejection_to(&refused, 12),
+            Some(RejectReason::RateLimited),
+            "{refused:?}"
+        );
+        // A second waiter coalesces onto the in-flight 2-shard job.
+        deliver(&mut lived, &mut journal, 30, 13, "ip:b", submit(2));
+
+        // One shard of the 3-shard job completes before the crash, and a
+        // checkpoint for a still-queued shard of the same job lands (the
+        // progress a reaped worker shipped before dying).
+        let job3 = job_key(CAMPAIGN, 3);
+        deliver(
+            &mut lived,
+            &mut journal,
+            500,
+            20,
+            "ip:w",
+            Message::ShardDone {
+                job: job3.clone(),
+                shard: tiny_shard(ShardSpec { index: 0, count: 3 }),
+            },
+        );
+        let checkpointed = (1..3).find_map(|index| {
+            let spec = ShardSpec { index, count: 3 };
+            first_boundary(spec).map(|ckpt| (spec, ckpt))
+        });
+        if let Some((_, ckpt)) = &checkpointed {
+            deliver(
+                &mut lived,
+                &mut journal,
+                600,
+                20,
+                "ip:w",
+                Message::Checkpoint {
+                    job: job3.clone(),
+                    checkpoint: ckpt.clone(),
+                },
+            );
+        }
+        drop(journal);
+        let last_now = if checkpointed.is_some() { 600 } else { 500 };
+
+        // The crash kills every connection; the never-crashed reference
+        // sees the same hangups the restart implies.
+        for conn in [10, 11, 12, 13, 20] {
+            lived.handle(last_now, Event::Disconnected(conn));
+        }
+
+        // Restart: fresh coordinator, same journal.
+        let entries = replay_journal_file(&path).expect("readable ledger");
+        let mut restarted = Coordinator::new(limited_cfg(), [CAMPAIGN.to_string()]);
+        restarted.replay_journal(entries);
+
+        let report = lived.status(700);
+        let replayed = restarted.status(700);
+        assert_eq!(report, replayed, "restart must be invisible in status");
+        assert_eq!(report.counters.submissions, 3);
+        assert_eq!(report.counters.rejections, 1);
+        assert_eq!(report.counters.shards_completed, 1);
+        assert_eq!(restarted.open_jobs(), 2);
+        assert_eq!(restarted.worker_count(), 0, "registrations are not durable");
+        let bucket = replayed
+            .rate
+            .iter()
+            .find(|r| r.peer == "ip:a")
+            .expect("replayed bucket");
+        assert_eq!(bucket.tokens, 0, "the drained burst survives the restart");
+
+        // A fresh worker drains the replayed queue: the checkpointed
+        // shard's assignment carries the journaled resume point, and both
+        // jobs finish bit-identical to sequential runs.
+        let clock = FakeClock::new();
+        clock.advance(700);
+        let mut actions = register(&mut restarted, &clock, 30, "fresh");
+        let mut resumed_with_checkpoint = false;
+        while !actions.is_empty() {
+            let mut next = Vec::new();
+            for action in &actions {
+                if let Action::Send(
+                    conn,
+                    Message::Assign {
+                        job,
+                        spec,
+                        checkpoint,
+                        ..
+                    },
+                ) = action
+                {
+                    if let Some((ck_spec, ckpt)) = &checkpointed {
+                        if spec == ck_spec {
+                            let carried =
+                                checkpoint.as_ref().expect("journaled checkpoint attached");
+                            assert_eq!(carried.cursor(), ckpt.cursor());
+                            assert_eq!(carried.cells().len(), ckpt.cells().len());
+                            resumed_with_checkpoint = true;
+                        }
+                    }
+                    next.extend(restarted.handle(
+                        700,
+                        Event::Message(
+                            *conn,
+                            Message::ShardDone {
+                                job: job.clone(),
+                                shard: tiny_shard(*spec),
+                            },
+                        ),
+                    ));
+                }
+            }
+            actions = next;
+        }
+        assert_eq!(restarted.open_jobs(), 0, "both replayed jobs completed");
+        assert_eq!(
+            resumed_with_checkpoint,
+            checkpointed.is_some(),
+            "the journaled checkpoint must ride the re-assignment"
+        );
+
+        // The finished jobs answer resubmissions from the cache with the
+        // bit-identical merged result — no waiter was lost, no work redone.
+        let replayed_result = submit_from(&mut restarted, &clock, 40, 3);
+        let cached = result_to(&replayed_result, 40).expect("cache hit after restart");
+        assert_eq!(cached.to_json(), tiny_sequential().to_json());
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rebased_buckets_grant_no_credit_for_the_outage() {
+        let mut c = Coordinator::new(limited_cfg(), [CAMPAIGN.to_string()]);
+        c.handle(0, Event::Connected(1, "ip:a".to_string()));
+        for shards in [1, 2] {
+            let actions = c.handle(
+                0,
+                Event::Message(
+                    1,
+                    Message::Submit {
+                        work: JobSpec::Catalog(CAMPAIGN.into()),
+                        shards,
+                    },
+                ),
+            );
+            assert!(rejection_to(&actions, 1).is_none(), "{actions:?}");
+        }
+
+        // Five refill intervals pass while the coordinator is "down";
+        // rebasing at restart must surrender that elapsed-time credit.
+        c.rebase_buckets(5_000);
+        let probe = |c: &mut Coordinator, now: u64, shards: usize| {
+            let actions = c.handle(
+                now,
+                Event::Message(
+                    1,
+                    Message::Submit {
+                        work: JobSpec::Catalog(CAMPAIGN.into()),
+                        shards,
+                    },
+                ),
+            );
+            rejection_to(&actions, 1)
+        };
+        assert_eq!(
+            probe(&mut c, 5_999, 3),
+            Some(RejectReason::RateLimited),
+            "no tokens earned during the outage"
+        );
+        assert_eq!(
+            probe(&mut c, 6_000, 3),
+            None,
+            "earning resumes from the restart instant"
+        );
+    }
+}

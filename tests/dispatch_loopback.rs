@@ -77,6 +77,8 @@ fn spawn_server_wire(
             .run(ServeOptions {
                 max_jobs: Some(max_jobs),
                 wire,
+                journal: None,
+                stop: None,
             })
             .expect("serve")
             .jobs_completed
